@@ -1,0 +1,61 @@
+// Shared workload definitions for the experiment harness (E1..E9).
+//
+// Each bench binary prints the table(s) reproducing one theorem/claim of the
+// paper; EXPERIMENTS.md records the expected shapes. Keep the sweeps here
+// moderate so the full harness runs in seconds, not hours.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "graph/port_graph.h"
+#include "util/rng.h"
+
+namespace oraclesize::bench {
+
+struct Workload {
+  std::string family;
+  std::size_t n;
+  PortGraph graph;
+};
+
+/// The standard graph-family sweep used by E1/E3/E4/E6: one graph per
+/// (family, n) pair. Sizes chosen so dense families stay tractable.
+inline std::vector<Workload> standard_workloads() {
+  std::vector<Workload> out;
+  Rng rng(0xbeefcafeULL);
+  for (std::size_t n : {128u, 512u, 2048u}) {
+    out.push_back({"complete", n, make_complete_star(n)});
+  }
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    out.push_back({"random(p=8/n)", n,
+                   make_random_connected(n, 8.0 / static_cast<double>(n),
+                                         rng)});
+  }
+  for (int d : {8, 10, 12}) {
+    out.push_back({"hypercube", std::size_t{1} << d, make_hypercube(d)});
+  }
+  for (std::size_t side : {16u, 32u, 64u}) {
+    out.push_back({"grid", side * side, make_grid(side, side)});
+  }
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    out.push_back({"random-tree", n, make_random_tree(n, rng)});
+  }
+  for (std::size_t n : {128u, 512u}) {
+    out.push_back({"lollipop", n, make_lollipop(n)});
+  }
+  for (std::size_t side : {16u, 48u}) {
+    out.push_back({"torus", side * side, make_torus(side, side)});
+  }
+  out.push_back({"bipartite", 512, make_complete_bipartite(256, 256)});
+  for (std::size_t n : {512u, 2048u}) {
+    out.push_back({"random-regular(d=4)", n, make_random_regular(n, 4, rng)});
+  }
+  out.push_back({"caterpillar", 1024, make_caterpillar(128, 7)});
+  return out;
+}
+
+}  // namespace oraclesize::bench

@@ -1,0 +1,94 @@
+// Experiment E10 — knowledge vs time tradeoff (the paper's conclusion).
+//
+// The paper's closing conjecture: "oracles could be potentially used to
+// establish precise tradeoffs between the amount of knowledge available to
+// nodes and the efficiency (in terms of time or message complexity) of
+// accomplishing a given task." This experiment measures one such tradeoff
+// inside the paper's own toolbox: the choice of spanning tree behind the
+// advice trades oracle BITS against broadcast TIME (synchronous rounds).
+//
+//  * BFS-tree advice: shallow tree -> completion in ~diameter rounds, but
+//    on port-rich graphs the advice grows superlinearly (weights are large).
+//  * Light-tree advice (Claim 3.1): O(n) bits, but the tree can be deep
+//    (on K*_n it degenerates towards a path) -> completion takes up to
+//    Theta(n) rounds.
+//
+// Expected shape: on K*_n, BFS rows show time ~ 2-3 rounds at ~5x the bits;
+// light rows show bits/n flat at ~4 with time growing linearly in n. Sparse
+// families sit between the extremes (their light trees are already
+// shallow). Neither pareto-dominates: exactly a knowledge/time tradeoff.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/broadcast_b.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/light_tree.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "util/table.h"
+
+using namespace oraclesize;
+
+int main() {
+  {
+    Table t({"graph", "n", "tree", "oracle bits", "bits/n", "tree height",
+             "bcast rounds", "bcast msgs"});
+    Rng rng(99);
+    std::vector<bench::Workload> loads;
+    for (std::size_t n : {256u, 1024u}) {
+      loads.push_back({"complete", n, make_complete_star(n)});
+    }
+    for (std::size_t n : {1024u, 4096u}) {
+      loads.push_back({"random(p=8/n)", n,
+                       make_random_connected(n, 8.0 / n, rng)});
+    }
+    loads.push_back({"grid", 1024, make_grid(32, 32)});
+    for (const bench::Workload& w : loads) {
+      for (TreeKind kind : {TreeKind::kLight, TreeKind::kBfs}) {
+        RunOptions opts;  // synchronous: completion_key == rounds
+        const TaskReport r = run_task(w.graph, 0, LightBroadcastOracle(kind),
+                                      BroadcastBAlgorithm(), opts);
+        const SpanningTree tree = build_tree(w.graph, 0, kind);
+        t.row()
+            .cell(w.family)
+            .cell(w.n)
+            .cell(to_string(kind))
+            .cell(r.oracle_bits)
+            .cell(static_cast<double>(r.oracle_bits) /
+                      static_cast<double>(w.n),
+                  2)
+            .cell(tree.height())
+            .cell(r.run.metrics.completion_key)
+            .cell(r.run.metrics.messages_total);
+      }
+    }
+    t.print(std::cout,
+            "E10a: broadcast — advice bits vs completion rounds by tree "
+            "choice (the conclusion's knowledge/time tradeoff)");
+  }
+
+  {
+    // Same tradeoff for wakeup: all trees give n-1 messages, but time
+    // follows tree height while bits follow encoded port magnitudes.
+    Table t({"n (K*_n)", "tree", "oracle bits", "wakeup rounds",
+             "wakeup msgs"});
+    for (std::size_t n : {256u, 1024u}) {
+      const PortGraph g = make_complete_star(n);
+      for (TreeKind kind : {TreeKind::kLight, TreeKind::kBfs}) {
+        const TaskReport r = run_task(g, 0, TreeWakeupOracle(kind),
+                                      WakeupTreeAlgorithm());
+        t.row()
+            .cell(n)
+            .cell(to_string(kind))
+            .cell(r.oracle_bits)
+            .cell(r.run.metrics.completion_key)
+            .cell(r.run.metrics.messages_total);
+      }
+    }
+    t.print(std::cout,
+            "E10b: wakeup — messages pinned at n-1; rounds vs bits moves "
+            "with the tree");
+  }
+  return 0;
+}

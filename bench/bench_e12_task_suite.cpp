@@ -1,0 +1,117 @@
+// Experiment E12 — one oracle, many tasks (the paper's conclusion: oracle
+// size measures difficulty for "a broader range of distributed network
+// problems").
+//
+// All four tree tasks below consume the SAME Theorem 2.1 advice; broadcast
+// uses the Theorem 3.1 advice; flooding uses none. The table puts each
+// task's (advice bits, messages, traffic bits) on one axis so the
+// difficulty ordering is visible directly:
+//
+//   broadcast (Theta(n) bits)  <  wakeup == census == gossip advice
+//   (Theta(n log n) bits)      <<  full-map style knowledge;
+//   wakeup n-1 msgs  <  census 2(n-1)  <  gossip 3(n-1)  <<  flooding 2m;
+//   wakeup/broadcast traffic O(n) bits  <<  gossip Theta(n^2 log n) bits
+//   (output-bound, not oracle-bound).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/broadcast_b.h"
+#include "core/census.h"
+#include "core/flooding.h"
+#include "core/gossip.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "oracle/composite_oracle.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
+#include "util/table.h"
+
+using namespace oraclesize;
+
+int main() {
+  Table t({"graph", "n", "task", "oracle", "advice bits", "messages",
+           "traffic bits", "ok"});
+  Rng rng(31337);
+  std::vector<bench::Workload> loads;
+  loads.push_back({"random(p=8/n)", 1024,
+                   make_random_connected(1024, 8.0 / 1024, rng)});
+  loads.push_back({"complete", 512, make_complete_star(512)});
+  loads.push_back({"grid", 1024, make_grid(32, 32)});
+
+  const TreeWakeupOracle tree_oracle;
+  const LightBroadcastOracle light_oracle;
+  const NullOracle null_oracle;
+  const WakeupTreeAlgorithm wakeup;
+  const CensusAlgorithm census;
+  const GossipTreeAlgorithm gossip;
+  const BroadcastBAlgorithm broadcast;
+  const FloodingAlgorithm flooding;
+
+  struct RowSpec {
+    const char* task;
+    const Oracle* oracle;
+    const Algorithm* algorithm;
+  };
+  const RowSpec rows[] = {
+      {"broadcast", &light_oracle, &broadcast},
+      {"wakeup", &tree_oracle, &wakeup},
+      {"census", &tree_oracle, &census},
+      {"gossip", &tree_oracle, &gossip},
+      {"flooding", &null_oracle, &flooding},
+  };
+
+  for (const bench::Workload& w : loads) {
+    for (const RowSpec& spec : rows) {
+      const TaskReport r = run_task(w.graph, 0, *spec.oracle,
+                                    *spec.algorithm);
+      t.row()
+          .cell(w.family)
+          .cell(w.n)
+          .cell(spec.task)
+          .cell(r.oracle_name)
+          .cell(r.oracle_bits)
+          .cell(r.run.metrics.messages_total)
+          .cell(r.run.metrics.bits_sent)
+          .cell(r.ok() ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout,
+          "E12: the task suite under one roof — advice size vs message and "
+          "bit complexity per task");
+
+  {
+    // Subadditivity: ONE composite advice assignment serves all four
+    // advice-using tasks. Expected shape: composite bits ~ tree bits +
+    // light bits + O(n) delimiters, far below paying per task.
+    Table t2({"graph", "n", "composite bits", "tree+light bits",
+              "wakeup ok", "census ok", "gossip ok", "broadcast ok"});
+    const CompositeOracle combo({&tree_oracle, &light_oracle});
+    const AdviceProjection wakeup_p(wakeup, 0, 2);
+    const AdviceProjection census_p(census, 0, 2);
+    const AdviceProjection gossip_p(gossip, 0, 2);
+    const AdviceProjection broadcast_p(broadcast, 1, 2);
+    for (const bench::Workload& w : loads) {
+      const auto advice = combo.advise(w.graph, 0);
+      const auto parts_sum =
+          oracle_size_bits(tree_oracle.advise(w.graph, 0)) +
+          oracle_size_bits(light_oracle.advise(w.graph, 0));
+      auto ok = [&](const Algorithm& a) {
+        return run_task(w.graph, 0, combo, a).ok() ? "yes" : "NO";
+      };
+      t2.row()
+          .cell(w.family)
+          .cell(w.n)
+          .cell(oracle_size_bits(advice))
+          .cell(parts_sum)
+          .cell(ok(wakeup_p))
+          .cell(ok(census_p))
+          .cell(ok(gossip_p))
+          .cell(ok(broadcast_p));
+    }
+    t2.print(std::cout,
+             "E12b: one composite advice serving every task "
+             "(subadditivity of the measure)");
+  }
+  return 0;
+}

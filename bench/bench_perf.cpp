@@ -1,0 +1,99 @@
+// Timing microbenchmarks (google-benchmark) for the heavyweight kernels:
+// the light-tree construction, oracle generation, and the execution engine.
+// These are throughput sanity checks, not paper results — the paper's
+// quantities are message counts and bit counts (bench_e1..e9).
+#include <benchmark/benchmark.h>
+
+#include "core/broadcast_b.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "graph/light_tree.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace oraclesize;
+
+void BM_LightTreeComplete(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PortGraph g = make_complete_star(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(light_tree(g, 0).contribution);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_LightTreeComplete)->Arg(128)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_LightTreeSparse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const PortGraph g = make_random_connected(n, 8.0 / static_cast<double>(n),
+                                            rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(light_tree(g, 0).contribution);
+  }
+}
+BENCHMARK(BM_LightTreeSparse)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_WakeupOracleAdvise(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PortGraph g = make_complete_star(n);
+  const TreeWakeupOracle oracle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.advise(g, 0));
+  }
+}
+BENCHMARK(BM_WakeupOracleAdvise)->Arg(256)->Arg(1024);
+
+void BM_BroadcastOracleAdvise(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PortGraph g = make_complete_star(n);
+  const LightBroadcastOracle oracle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.advise(g, 0));
+  }
+}
+BENCHMARK(BM_BroadcastOracleAdvise)->Arg(256)->Arg(1024);
+
+void BM_EngineWakeup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const PortGraph g = make_random_connected(n, 8.0 / static_cast<double>(n),
+                                            rng);
+  const auto advice = TreeWakeupOracle().advise(g, 0);
+  const WakeupTreeAlgorithm algo;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.enforce_wakeup = true;
+    benchmark::DoNotOptimize(
+        run_execution(g, 0, advice, algo, opts).metrics.messages_total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_EngineWakeup)->Arg(1024)->Arg(8192);
+
+void BM_EngineBroadcastB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const PortGraph g = make_random_connected(n, 8.0 / static_cast<double>(n),
+                                            rng);
+  const auto advice = LightBroadcastOracle().advise(g, 0);
+  const BroadcastBAlgorithm algo;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.scheduler = SchedulerKind::kAsyncRandom;
+    opts.seed = 9;
+    benchmark::DoNotOptimize(
+        run_execution(g, 0, advice, algo, opts).metrics.messages_total);
+  }
+}
+BENCHMARK(BM_EngineBroadcastB)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Play the Lemma 2.1 edge-discovery game interactively-ish.
+//
+// The lower bounds of the paper reduce to one combinatorial game: special
+// edges are hidden among N candidates, probing an edge reveals whether (and
+// as which label) it is special, and an adaptive adversary answers so as to
+// keep as many instances alive as possible. This example narrates one full
+// game at small scale — every probe, every answer, the log2 of the active
+// family after each step — then prints the Lemma 2.1 bound next to the
+// measured probe count.
+#include <iomanip>
+#include <iostream>
+
+#include "lowerbound/counting_adversary.h"
+#include "lowerbound/exact_adversary.h"
+#include "lowerbound/strategies.h"
+
+using namespace oraclesize;
+
+int main() {
+  const EdgeDiscoveryProblem problem{12, 3};
+  std::cout << "Edge discovery: N = " << problem.num_candidates
+            << " candidate edges, m = " << problem.num_special
+            << " hidden specials.\n"
+            << "Instance family |I| = C(12,3) * 3! = 1320 "
+            << "(log2 = " << std::fixed << std::setprecision(2)
+            << problem.log2_instances() << ").\n"
+            << "Lemma 2.1 bound: >= log2(|I|/m!) = "
+            << problem.log2_probe_bound() << " probes.\n\n";
+
+  CountingAdversary adversary(problem);
+  ExactAdversary reference(problem);
+  SequentialStrategy strategy;
+  strategy.begin(problem);
+
+  std::size_t probes = 0;
+  while (!adversary.resolved()) {
+    const std::size_t edge = strategy.next_probe();
+    const ProbeResult closed_form = adversary.answer(edge);
+    const ProbeResult brute_force = reference.answer(edge);
+    ++probes;
+    std::cout << "probe " << std::setw(2) << probes << ": edge "
+              << std::setw(2) << edge << " -> ";
+    if (closed_form.special) {
+      std::cout << "SPECIAL with label " << closed_form.label;
+    } else {
+      std::cout << "regular";
+    }
+    std::cout << "   (active family: 2^" << std::setprecision(2)
+              << adversary.log2_active() << " = "
+              << reference.active_count() << " instances";
+    if (closed_form.special != brute_force.special) {
+      std::cout << "; MISMATCH vs brute force!";
+    }
+    std::cout << ")\n";
+    strategy.observe(edge, closed_form);
+  }
+
+  std::cout << "\nGame over after " << probes << " probes (bound was "
+            << problem.log2_probe_bound() << ").\n"
+            << "Note how the adversary answers 'regular' while it can: each "
+               "such answer\ncosts the scheme a probe but only halves the "
+               "family — the specials surface\nonly when the unprobed pool "
+               "runs dry. That wedge, scaled to N = C(n,2) and\nm = n "
+               "hidden subdivided edges, is the Omega(n log n) of Theorem "
+               "2.2.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scheme B under hostile conditions.
+//
+// The strength of Theorem 3.1's upper bound is *where it holds*: totally
+// asynchronous delivery, anonymous nodes, constant-size messages. This
+// example runs Figure 1's scheme B on one network under every scheduler the
+// simulator has — including the adversarial LIFO executive that delivers
+// the most recently sent message first — with node identities hidden, and
+// shows the message count staying linear every time.
+#include <iostream>
+
+#include "core/broadcast_b.h"
+#include "core/runner.h"
+#include "graph/builders.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace oraclesize;
+
+int main() {
+  Rng rng(7);
+  const PortGraph g = shuffle_ports(make_random_connected(200, 0.05, rng),
+                                    rng);
+  const NodeId source = 42;
+  const std::size_t n = g.num_nodes();
+  std::cout << "Network: " << g.summary() << " with randomized port numbers; "
+            << "linear budget 3(n-1) = " << 3 * (n - 1) << " messages.\n\n";
+
+  Table t({"scheduler", "seed", "M msgs", "hello msgs", "total", "informed",
+           "<= 3(n-1)?"});
+  for (SchedulerKind sched :
+       {SchedulerKind::kSynchronous, SchedulerKind::kAsyncFifo,
+        SchedulerKind::kAsyncLifo}) {
+    RunOptions opts;
+    opts.scheduler = sched;
+    opts.anonymous = true;  // nodes never see their labels
+    const TaskReport r = run_task(g, source, LightBroadcastOracle(),
+                                  BroadcastBAlgorithm(), opts);
+    t.row()
+        .cell(to_string(sched))
+        .cell(std::uint64_t{0})
+        .cell(r.run.metrics.messages_source)
+        .cell(r.run.metrics.messages_hello)
+        .cell(r.run.metrics.messages_total)
+        .cell(r.run.informed_count())
+        .cell(r.run.metrics.messages_total <= 3 * (n - 1) ? "yes" : "NO");
+  }
+  // Randomized asynchrony across many seeds: the race between hello and M
+  // (a node can learn a tree edge only after it is already informed) is
+  // re-drawn every seed; the budget must hold for all of them.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RunOptions opts;
+    opts.scheduler = SchedulerKind::kAsyncRandom;
+    opts.seed = seed;
+    opts.max_delay = 64;
+    opts.anonymous = true;
+    const TaskReport r = run_task(g, source, LightBroadcastOracle(),
+                                  BroadcastBAlgorithm(), opts);
+    t.row()
+        .cell("async-random")
+        .cell(seed)
+        .cell(r.run.metrics.messages_source)
+        .cell(r.run.metrics.messages_hello)
+        .cell(r.run.metrics.messages_total)
+        .cell(r.run.informed_count())
+        .cell(r.run.metrics.messages_total <= 3 * (n - 1) ? "yes" : "NO");
+  }
+  t.print(std::cout, "Scheme B, anonymous, across schedulers");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// A guided tour of the lower-bound machinery: from the abstract counting
+// game to a live adversarial network.
+//
+// Theorem 2.2's proof has three moving parts; this example runs each and
+// shows how they chain:
+//   1. the pigeonhole: how many graphs exist vs how many advice functions
+//      an oracle of a given size can output (Equations 2 and 3, exact);
+//   2. the edge-discovery game (Lemma 2.1): the information-theoretic floor
+//      under any scheme that must find hidden edges;
+//   3. the lazily-decided network: an actual wakeup algorithm (flooding)
+//      paying real messages against an adversary that commits the topology
+//      only when forced.
+#include <cmath>
+#include <iostream>
+
+#include "core/flooding.h"
+#include "lowerbound/bounds.h"
+#include "lowerbound/counting_adversary.h"
+#include "lowerbound/lazy_broadcast.h"
+#include "lowerbound/lazy_wakeup.h"
+#include "lowerbound/strategies.h"
+#include "util/table.h"
+
+using namespace oraclesize;
+
+int main() {
+  const std::size_t n = 64;  // base K*_n size; the network has 2n nodes
+
+  std::cout << "=== Step 1: the pigeonhole (exact Equations 2-3) ===\n";
+  {
+    Table t({"oracle bits", "log2 #graphs", "log2 #advice functions",
+             "guaranteed wakeup msgs"});
+    for (std::uint64_t bits : {0ull, 100ull, 400ull, 800ull, 1600ull}) {
+      t.row()
+          .cell(bits)
+          .cell(log2_wakeup_family(n, 1), 0)
+          .cell(log2_oracle_outputs(bits, 2 * n), 0)
+          .cell(wakeup_message_lower_bound(n, 1, bits), 0);
+    }
+    t.print(std::cout);
+    std::cout << "More advice bits -> more distinguishable graphs -> weaker "
+                 "floor. The floor\nis what remains of the family's entropy "
+                 "after the oracle has spoken.\n\n";
+  }
+
+  std::cout << "=== Step 2: the edge-discovery floor (Lemma 2.1) ===\n";
+  {
+    const EdgeDiscoveryProblem p{n * (n - 1) / 2, n};
+    SequentialStrategy s;
+    CountingAdversary adv(p);
+    const GameResult r = play_edge_discovery(p, s, adv);
+    std::cout << "Hide " << p.num_special << " labeled edges among "
+              << p.num_candidates << " candidates: any scheme needs >= "
+              << static_cast<std::uint64_t>(r.probe_lower_bound)
+              << " probes; the majority adversary actually forces "
+              << r.probes << ".\n\n";
+  }
+
+  std::cout << "=== Step 3: the live adversarial networks ===\n";
+  {
+    const LazyWakeupResult w = play_lazy_wakeup(n, FloodingAlgorithm());
+    std::cout << "Wakeup (G_{n,S}): flooding with zero advice completes, "
+                 "paying "
+              << w.messages << " messages on a " << 2 * n
+              << "-node network\n(" << w.messages / (2 * n)
+              << " per node; the Theorem 2.1 oracle would have done it "
+                 "with "
+              << 2 * n - 1 << ").\n";
+    const LazyBroadcastResult b =
+        play_lazy_broadcast(n, 4, FloodingAlgorithm());
+    std::cout << "Broadcast (G_{n,k}, k=4): same story, " << b.messages
+              << " messages, all " << b.cliques_found
+              << " hidden cliques dug out by brute force.\n";
+  }
+
+  std::cout << "\nThe separation in one sentence: those quadratic message "
+               "bills shrink to linear\nthe moment the oracle hands out "
+               "Theta(n log n) (wakeup) or Theta(n) (broadcast)\nbits -- "
+               "and Theorems 2.2/3.2 say no meaningfully smaller oracle "
+               "can do it.\n";
+  return 0;
+}

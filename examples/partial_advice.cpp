@@ -1,0 +1,65 @@
+// How much is a bit of advice worth?
+//
+// Sweeps the advised fraction of the hybrid wakeup (tree relay where the
+// oracle spoke, flooding where it stayed silent) on one network and prints
+// the measured exchange rate: messages saved per advice bit spent. This is
+// the paper's difficulty measure experienced as a dial — and the reason the
+// measure counts TOTAL bits: watch the complete-graph run at the end, where
+// almost all the advice value sits in one node's string.
+#include <iostream>
+
+#include "core/hybrid_wakeup.h"
+#include "core/runner.h"
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "oracle/partial_tree_oracle.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace oraclesize;
+
+namespace {
+
+void sweep(const char* name, const PortGraph& g) {
+  std::cout << name << ": " << g.summary() << "\n";
+  Table t({"advised fraction", "oracle bits", "messages", "msgs saved/bit"});
+  std::uint64_t base_bits = 0, base_msgs = 0;
+  for (double q : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const TaskReport r =
+        run_task(g, 0, PartialTreeOracle(q, 99), HybridWakeupAlgorithm());
+    if (!r.ok()) {
+      std::cout << "  run failed: " << r.summary() << "\n";
+      return;
+    }
+    const std::uint64_t bits = r.oracle_bits;
+    const std::uint64_t msgs = r.run.metrics.messages_total;
+    double rate = 0;
+    if (q > 0 && bits > base_bits && base_msgs > msgs) {
+      rate = static_cast<double>(base_msgs - msgs) /
+             static_cast<double>(bits - base_bits);
+    }
+    t.row().cell(q, 1).cell(bits).cell(msgs).cell(rate, 2);
+    if (q == 0.0) {
+      base_bits = bits;
+      base_msgs = msgs;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(12);
+  sweep("sparse random graph", make_random_connected(600, 8.0 / 600, rng));
+  sweep("complete graph K*_256", make_complete_star(256));
+  std::cout
+      << "On the sparse graph, advice pays off smoothly — a few messages\n"
+         "saved per bit. On K*_n the q-dial barely moves total bits (the\n"
+         "BFS advice is concentrated at the root) yet messages collapse\n"
+         "255x: the marginal value of a bit depends on where it sits,\n"
+         "which is why the paper's oracle-size measure sums over all\n"
+         "nodes instead of constraining any single one.\n";
+  return 0;
+}

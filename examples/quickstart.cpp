@@ -1,0 +1,53 @@
+// Quickstart: build a network, ask an oracle for advice, run a scheme.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the library's three core objects — PortGraph, Oracle,
+// Algorithm — on a small random network, printing what each step produced.
+#include <iostream>
+
+#include "core/broadcast_b.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "util/rng.h"
+
+using namespace oraclesize;
+
+int main() {
+  // 1. A network: connected, port-labeled, with a distinguished source.
+  Rng rng(2024);
+  const PortGraph g = make_random_connected(32, 0.15, rng);
+  const NodeId source = 0;
+  std::cout << "Network: " << g.summary() << ", source id " << source
+            << " (label " << g.label(source) << ")\n\n";
+
+  // 2. An oracle looks at the WHOLE network and hands each node a bit
+  //    string. Oracle size = total bits = the paper's difficulty measure.
+  const TreeWakeupOracle wakeup_oracle;
+  const auto advice = wakeup_oracle.advise(g, source);
+  std::cout << "Wakeup oracle (" << wakeup_oracle.name()
+            << ") assigned " << oracle_size_bits(advice)
+            << " bits in total. A few nodes' strings:\n";
+  for (NodeId v = 0; v < 4; ++v) {
+    std::cout << "  node " << v << ": \"" << advice[v].to_string() << "\"\n";
+  }
+
+  // 3. An algorithm maps each node's local quadruple (advice, is-source,
+  //    id, degree) to a scheme; the engine plays the execution.
+  const TaskReport wakeup =
+      run_task(g, source, wakeup_oracle, WakeupTreeAlgorithm());
+  std::cout << "\nWakeup run:    " << wakeup.summary() << "\n";
+
+  const TaskReport broadcast =
+      run_task(g, source, LightBroadcastOracle(), BroadcastBAlgorithm());
+  std::cout << "Broadcast run: " << broadcast.summary() << "\n\n";
+
+  std::cout << "Same task, same network - but the broadcast oracle needed "
+            << broadcast.oracle_bits << " bits where wakeup needed "
+            << wakeup.oracle_bits
+            << ": spontaneous control traffic buys information.\n";
+  return 0;
+}

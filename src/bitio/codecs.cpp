@@ -1,0 +1,128 @@
+#include "bitio/codecs.h"
+
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+void append_doubled(BitString& out, std::uint64_t v) {
+  const int r = num_bits(v);
+  for (int i = r - 1; i >= 0; --i) {
+    const bool b = (v >> i) & 1;
+    out.append_bit(b);
+    out.append_bit(b);
+  }
+  out.append_bit(true);
+  out.append_bit(false);
+}
+
+std::uint64_t read_doubled(BitReader& in) {
+  std::uint64_t v = 0;
+  int bits_read = 0;
+  for (;;) {
+    const bool a = in.read_bit();
+    const bool b = in.read_bit();
+    if (a && !b) {  // "10" terminator
+      if (bits_read == 0) {
+        throw std::invalid_argument("read_doubled: empty payload");
+      }
+      return v;
+    }
+    if (a != b) {  // "01" is not a valid pair
+      throw std::invalid_argument("read_doubled: mismatched pair");
+    }
+    if (bits_read >= 64) {
+      throw std::invalid_argument("read_doubled: value too wide");
+    }
+    v = (v << 1) | (a ? 1u : 0u);
+    ++bits_read;
+  }
+}
+
+int doubled_length(std::uint64_t v) noexcept { return 2 * num_bits(v) + 2; }
+
+void append_elias_gamma(BitString& out, std::uint64_t v) {
+  if (v == 0) throw std::invalid_argument("elias gamma: v must be >= 1");
+  const int k = floor_log2(v);
+  for (int i = 0; i < k; ++i) out.append_bit(false);
+  out.append_uint(v, k + 1);
+}
+
+std::uint64_t read_elias_gamma(BitReader& in) {
+  int k = 0;
+  while (!in.read_bit()) {
+    if (++k > 63) throw std::invalid_argument("elias gamma: run too long");
+  }
+  std::uint64_t v = 1;
+  for (int i = 0; i < k; ++i) v = (v << 1) | (in.read_bit() ? 1u : 0u);
+  return v;
+}
+
+int elias_gamma_length(std::uint64_t v) noexcept {
+  return 2 * floor_log2(v) + 1;
+}
+
+void append_elias_delta(BitString& out, std::uint64_t v) {
+  if (v == 0) throw std::invalid_argument("elias delta: v must be >= 1");
+  const int n = num_bits(v);  // v >= 1 so this is floor_log2(v)+1
+  append_elias_gamma(out, static_cast<std::uint64_t>(n));
+  if (n > 1) out.append_uint(v & ((std::uint64_t{1} << (n - 1)) - 1), n - 1);
+}
+
+std::uint64_t read_elias_delta(BitReader& in) {
+  const std::uint64_t n = read_elias_gamma(in);
+  if (n == 0 || n > 64) throw std::invalid_argument("elias delta: bad length");
+  std::uint64_t v = 1;
+  for (std::uint64_t i = 1; i < n; ++i) {
+    v = (v << 1) | (in.read_bit() ? 1u : 0u);
+  }
+  return v;
+}
+
+int elias_delta_length(std::uint64_t v) noexcept {
+  const int n = num_bits(v);
+  return (n - 1) + elias_gamma_length(static_cast<std::uint64_t>(n));
+}
+
+BitString encode_port_list(const std::vector<std::uint64_t>& ports,
+                           int width) {
+  BitString out;
+  if (ports.empty()) return out;  // leaves get the empty string
+  if (width <= 0) throw std::invalid_argument("encode_port_list: bad width");
+  append_doubled(out, static_cast<std::uint64_t>(width));
+  for (std::uint64_t p : ports) out.append_uint(p, width);
+  return out;
+}
+
+std::vector<std::uint64_t> decode_port_list(const BitString& bits) {
+  std::vector<std::uint64_t> ports;
+  if (bits.empty()) return ports;
+  BitReader in(bits);
+  const std::uint64_t width = read_doubled(in);
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("decode_port_list: bad width");
+  }
+  if (in.remaining() % width != 0 || in.remaining() == 0) {
+    throw std::invalid_argument("decode_port_list: bad payload length");
+  }
+  while (!in.exhausted()) {
+    ports.push_back(in.read_uint(static_cast<int>(width)));
+  }
+  return ports;
+}
+
+BitString encode_weight_list(const std::vector<std::uint64_t>& weights) {
+  BitString out;
+  for (std::uint64_t w : weights) append_doubled(out, w);
+  return out;
+}
+
+std::vector<std::uint64_t> decode_weight_list(const BitString& bits) {
+  std::vector<std::uint64_t> weights;
+  BitReader in(bits);
+  while (!in.exhausted()) weights.push_back(read_doubled(in));
+  return weights;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,77 @@
+// Self-delimiting integer codes used by the paper's oracle constructions.
+//
+// Theorem 2.1 encodes the list of child-port numbers of a spanning-tree node
+// as fixed-width fields preceded by a "doubled-bit" header carrying the field
+// width; Theorem 3.1 packs a multiset of edge weights into one string where
+// each weight costs O(#2(w)) bits. Both need uniquely decodable (prefix)
+// codes; this header provides:
+//
+//  * doubled-bit code      — the paper's own construction: each bit of the
+//                            binary representation written twice, terminated
+//                            by "10". Length 2*#2(v) + 2.
+//  * Elias gamma / delta   — classic universal codes, used by the encoding
+//                            ablation (experiment E9).
+//  * fixed-width fields    — via BitString::append_uint / BitReader::read_uint.
+//
+// All decode functions throw std::out_of_range on truncated input and
+// std::invalid_argument on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/bitstring.h"
+
+namespace oraclesize {
+
+// ---- Doubled-bit code (the paper's beta-sequence) -------------------------
+
+/// Appends the doubled-bit encoding of v: b1 b1 b2 b2 ... br br 1 0 where
+/// b1..br is the standard binary representation of v (r = #2(v); the value 0
+/// is represented as the single bit "0"). Cost: 2*#2(v) + 2 bits.
+void append_doubled(BitString& out, std::uint64_t v);
+
+/// Inverse of append_doubled.
+std::uint64_t read_doubled(BitReader& in);
+
+/// Number of bits append_doubled will emit for v.
+int doubled_length(std::uint64_t v) noexcept;
+
+// ---- Elias universal codes -------------------------------------------------
+
+/// Elias gamma code of v >= 1: floor(log2 v) zeros, then v in binary.
+/// Cost: 2*floor(log2 v) + 1 bits.
+void append_elias_gamma(BitString& out, std::uint64_t v);
+std::uint64_t read_elias_gamma(BitReader& in);
+int elias_gamma_length(std::uint64_t v) noexcept;
+
+/// Elias delta code of v >= 1: gamma(#bits of v) then v without its leading
+/// 1-bit. Cost: #2(v) + 2*floor(log2 #2(v)) bits.
+void append_elias_delta(BitString& out, std::uint64_t v);
+std::uint64_t read_elias_delta(BitReader& in);
+int elias_delta_length(std::uint64_t v) noexcept;
+
+// ---- Paper-specific composite codecs ---------------------------------------
+
+/// Theorem 2.1 oracle payload: the list of ports (each < 2^width) leading to
+/// a node's children in the spanning tree.
+///
+/// Layout (deviation #2 in DESIGN.md: header *prefixed* for forward
+/// decodability): doubled(width) then each port in `width` fixed bits.
+/// The empty list encodes as the empty string (leaves get no bits), exactly
+/// matching the paper's "f(v) is empty if v is a leaf".
+BitString encode_port_list(const std::vector<std::uint64_t>& ports, int width);
+
+/// Inverse of encode_port_list. The whole string must be consumed;
+/// leftover or missing bits raise std::invalid_argument.
+std::vector<std::uint64_t> decode_port_list(const BitString& bits);
+
+/// Theorem 3.1 oracle payload: the multiset of tree-edge weights assigned to
+/// one node, each weight encoded with the doubled-bit code
+/// (2*#2(w)+2 bits per weight; deviation #3 in DESIGN.md).
+BitString encode_weight_list(const std::vector<std::uint64_t>& weights);
+
+/// Inverse of encode_weight_list: decodes until the string is exhausted.
+std::vector<std::uint64_t> decode_weight_list(const BitString& bits);
+
+}  // namespace oraclesize

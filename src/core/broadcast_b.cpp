@@ -1,0 +1,83 @@
+#include "core/broadcast_b.h"
+
+#include <set>
+
+#include "bitio/codecs.h"
+
+namespace oraclesize {
+
+namespace {
+
+class BroadcastBBehavior final : public NodeBehavior {
+ public:
+  std::vector<Send> on_start(const NodeInput& input) override {
+    for (std::uint64_t w : decode_weight_list(input.advice)) {
+      known_.insert(static_cast<Port>(w));
+    }
+    hello_owed_ = known_;
+    std::vector<Send> sends;
+    if (input.is_source) {
+      informed_ = true;
+      relay(sends);  // send M on K\S, fold into S
+    }
+    flush_hellos(sends);
+    return sends;
+  }
+
+  std::vector<Send> on_receive(const NodeInput& /*input*/, const Message& msg,
+                               Port from_port) override {
+    std::vector<Send> sends;
+    switch (msg.kind) {
+      case MsgKind::kSource:
+        known_.insert(from_port);
+        transited_.insert(from_port);
+        informed_ = true;
+        relay(sends);
+        flush_hellos(sends);
+        break;
+      case MsgKind::kHello:
+        if (known_.insert(from_port).second && informed_) {
+          relay(sends);  // the hello revealed a tree edge M still owes
+        }
+        break;
+      case MsgKind::kControl:
+        break;  // scheme B never sends these; ignore defensively
+    }
+    return sends;
+  }
+
+ private:
+  // "send M on all ports of K\S; S <- K"
+  void relay(std::vector<Send>& sends) {
+    for (Port p : known_) {
+      if (!transited_.count(p)) {
+        sends.push_back(Send{Message::source(), p});
+      }
+    }
+    transited_ = known_;
+  }
+
+  // "H <- H\S; if H nonempty, send hello on all ports of H; H <- empty"
+  void flush_hellos(std::vector<Send>& sends) {
+    for (Port p : hello_owed_) {
+      if (!transited_.count(p)) {
+        sends.push_back(Send{Message::hello(), p});
+      }
+    }
+    hello_owed_.clear();
+  }
+
+  std::set<Port> known_;       // K_x
+  std::set<Port> hello_owed_;  // H_x
+  std::set<Port> transited_;   // S_x
+  bool informed_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> BroadcastBAlgorithm::make_behavior(
+    const NodeInput& /*input*/) const {
+  return std::make_unique<BroadcastBBehavior>();
+}
+
+}  // namespace oraclesize

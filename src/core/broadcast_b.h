@@ -1,0 +1,39 @@
+// Broadcast Scheme B (Figure 1 of the paper) — Theorem 3.1's algorithm.
+//
+// Paired with LightBroadcastOracle. Per-node state, exactly the paper's:
+//
+//   K_x — incident tree edges known to x (as local ports). Initialized from
+//         the oracle (the decoded weights *are* port numbers at x), grows
+//         when M or a hello arrives on a new port.
+//   H_x — ports on which a "hello" may still be owed. Initialized to K_x.
+//   S_x — ports through which M has already transited (either direction).
+//
+// Transitions:
+//   * empty history: if informed (the source), send M on K\S and fold into
+//     S; then send hello on H\S and clear H. Non-source nodes just send
+//     their hellos — the spontaneous transmissions that distinguish
+//     broadcast from wakeup.
+//   * M arrives on p: K += p, S += p, node becomes informed, relay M on
+//     K\S, fold; flush any hellos still owed.
+//   * hello arrives on p not in K: K += p; if already informed, relay M
+//     through p immediately (DESIGN.md deviation #4: Figure 1 as literally
+//     written loses this race under asynchrony; the paper's correctness
+//     argument requires the relay).
+//
+// Guarantees (tested): every node informed under every scheduler; hello
+// messages <= n-1 (one per tree edge, from one side); M messages <= 2(n-1);
+// all traffic rides spanning-tree edges; never reads id(v).
+#pragma once
+
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+class BroadcastBAlgorithm final : public Algorithm {
+ public:
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override { return "broadcast-B"; }
+};
+
+}  // namespace oraclesize

@@ -1,0 +1,75 @@
+#include "core/census.h"
+
+#include <set>
+
+#include "bitio/codecs.h"
+
+namespace oraclesize {
+
+namespace {
+
+class CensusBehavior final : public NodeBehavior {
+ public:
+  std::vector<Send> on_start(const NodeInput& input) override {
+    if (!input.is_source) return {};
+    return begin_subtree(input, kNoPort);
+  }
+
+  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
+                               Port from_port) override {
+    switch (msg.kind) {
+      case MsgKind::kSource:
+        if (started_) return {};  // duplicate M (cannot happen on a tree)
+        return begin_subtree(input, from_port);
+      case MsgKind::kControl: {  // a child's subtree count
+        if (!pending_children_.erase(from_port)) return {};  // not a child
+        count_ += msg.payload;
+        return maybe_report();
+      }
+      case MsgKind::kHello:
+        return {};
+    }
+    return {};
+  }
+
+  bool terminated() const override { return done_; }
+  std::uint64_t output() const override { return done_ ? count_ : 0; }
+
+ private:
+  std::vector<Send> begin_subtree(const NodeInput& input, Port parent) {
+    started_ = true;
+    parent_port_ = parent;
+    count_ = 1;  // this node
+    std::vector<Send> sends;
+    for (std::uint64_t p : decode_port_list(input.advice)) {
+      pending_children_.insert(static_cast<Port>(p));
+      sends.push_back(Send{Message::source(), static_cast<Port>(p)});
+    }
+    // Leaves echo immediately.
+    auto echo = maybe_report();
+    sends.insert(sends.end(), echo.begin(), echo.end());
+    return sends;
+  }
+
+  std::vector<Send> maybe_report() {
+    if (!pending_children_.empty() || done_) return {};
+    done_ = true;
+    if (parent_port_ == kNoPort) return {};  // the source: output is ready
+    return {Send{Message::control(count_), parent_port_}};
+  }
+
+  bool started_ = false;
+  bool done_ = false;
+  Port parent_port_ = kNoPort;
+  std::uint64_t count_ = 0;
+  std::set<Port> pending_children_;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> CensusAlgorithm::make_behavior(
+    const NodeInput& /*input*/) const {
+  return std::make_unique<CensusBehavior>();
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,35 @@
+// Census with termination detection — an extension task in the paper's
+// framework (its conclusion conjectures oracles measure difficulty for a
+// broader range of problems than information dissemination).
+//
+// Task: the source must learn the exact number of nodes in the network and
+// *know when it is done* (local termination), all other nodes staying
+// silent until informed (a wakeup-style constraint).
+//
+// Using the very same Theorem 2.1 oracle (spanning-tree child ports,
+// Theta(n log n) bits), the classic echo pattern solves it with exactly
+// 2(n-1) messages: the source message floods down the tree; counts
+// accumulate back up (each node reports 1 + sum of its children's reports
+// through its parent port — the port M arrived on). The source's final sum
+// is n. So, measured in oracle size, census + termination detection is no
+// harder than plain wakeup — the advice is literally identical; only the
+// scheme differs. (The count rides in message payloads of #2(n) bits, so
+// messages are log-bounded rather than constant-size.)
+#pragma once
+
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+/// Pair with TreeWakeupOracle. After the run, the source behavior reports
+/// terminated() == true and output() == number of nodes; every non-source
+/// node reports output() == size of its own subtree.
+class CensusAlgorithm final : public Algorithm {
+ public:
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override { return "census-echo"; }
+  bool is_wakeup() const override { return true; }
+};
+
+}  // namespace oraclesize

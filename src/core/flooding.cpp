@@ -1,0 +1,41 @@
+#include "core/flooding.h"
+
+namespace oraclesize {
+
+namespace {
+
+class FloodingBehavior final : public NodeBehavior {
+ public:
+  std::vector<Send> on_start(const NodeInput& input) override {
+    if (!input.is_source) return {};
+    return relay_all(input, kNoPort);
+  }
+
+  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
+                               Port from_port) override {
+    if (msg.kind != MsgKind::kSource || done_) return {};
+    return relay_all(input, from_port);
+  }
+
+ private:
+  std::vector<Send> relay_all(const NodeInput& input, Port except) {
+    done_ = true;
+    std::vector<Send> sends;
+    sends.reserve(input.degree);
+    for (Port p = 0; p < input.degree; ++p) {
+      if (p != except) sends.push_back(Send{Message::source(), p});
+    }
+    return sends;
+  }
+
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> FloodingAlgorithm::make_behavior(
+    const NodeInput& /*input*/) const {
+  return std::make_unique<FloodingBehavior>();
+}
+
+}  // namespace oraclesize

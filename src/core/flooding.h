@@ -1,0 +1,23 @@
+// Flooding — the zero-knowledge baseline.
+//
+// With no oracle at all (NullOracle), the source sends M on every port and
+// each node relays M on all other ports the first time it arrives. This
+// completes both broadcast and wakeup (nodes transmit only after being
+// informed, so the wakeup constraint holds) but pays Theta(m) messages —
+// quadratic on the dense lower-bound families. It anchors the "0 bits of
+// advice" row of every comparison table.
+#pragma once
+
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+class FloodingAlgorithm final : public Algorithm {
+ public:
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override { return "flooding"; }
+  bool is_wakeup() const override { return true; }
+};
+
+}  // namespace oraclesize

@@ -1,0 +1,102 @@
+#include "core/gossip.h"
+
+#include <algorithm>
+#include <set>
+
+#include "bitio/codecs.h"
+
+namespace oraclesize {
+
+namespace {
+
+class GossipBehavior final : public NodeBehavior {
+ public:
+  std::vector<Send> on_start(const NodeInput& input) override {
+    if (!input.is_source) return {};
+    return begin_subtree(input, kNoPort);
+  }
+
+  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
+                               Port from_port) override {
+    switch (msg.kind) {
+      case MsgKind::kSource:
+        if (started_) return {};
+        return begin_subtree(input, from_port);
+      case MsgKind::kControl: {  // a child's rumor bundle (phase 2)
+        if (!pending_children_.erase(from_port)) return {};
+        rumors_.insert(rumors_.end(), msg.items.begin(), msg.items.end());
+        return maybe_advance();
+      }
+      case MsgKind::kHello: {  // the full rumor set (phase 3)
+        if (done_) return {};
+        rumors_ = msg.items;
+        return finish();
+      }
+    }
+    return {};
+  }
+
+  bool terminated() const override { return done_; }
+  std::uint64_t output() const override {
+    if (!done_) return 0;
+    std::uint64_t sum = 0;
+    for (std::uint64_t r : rumors_) sum += r;
+    return sum;
+  }
+
+ private:
+  std::vector<Send> begin_subtree(const NodeInput& input, Port parent) {
+    started_ = true;
+    parent_port_ = parent;
+    rumors_.push_back(input.id);  // this node's rumor
+    std::vector<Send> sends;
+    for (std::uint64_t p : decode_port_list(input.advice)) {
+      const Port port = static_cast<Port>(p);
+      pending_children_.insert(port);
+      child_ports_.push_back(port);
+      sends.push_back(Send{Message::source(), port});
+    }
+    auto next = maybe_advance();
+    sends.insert(sends.end(), next.begin(), next.end());
+    return sends;
+  }
+
+  // Phase 2 step: once all children reported, pass the subtree bundle up —
+  // or, at the root, start phase 3.
+  std::vector<Send> maybe_advance() {
+    if (!pending_children_.empty() || done_ || reported_) return {};
+    if (parent_port_ != kNoPort) {
+      reported_ = true;
+      return {Send{Message::bundle(MsgKind::kControl, rumors_), parent_port_}};
+    }
+    return finish();  // the root has everything
+  }
+
+  // Phase 3: distribute the complete set to the subtree and terminate.
+  std::vector<Send> finish() {
+    done_ = true;
+    std::sort(rumors_.begin(), rumors_.end());
+    std::vector<Send> sends;
+    for (Port p : child_ports_) {
+      sends.push_back(Send{Message::bundle(MsgKind::kHello, rumors_), p});
+    }
+    return sends;
+  }
+
+  bool started_ = false;
+  bool reported_ = false;
+  bool done_ = false;
+  Port parent_port_ = kNoPort;
+  std::vector<std::uint64_t> rumors_;
+  std::vector<Port> child_ports_;
+  std::set<Port> pending_children_;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> GossipTreeAlgorithm::make_behavior(
+    const NodeInput& /*input*/) const {
+  return std::make_unique<GossipBehavior>();
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,42 @@
+// Gossip — the third communication task the paper names ("information
+// exchange among nodes", Section 1.2), solved in its oracle model.
+//
+// Task: every node v starts with a rumor (its label; anonymous networks
+// would carry application payloads instead) and every node must end up
+// knowing the full rumor multiset.
+//
+// With the same Theorem 2.1 oracle (spanning-tree child ports,
+// Theta(n log n) bits) the classic three-phase tree pattern solves gossip
+// in exactly 3(n-1) messages:
+//   1. the source message floods down the tree (n-1 constant-size msgs);
+//   2. rumor bundles converge back up, each node forwarding its subtree's
+//      rumors through its parent port once all children reported (n-1
+//      msgs, sizes growing towards the root);
+//   3. the root broadcasts the complete rumor set back down (n-1 msgs of
+//      Theta(n log n) bits each).
+// Unlike broadcast/wakeup, messages here are NOT constant-size — total
+// traffic is Theta(n^2 log n) bits on a path — which is inherent to
+// gossip's output size, not to the oracle model.
+//
+// Non-source nodes stay silent until phase 1 reaches them, so gossip runs
+// under the wakeup constraint; like the other tree schemes it never reads
+// id(v) beyond using its own label as the rumor.
+#pragma once
+
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+/// Pair with TreeWakeupOracle. After the run every behavior reports
+/// terminated() == true and output() == sum of all rumors (a checkable
+/// fingerprint of "learned everything"); the rumor a node contributes is
+/// its id(v) (anonymous runs would need application-supplied rumors).
+class GossipTreeAlgorithm final : public Algorithm {
+ public:
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override { return "gossip-tree"; }
+  bool is_wakeup() const override { return true; }
+};
+
+}  // namespace oraclesize

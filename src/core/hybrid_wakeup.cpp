@@ -1,0 +1,54 @@
+#include "core/hybrid_wakeup.h"
+
+#include "bitio/codecs.h"
+
+namespace oraclesize {
+
+namespace {
+
+class HybridBehavior final : public NodeBehavior {
+ public:
+  std::vector<Send> on_start(const NodeInput& input) override {
+    if (!input.is_source) return {};
+    return relay(input, kNoPort);
+  }
+
+  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
+                               Port from_port) override {
+    if (msg.kind != MsgKind::kSource || done_) return {};
+    return relay(input, from_port);
+  }
+
+ private:
+  std::vector<Send> relay(const NodeInput& input, Port arrived_on) {
+    done_ = true;
+    std::vector<Send> sends;
+    if (!input.advice.empty()) {
+      // Advised: strip the flag bit, relay along tree child ports only.
+      BitString ports_only;
+      for (std::size_t i = 1; i < input.advice.size(); ++i) {
+        ports_only.append_bit(input.advice.bit(i));
+      }
+      for (std::uint64_t p : decode_port_list(ports_only)) {
+        sends.push_back(Send{Message::source(), static_cast<Port>(p)});
+      }
+    } else {
+      // Unadvised: flood.
+      for (Port p = 0; p < input.degree; ++p) {
+        if (p != arrived_on) sends.push_back(Send{Message::source(), p});
+      }
+    }
+    return sends;
+  }
+
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> HybridWakeupAlgorithm::make_behavior(
+    const NodeInput& /*input*/) const {
+  return std::make_unique<HybridBehavior>();
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,25 @@
+// Hybrid wakeup: tree relay where advice exists, flooding where it does not.
+//
+// Pairs with PartialTreeOracle. A node whose advice string starts with the
+// "advised" flag relays the source message on its tree child ports; an
+// unadvised node relays on all ports except the arrival port (classic
+// flooding). Correct for ANY advised subset: every node's tree parent is
+// eventually informed, and whether advised (tree edge to the child) or not
+// (flood covers all neighbors), the child hears from it. Messages
+// interpolate between n-1 (everyone advised) and 2m-(n-1) (nobody advised),
+// tracing the upper-bound side of the oracle-size/message tradeoff.
+#pragma once
+
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+class HybridWakeupAlgorithm final : public Algorithm {
+ public:
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override { return "hybrid-wakeup"; }
+  bool is_wakeup() const override { return true; }
+};
+
+}  // namespace oraclesize

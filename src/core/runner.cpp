@@ -1,0 +1,29 @@
+#include "core/runner.h"
+
+#include <sstream>
+
+namespace oraclesize {
+
+std::string TaskReport::summary() const {
+  std::ostringstream os;
+  os << algorithm_name << " + " << oracle_name << ": "
+     << (ok() ? "ok" : "FAILED") << ", oracle=" << oracle_bits << " bits, "
+     << run.metrics.summary();
+  if (!run.violation.empty()) os << ", violation: " << run.violation;
+  return os.str();
+}
+
+TaskReport run_task(const PortGraph& g, NodeId source, const Oracle& oracle,
+                    const Algorithm& algorithm, RunOptions options) {
+  TaskReport report;
+  report.oracle_name = oracle.name();
+  report.algorithm_name = algorithm.name();
+  const std::vector<BitString> advice = oracle.advise(g, source);
+  report.oracle_bits = oracle_size_bits(advice);
+  report.max_advice_bits = max_advice_bits(advice);
+  if (algorithm.is_wakeup()) options.enforce_wakeup = true;
+  report.run = run_execution(g, source, advice, algorithm, options);
+  return report;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,33 @@
+// End-to-end convenience: oracle -> advice -> execution -> report.
+//
+// This is the public entry point most users want: pick a network, a source,
+// an oracle, and an algorithm; get back the oracle size, the message counts,
+// and whether the task completed. See examples/quickstart.cpp.
+#pragma once
+
+#include <string>
+
+#include "oracle/oracle.h"
+#include "sim/engine.h"
+
+namespace oraclesize {
+
+struct TaskReport {
+  std::string oracle_name;
+  std::string algorithm_name;
+  std::uint64_t oracle_bits = 0;   ///< the paper's oracle size on this G
+  std::uint64_t max_advice_bits = 0;
+  RunResult run;
+
+  bool ok() const { return run.all_informed && run.violation.empty(); }
+  std::string summary() const;
+};
+
+/// Runs `algorithm` using `oracle` on network g from `source`.
+/// When the algorithm reports is_wakeup(), the wakeup constraint is
+/// enforced automatically (a violation fails the report).
+TaskReport run_task(const PortGraph& g, NodeId source, const Oracle& oracle,
+                    const Algorithm& algorithm,
+                    RunOptions options = RunOptions{});
+
+}  // namespace oraclesize

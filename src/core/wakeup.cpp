@@ -1,0 +1,42 @@
+#include "core/wakeup.h"
+
+#include "bitio/codecs.h"
+
+namespace oraclesize {
+
+namespace {
+
+class WakeupTreeBehavior final : public NodeBehavior {
+ public:
+  std::vector<Send> on_start(const NodeInput& input) override {
+    if (!input.is_source) return {};  // the wakeup constraint
+    return forward(input);
+  }
+
+  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
+                               Port /*from_port*/) override {
+    if (msg.kind != MsgKind::kSource || done_) return {};
+    return forward(input);
+  }
+
+ private:
+  std::vector<Send> forward(const NodeInput& input) {
+    done_ = true;
+    std::vector<Send> sends;
+    for (std::uint64_t p : decode_port_list(input.advice)) {
+      sends.push_back(Send{Message::source(), static_cast<Port>(p)});
+    }
+    return sends;
+  }
+
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> WakeupTreeAlgorithm::make_behavior(
+    const NodeInput& /*input*/) const {
+  return std::make_unique<WakeupTreeBehavior>();
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,23 @@
+// The Theorem 2.1 wakeup algorithm.
+//
+// Paired with TreeWakeupOracle: each node's advice decodes to the ports
+// leading to its children in a source-rooted spanning tree. The scheme is a
+// pure tree-cast — the source sends M on all its child ports; every other
+// node stays silent until M arrives, then forwards M on its own child ports
+// once. Exactly n-1 messages, valid under total asynchrony, never reads
+// id(v) (anonymous-safe), only ever sends the constant-size message M.
+#pragma once
+
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+class WakeupTreeAlgorithm final : public Algorithm {
+ public:
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override { return "wakeup-tree"; }
+  bool is_wakeup() const override { return true; }
+};
+
+}  // namespace oraclesize

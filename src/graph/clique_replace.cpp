@@ -1,0 +1,104 @@
+#include "graph/clique_replace.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "graph/complete_star.h"
+#include "graph/subdivision.h"
+
+namespace oraclesize {
+
+Port clique_port(std::size_t k, int a, int b) {
+  if (a < 1 || b < 1 || a > static_cast<int>(k) || b > static_cast<int>(k) ||
+      a == b) {
+    throw std::invalid_argument("clique_port: bad local indices");
+  }
+  const std::size_t diff =
+      (static_cast<std::size_t>(b) + k - static_cast<std::size_t>(a)) % k;
+  return static_cast<Port>(diff - 1);
+}
+
+CliqueReplacedGraph make_gnsc(std::size_t n, std::size_t k,
+                              const std::vector<Edge>& s,
+                              const std::vector<std::pair<int, int>>& c) {
+  if (k < 2) throw std::invalid_argument("make_gnsc: k >= 2 required");
+  if (n == 0 || n % (4 * k) != 0) {
+    throw std::invalid_argument("make_gnsc: 4k must divide n");
+  }
+  const std::size_t q = n / k;  // number of cliques
+  if (s.size() != q || c.size() != q) {
+    throw std::invalid_argument("make_gnsc: |S| and |C| must equal n/k");
+  }
+
+  CliqueReplacedGraph out;
+  out.n = n;
+  out.k = k;
+  out.s = s;
+  out.c = c;
+  out.graph = PortGraph(2 * n);
+
+  // Replaced edges of K*_n, with validation.
+  std::set<std::pair<NodeId, NodeId>> replaced;
+  for (const Edge& e : s) {
+    if (e.u >= e.v || e.v >= n ||
+        e.port_u != complete_star_port(n, e.u, e.v) ||
+        e.port_v != complete_star_port(n, e.v, e.u)) {
+      throw std::invalid_argument("make_gnsc: S edge not an edge of K*_n");
+    }
+    if (!replaced.insert({e.u, e.v}).second) {
+      throw std::invalid_argument("make_gnsc: duplicate edge in S");
+    }
+  }
+
+  // K*_n edges that survive.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (replaced.count({i, j})) continue;
+      out.graph.add_edge(i, complete_star_port(n, i, j), j,
+                         complete_star_port(n, j, i));
+    }
+  }
+
+  // Cliques H_i with the edge f_i = {a_i, b_i} removed, then the two
+  // attachment edges {a_i, u_i} and {b_i, v_i} with inherited ports.
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto [ai, bi] = c[i];
+    if (ai < 1 || bi <= ai || bi > static_cast<int>(k)) {
+      throw std::invalid_argument("make_gnsc: bad (a_i, b_i) in C");
+    }
+    for (int a = 1; a <= static_cast<int>(k); ++a) {
+      for (int b = a + 1; b <= static_cast<int>(k); ++b) {
+        if (a == ai && b == bi) continue;  // f_i removed
+        out.graph.add_edge(out.clique_node(i, a), clique_port(k, a, b),
+                           out.clique_node(i, b), clique_port(k, b, a));
+      }
+    }
+    const Edge& e = s[i];  // e.u = u_i (smaller label), e.v = v_i
+    out.graph.add_edge(e.u, e.port_u, out.clique_node(i, ai),
+                       clique_port(k, ai, bi));
+    out.graph.add_edge(e.v, e.port_v, out.clique_node(i, bi),
+                       clique_port(k, bi, ai));
+  }
+  return out;
+}
+
+CliqueReplacedGraph make_random_gnsc(std::size_t n, std::size_t k, Rng& rng) {
+  if (k < 2) throw std::invalid_argument("make_random_gnsc: k >= 2 required");
+  if (n == 0 || n % (4 * k) != 0) {
+    throw std::invalid_argument("make_random_gnsc: 4k must divide n");
+  }
+  const std::size_t q = n / k;
+  std::vector<Edge> s = random_complete_star_edges(n, q, rng);
+  std::vector<std::pair<int, int>> c;
+  c.reserve(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    int a = 1 + static_cast<int>(rng.below(k));
+    int b = 1 + static_cast<int>(rng.below(k - 1));
+    if (b >= a) ++b;
+    if (a > b) std::swap(a, b);
+    c.emplace_back(a, b);
+  }
+  return make_gnsc(n, k, s, c);
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,53 @@
+// Clique-replacement construction G_{n,S,C} (proof of Theorem 3.2).
+//
+// For k with 4k | n and an (n/k)-tuple S = (e_1, ..., e_{n/k}) of distinct
+// edges of K*_n, each e_i = {u_i, v_i} (label(u_i) < label(v_i)) is replaced
+// by a k-clique H_i from which one edge f_i = {a_i, b_i} (local indices,
+// a_i < b_i, drawn from the tuple C) is removed; a_i is attached to u_i and
+// b_i to v_i, inheriting the port numbers of e_i on the K*_n side and of f_i
+// on the clique side. The resulting graph has 2n nodes, every clique node
+// has degree k-1, and the cliques are indistinguishable from the outside —
+// which is what lets the adversary hide the "exit" edge and force a
+// broadcast algorithm with an o(n)-bit oracle to pay a superlinear number of
+// messages.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/port_graph.h"
+#include "util/rng.h"
+
+namespace oraclesize {
+
+/// A clique-replaced graph plus the parameters that generated it.
+struct CliqueReplacedGraph {
+  PortGraph graph;                           ///< 2n nodes
+  std::size_t n = 0;                         ///< base K*_n size
+  std::size_t k = 0;                         ///< clique size
+  std::vector<Edge> s;                       ///< the replaced edges e_i
+  std::vector<std::pair<int, int>> c;        ///< (a_i, b_i), 1-based locals
+
+  std::size_t num_cliques() const noexcept { return n / k; }
+  /// Node id of the local index a (1..k) of clique i (0-based).
+  NodeId clique_node(std::size_t i, int a) const {
+    return static_cast<NodeId>(n + i * k + static_cast<std::size_t>(a) - 1);
+  }
+};
+
+/// Internal port labeling of a k-clique: the port at local node a of the
+/// edge towards local node b is ((b - a) mod k) - 1, a bijection onto
+/// 0..k-2 (same circulant fix as K*_n; DESIGN.md deviation #1).
+Port clique_port(std::size_t k, int a, int b);
+
+/// Builds G_{n,S,C}. Requirements (all checked): k >= 2, 4k divides n,
+/// |S| == n/k distinct normalized edges of K*_n, |C| == n/k with
+/// 1 <= a_i < b_i <= k. The source is node id 0 (label 1).
+CliqueReplacedGraph make_gnsc(std::size_t n, std::size_t k,
+                              const std::vector<Edge>& s,
+                              const std::vector<std::pair<int, int>>& c);
+
+/// Random member of the family G_{n,k}: S and C drawn uniformly.
+CliqueReplacedGraph make_random_gnsc(std::size_t n, std::size_t k, Rng& rng);
+
+}  // namespace oraclesize

@@ -1,0 +1,35 @@
+#include "graph/complete_star.h"
+
+#include <stdexcept>
+
+namespace oraclesize {
+
+Port complete_star_port(std::size_t n, NodeId i, NodeId j) {
+  if (i >= n || j >= n || i == j) {
+    throw std::invalid_argument("complete_star_port: bad endpoints");
+  }
+  const std::size_t diff = (static_cast<std::size_t>(j) + n -
+                            static_cast<std::size_t>(i)) % n;  // in 1..n-1
+  return static_cast<Port>(diff - 1);
+}
+
+NodeId complete_star_neighbor(std::size_t n, NodeId i, Port p) {
+  if (i >= n || p + 1 >= n) {
+    throw std::invalid_argument("complete_star_neighbor: bad arguments");
+  }
+  return static_cast<NodeId>((static_cast<std::size_t>(i) + p + 1) % n);
+}
+
+PortGraph make_complete_star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("make_complete_star: n >= 2");
+  PortGraph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      g.add_edge(i, complete_star_port(n, i, j), j,
+                 complete_star_port(n, j, i));
+    }
+  }
+  return g;
+}
+
+}  // namespace oraclesize

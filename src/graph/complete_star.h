@@ -1,0 +1,31 @@
+// The canonically port-labeled complete graph K*_n (Section 2 of the paper).
+//
+// The lower-bound constructions of Theorems 2.2 and 3.2 hide nodes inside
+// edges of a complete graph with a *fixed, structure-oblivious* port
+// labeling, so that port numbers reveal nothing about where the hidden nodes
+// are. The paper labels the port at node i of edge {i,j} as
+// (i-j) mod (n-1); for labels 1..n that map is not injective (at node i the
+// neighbors 1 and n collide whenever i is neither). We use the standard
+// circulant labeling
+//
+//     port_i({i,j}) = ((j - i) mod n) - 1  in  {0, ..., n-2},
+//
+// which is a bijection from the n-1 neighbors of i onto its ports and plays
+// exactly the same role in all proofs (DESIGN.md deviation #1).
+#pragma once
+
+#include "graph/port_graph.h"
+
+namespace oraclesize {
+
+/// Builds K*_n with labels 1..n and circulant ports. Requires n >= 2.
+PortGraph make_complete_star(std::size_t n);
+
+/// The circulant port number at node id `i` (0-based) of the edge towards
+/// node id `j` (0-based) in K*_n. Requires i != j, both < n.
+Port complete_star_port(std::size_t n, NodeId i, NodeId j);
+
+/// Inverse map: which node id does port p of node id i lead to in K*_n.
+NodeId complete_star_neighbor(std::size_t n, NodeId i, Port p);
+
+}  // namespace oraclesize

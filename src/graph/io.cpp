@@ -1,0 +1,93 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oraclesize {
+
+void write_port_graph(std::ostream& os, const PortGraph& g) {
+  os << "portgraph " << g.num_nodes() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.label(v) != static_cast<Label>(v) + 1) {
+      os << "label " << v << " " << g.label(v) << "\n";
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << "edge " << e.u << " " << e.port_u << " " << e.v << " " << e.port_v
+       << "\n";
+  }
+}
+
+std::string to_text(const PortGraph& g) {
+  std::ostringstream os;
+  write_port_graph(os, g);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "read_port_graph: line " << line << ": " << what;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+PortGraph read_port_graph(std::istream& is) {
+  PortGraph g;
+  bool seen_header = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank or comment-only line
+
+    if (keyword == "portgraph") {
+      if (seen_header) fail(lineno, "duplicate header");
+      std::size_t n = 0;
+      if (!(ls >> n)) fail(lineno, "bad node count");
+      g = PortGraph(n);
+      seen_header = true;
+    } else if (keyword == "label") {
+      if (!seen_header) fail(lineno, "label before header");
+      NodeId v = 0;
+      Label label = 0;
+      if (!(ls >> v >> label) || v >= g.num_nodes()) {
+        fail(lineno, "bad label line");
+      }
+      g.set_label(v, label);
+    } else if (keyword == "edge") {
+      if (!seen_header) fail(lineno, "edge before header");
+      NodeId u = 0, v = 0;
+      Port pu = 0, pv = 0;
+      if (!(ls >> u >> pu >> v >> pv)) fail(lineno, "bad edge line");
+      try {
+        g.add_edge(u, pu, v, pv);
+      } catch (const std::exception& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      fail(lineno, "unknown keyword '" + keyword + "'");
+    }
+    std::string extra;
+    if (ls >> extra) fail(lineno, "trailing tokens");
+  }
+  if (!seen_header) {
+    throw std::invalid_argument("read_port_graph: missing header");
+  }
+  return g;
+}
+
+PortGraph from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_port_graph(is);
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,29 @@
+// Plain-text serialization of port-labeled graphs.
+//
+// Format (line oriented, '#' comments allowed):
+//
+//   portgraph <num_nodes>
+//   label <node> <label>            # optional; defaults to node+1
+//   edge <u> <port_u> <v> <port_v>
+//
+// Round-trips every PortGraph exactly (structure, ports, labels). Used by
+// the CLI to pipe networks between tools and by users to persist workloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/port_graph.h"
+
+namespace oraclesize {
+
+/// Writes g in the text format above.
+void write_port_graph(std::ostream& os, const PortGraph& g);
+std::string to_text(const PortGraph& g);
+
+/// Parses the text format. Throws std::invalid_argument with a line number
+/// on any malformed input.
+PortGraph read_port_graph(std::istream& is);
+PortGraph from_text(const std::string& text);
+
+}  // namespace oraclesize

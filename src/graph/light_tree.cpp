@@ -1,0 +1,117 @@
+#include "graph/light_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+namespace {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1), count_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --count_;
+    return true;
+  }
+  std::size_t size_of(std::size_t x) { return size_[find(x)]; }
+  std::size_t num_components() const noexcept { return count_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t count_;
+};
+
+}  // namespace
+
+LightTreeResult light_tree(const PortGraph& g, NodeId root) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("light_tree: empty graph");
+  const std::vector<Edge> all_edges = g.edges();
+
+  Dsu dsu(n);
+  std::vector<Edge> forest;
+  forest.reserve(n - 1);
+  LightTreeResult result;
+
+  // Phases k = 1, 2, ...: every tree of size < 2^k selects a minimum-weight
+  // outgoing edge; selected edges are merged in, cycle-closing ones erased.
+  // Components only grow, so after at most ceil(log2 n) + 1 phases every
+  // tree is "small or alone" and the forest is a single spanning tree.
+  for (int k = 1; dsu.num_components() > 1; ++k) {
+    if (k > 64) throw std::logic_error("light_tree: disconnected graph?");
+    LightTreePhase phase;
+    phase.phase = k;
+    phase.trees_before = dsu.num_components();
+    const std::size_t small_limit = (k < 63) ? (std::size_t{1} << k) : n + 1;
+
+    // best[rep] = index into all_edges of the lightest edge leaving the
+    // small tree represented by rep.
+    std::unordered_map<std::size_t, std::size_t> best;
+    for (std::size_t idx = 0; idx < all_edges.size(); ++idx) {
+      const Edge& e = all_edges[idx];
+      const std::size_t ru = dsu.find(e.u);
+      const std::size_t rv = dsu.find(e.v);
+      if (ru == rv) continue;
+      for (const std::size_t r : {ru, rv}) {
+        if (dsu.size_of(r) >= small_limit) continue;
+        auto [it, inserted] = best.emplace(r, idx);
+        if (!inserted && e.weight() < all_edges[it->second].weight()) {
+          it->second = idx;
+        }
+      }
+    }
+    phase.small_trees = best.size();
+
+    // Two trees may select the same edge; add it once (no cycle arises).
+    std::vector<std::size_t> picks;
+    picks.reserve(best.size());
+    for (const auto& [rep, idx] : best) picks.push_back(idx);
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+
+    for (const std::size_t idx : picks) {
+      const Edge& e = all_edges[idx];
+      if (dsu.unite(e.u, e.v)) {
+        forest.push_back(e);
+        ++phase.edges_added;
+        phase.contribution += static_cast<std::uint64_t>(num_bits(e.weight()));
+      } else {
+        ++phase.edges_erased;  // closed a cycle among this phase's picks
+      }
+    }
+    if (phase.small_trees > 0) result.phases.push_back(phase);
+    if (phase.trees_before > 1 && phase.edges_added == 0 &&
+        phase.small_trees > 0) {
+      throw std::logic_error("light_tree: stuck (graph disconnected)");
+    }
+  }
+
+  for (const LightTreePhase& p : result.phases) {
+    result.contribution += p.contribution;
+  }
+  result.tree = SpanningTree::from_edges(g, root, forest);
+  return result;
+}
+
+}  // namespace oraclesize

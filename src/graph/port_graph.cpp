@@ -1,0 +1,102 @@
+#include "graph/port_graph.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace oraclesize {
+
+PortGraph::PortGraph(std::size_t num_nodes)
+    : adj_(num_nodes), labels_(num_nodes) {
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    labels_[v] = static_cast<Label>(v) + 1;  // paper-style labels 1..n
+  }
+}
+
+void PortGraph::add_edge(NodeId u, Port pu, NodeId v, Port pv) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    throw std::invalid_argument("add_edge: node out of range");
+  }
+  if (u == v) throw std::invalid_argument("add_edge: self-loop");
+  auto reserve = [](std::vector<Endpoint>& slots, Port p) {
+    if (slots.size() <= p) slots.resize(p + 1);
+    if (slots[p].node != kNoNode) {
+      throw std::invalid_argument("add_edge: port already occupied");
+    }
+  };
+  reserve(adj_[u], pu);
+  reserve(adj_[v], pv);
+  adj_[u][pu] = Endpoint{v, pv};
+  adj_[v][pv] = Endpoint{u, pu};
+  ++num_edges_;
+}
+
+std::pair<Port, Port> PortGraph::add_edge_auto(NodeId u, NodeId v) {
+  const Port pu = static_cast<Port>(adj_.at(u).size());
+  const Port pv = static_cast<Port>(adj_.at(v).size());
+  add_edge(u, pu, v, pv);
+  return {pu, pv};
+}
+
+std::size_t PortGraph::degree(NodeId v) const { return adj_.at(v).size(); }
+
+Endpoint PortGraph::neighbor(NodeId v, Port p) const {
+  const auto& slots = adj_.at(v);
+  if (p >= slots.size() || slots[p].node == kNoNode) {
+    throw std::out_of_range("neighbor: vacant port");
+  }
+  return slots[p];
+}
+
+bool PortGraph::has_port(NodeId v, Port p) const noexcept {
+  if (v >= num_nodes()) return false;
+  const auto& slots = adj_[v];
+  return p < slots.size() && slots[p].node != kNoNode;
+}
+
+Port PortGraph::port_towards(NodeId u, NodeId v) const {
+  const auto& slots = adj_.at(u);
+  for (Port p = 0; p < slots.size(); ++p) {
+    if (slots[p].node == v) return p;
+  }
+  return kNoPort;
+}
+
+Label PortGraph::label(NodeId v) const { return labels_.at(v); }
+
+void PortGraph::set_label(NodeId v, Label label) { labels_.at(v) = label; }
+
+std::vector<Edge> PortGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (Port p = 0; p < adj_[u].size(); ++p) {
+      const Endpoint e = adj_[u][p];
+      if (e.node != kNoNode && u < e.node) {
+        out.push_back(Edge{u, p, e.node, e.port});
+      }
+    }
+  }
+  return out;
+}
+
+std::string PortGraph::to_dot() const {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"" << labels_[v] << "\"];\n";
+  }
+  for (const Edge& e : edges()) {
+    os << "  n" << e.u << " -- n" << e.v << " [taillabel=\"" << e.port_u
+       << "\", headlabel=\"" << e.port_v << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string PortGraph::summary() const {
+  std::ostringstream os;
+  os << "PortGraph(n=" << num_nodes() << ", m=" << num_edges() << ")";
+  return os.str();
+}
+
+}  // namespace oraclesize

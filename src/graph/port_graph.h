@@ -1,0 +1,106 @@
+// Port-labeled network model.
+//
+// The paper models a network as a connected undirected graph whose nodes
+// carry distinct labels and whose edge endpoints carry *port numbers*: at a
+// node v of degree deg(v) the incident edges are numbered 0..deg(v)-1, and a
+// node addresses its neighbors only through these local port numbers (it
+// does not a priori know who is at the other end). All algorithms, oracles,
+// and lower-bound constructions in this library speak exclusively in terms
+// of (node, port).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace oraclesize {
+
+using NodeId = std::uint32_t;
+using Port = std::uint32_t;
+using Label = std::uint64_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr Port kNoPort = std::numeric_limits<Port>::max();
+
+/// The far side of a port: which node it reaches and on which of *its* ports.
+struct Endpoint {
+  NodeId node = kNoNode;
+  Port port = kNoPort;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// An undirected edge with both port numbers, normalized so that u < v.
+struct Edge {
+  NodeId u = kNoNode;
+  Port port_u = kNoPort;
+  NodeId v = kNoNode;
+  Port port_v = kNoPort;
+
+  /// The paper's edge weight w(e) = min{port_u(e), port_v(e)} (Section 3).
+  Port weight() const noexcept { return port_u < port_v ? port_u : port_v; }
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// An undirected graph with per-endpoint port numbers and per-node labels.
+///
+/// Invariants (checked by validate_ports in graph/validate.h):
+///  * at every node the occupied ports are exactly 0..deg-1;
+///  * the port relation is symmetric: neighbor(u,p) == {v,q} iff
+///    neighbor(v,q) == {u,p};
+///  * labels are pairwise distinct.
+///
+/// Node ids are dense indices 0..num_nodes()-1; labels default to id+1 so
+/// that a freshly built n-node graph is labeled 1..n as in the paper.
+class PortGraph {
+ public:
+  PortGraph() = default;
+  explicit PortGraph(std::size_t num_nodes);
+
+  std::size_t num_nodes() const noexcept { return adj_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Adds an undirected edge between u (at port pu) and v (at port pv).
+  /// Port slots may be created out of order; validate_ports() later checks
+  /// there are no holes. Throws std::invalid_argument if a slot is occupied,
+  /// u == v, or an endpoint is out of range.
+  void add_edge(NodeId u, Port pu, NodeId v, Port pv);
+
+  /// Adds an undirected edge using the next free (densely increasing) port
+  /// at each endpoint; returns the two assigned ports.
+  std::pair<Port, Port> add_edge_auto(NodeId u, NodeId v);
+
+  std::size_t degree(NodeId v) const;
+
+  /// The endpoint reached through port p of node v.
+  /// Throws std::out_of_range for a vacant or out-of-range slot.
+  Endpoint neighbor(NodeId v, Port p) const;
+
+  /// True iff the port slot exists and is occupied.
+  bool has_port(NodeId v, Port p) const noexcept;
+
+  /// Finds the port at u leading to v, or kNoPort if not adjacent.
+  /// O(deg(u)).
+  Port port_towards(NodeId u, NodeId v) const;
+
+  Label label(NodeId v) const;
+  void set_label(NodeId v, Label label);
+
+  /// All edges, normalized (u < v), in ascending (u, port_u) order.
+  std::vector<Edge> edges() const;
+
+  /// Graphviz rendering with labels and port annotations (debugging aid).
+  std::string to_dot() const;
+
+  /// One-line summary: "PortGraph(n=8, m=12)".
+  std::string summary() const;
+
+ private:
+  std::vector<std::vector<Endpoint>> adj_;  // adj_[v][port]
+  std::vector<Label> labels_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace oraclesize

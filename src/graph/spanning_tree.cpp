@@ -1,0 +1,215 @@
+#include "graph/spanning_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+namespace {
+
+/// Plain union-find with union by size and path halving.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+SpanningTree SpanningTree::from_parents(const PortGraph& g, NodeId root,
+                                        const std::vector<NodeId>& parent) {
+  const std::size_t n = g.num_nodes();
+  if (parent.size() != n || root >= n || parent[root] != kNoNode) {
+    throw std::invalid_argument("SpanningTree: malformed parent array");
+  }
+  SpanningTree t;
+  t.root_ = root;
+  t.parent_ = parent;
+  t.up_port_.assign(n, kNoPort);
+  t.child_ports_.assign(n, {});
+  t.depth_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const NodeId p = parent[v];
+    if (p == kNoNode || p >= n) {
+      throw std::invalid_argument("SpanningTree: node without valid parent");
+    }
+    const Port up = g.port_towards(v, p);
+    if (up == kNoPort) {
+      throw std::invalid_argument("SpanningTree: parent edge not in graph");
+    }
+    t.up_port_[v] = up;
+    t.child_ports_[p].push_back(g.neighbor(v, up).port);
+  }
+  // Depths; doubles as an acyclicity/spanning check.
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root) children[parent[v]].push_back(v);
+  }
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> queue{root};
+  seen[root] = true;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId u : children[v]) {
+      if (seen[u]) throw std::invalid_argument("SpanningTree: cycle");
+      seen[u] = true;
+      t.depth_[u] = t.depth_[v] + 1;
+      ++visited;
+      queue.push_back(u);
+    }
+  }
+  if (visited != n) {
+    throw std::invalid_argument("SpanningTree: parent array does not span");
+  }
+  return t;
+}
+
+SpanningTree SpanningTree::from_edges(const PortGraph& g, NodeId root,
+                                      const std::vector<Edge>& edges) {
+  const std::size_t n = g.num_nodes();
+  if (edges.size() + 1 != n) {
+    throw std::invalid_argument("SpanningTree::from_edges: wrong edge count");
+  }
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : edges) {
+    adj.at(e.u).push_back(e.v);
+    adj.at(e.v).push_back(e.u);
+  }
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> queue{root};
+  seen.at(root) = true;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId u : adj[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        parent[u] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  return from_parents(g, root, parent);
+}
+
+std::uint32_t SpanningTree::height() const {
+  std::uint32_t h = 0;
+  for (std::uint32_t d : depth_) h = std::max(h, d);
+  return h;
+}
+
+std::vector<Edge> SpanningTree::edges(const PortGraph& g) const {
+  std::vector<Edge> out;
+  out.reserve(num_nodes() == 0 ? 0 : num_nodes() - 1);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (is_root(v)) continue;
+    const Port up = up_port_[v];
+    const Endpoint pe = g.neighbor(v, up);
+    const NodeId p = pe.node;
+    if (v < p) {
+      out.push_back(Edge{v, up, p, pe.port});
+    } else {
+      out.push_back(Edge{p, pe.port, v, up});
+    }
+  }
+  return out;
+}
+
+SpanningTree bfs_tree(const PortGraph& g, NodeId root) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> queue{root};
+  seen.at(root) = true;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p).node;
+      if (!seen[u]) {
+        seen[u] = true;
+        parent[u] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  return SpanningTree::from_parents(g, root, parent);
+}
+
+SpanningTree dfs_tree(const PortGraph& g, NodeId root) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<bool> seen(n, false);
+  // Iterative DFS; stack of (node, next port to try).
+  std::vector<std::pair<NodeId, Port>> stack{{root, 0}};
+  seen.at(root) = true;
+  while (!stack.empty()) {
+    auto& [v, p] = stack.back();
+    if (p >= g.degree(v)) {
+      stack.pop_back();
+      continue;
+    }
+    const NodeId u = g.neighbor(v, p).node;
+    ++p;
+    if (!seen[u]) {
+      seen[u] = true;
+      parent[u] = v;
+      stack.emplace_back(u, 0);
+    }
+  }
+  return SpanningTree::from_parents(g, root, parent);
+}
+
+SpanningTree kruskal_mst(const PortGraph& g, NodeId root) {
+  std::vector<Edge> all = g.edges();
+  std::stable_sort(all.begin(), all.end(), [](const Edge& a, const Edge& b) {
+    return a.weight() < b.weight();
+  });
+  Dsu dsu(g.num_nodes());
+  std::vector<Edge> chosen;
+  chosen.reserve(g.num_nodes() - 1);
+  for (const Edge& e : all) {
+    if (dsu.unite(e.u, e.v)) chosen.push_back(e);
+  }
+  return SpanningTree::from_edges(g, root, chosen);
+}
+
+std::uint64_t tree_contribution(const PortGraph& g, const SpanningTree& t) {
+  std::uint64_t total = 0;
+  for (const Edge& e : t.edges(g)) {
+    total += static_cast<std::uint64_t>(num_bits(e.weight()));
+  }
+  return total;
+}
+
+}  // namespace oraclesize

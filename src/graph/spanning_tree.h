@@ -1,0 +1,77 @@
+// Rooted spanning trees over port-labeled graphs.
+//
+// Both oracle constructions in the paper hand out *ports of spanning-tree
+// edges*: Theorem 2.1 gives each node the ports towards its children in an
+// arbitrary spanning tree, Theorem 3.1 gives one endpoint of each edge of a
+// specially chosen light tree the weight (= smaller port number) of that
+// edge. This header provides the rooted-tree representation plus the classic
+// constructions (BFS, DFS, Kruskal MST under the paper's min-port weight);
+// the Claim 3.1 light tree lives in graph/light_tree.h.
+#pragma once
+
+#include <vector>
+
+#include "graph/port_graph.h"
+
+namespace oraclesize {
+
+/// A spanning tree of a PortGraph, rooted, with the port numbers of every
+/// tree edge recorded on both sides.
+class SpanningTree {
+ public:
+  /// Builds from a parent array (parent[root] == kNoNode). Ports are looked
+  /// up in g. Throws std::invalid_argument if the array is not a spanning
+  /// tree of g.
+  static SpanningTree from_parents(const PortGraph& g, NodeId root,
+                                   const std::vector<NodeId>& parent);
+
+  /// Builds from an (n-1)-element forest edge list that spans g.
+  /// Orientation (parent/child) is chosen by a BFS from root.
+  static SpanningTree from_edges(const PortGraph& g, NodeId root,
+                                 const std::vector<Edge>& edges);
+
+  NodeId root() const noexcept { return root_; }
+  std::size_t num_nodes() const noexcept { return parent_.size(); }
+
+  NodeId parent(NodeId v) const { return parent_.at(v); }
+  bool is_root(NodeId v) const { return parent_.at(v) == kNoNode; }
+
+  /// Port at v leading to its parent. Undefined (kNoPort) for the root.
+  Port port_to_parent(NodeId v) const { return up_port_.at(v); }
+
+  /// Ports at v leading to each of its children (construction order).
+  const std::vector<Port>& child_ports(NodeId v) const {
+    return child_ports_.at(v);
+  }
+  std::size_t num_children(NodeId v) const { return child_ports_.at(v).size(); }
+  bool is_leaf(NodeId v) const { return child_ports_.at(v).empty(); }
+
+  /// Depth of v (root has depth 0).
+  std::uint32_t depth(NodeId v) const { return depth_.at(v); }
+  std::uint32_t height() const;
+
+  /// The n-1 tree edges, with both port numbers, normalized u < v.
+  std::vector<Edge> edges(const PortGraph& g) const;
+
+ private:
+  NodeId root_ = kNoNode;
+  std::vector<NodeId> parent_;
+  std::vector<Port> up_port_;
+  std::vector<std::vector<Port>> child_ports_;
+  std::vector<std::uint32_t> depth_;
+};
+
+/// Breadth-first spanning tree (children discovered in port order).
+SpanningTree bfs_tree(const PortGraph& g, NodeId root);
+
+/// Depth-first spanning tree (children explored in port order).
+SpanningTree dfs_tree(const PortGraph& g, NodeId root);
+
+/// Minimum spanning tree under the paper's edge weight
+/// w(e) = min{port_u(e), port_v(e)} (Kruskal; ties broken by edge order).
+SpanningTree kruskal_mst(const PortGraph& g, NodeId root);
+
+/// Sum over tree edges of #2(w(e)) — the quantity Claim 3.1 bounds by 4n.
+std::uint64_t tree_contribution(const PortGraph& g, const SpanningTree& t);
+
+}  // namespace oraclesize

@@ -1,0 +1,41 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/validate.h"
+
+namespace oraclesize {
+
+std::uint32_t eccentricity(const PortGraph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) {
+      throw std::invalid_argument("eccentricity: graph is disconnected");
+    }
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+GraphStats compute_stats(const PortGraph& g) {
+  GraphStats s;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  if (s.nodes == 0) return s;
+  s.min_degree = g.degree(0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    s.min_degree = std::min(s.min_degree, g.degree(v));
+    s.max_degree = std::max(s.max_degree, g.degree(v));
+  }
+  s.avg_degree = 2.0 * static_cast<double>(s.edges) /
+                 static_cast<double>(s.nodes);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    s.diameter = std::max(s.diameter, eccentricity(g, v));
+  }
+  s.source_eccentricity = eccentricity(g, 0);
+  return s;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,33 @@
+// Structural statistics of networks — the quantities experiment tables
+// contextualize results with (diameter for time bounds, degree profile for
+// flooding costs).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/port_graph.h"
+
+namespace oraclesize {
+
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0;
+  /// Exact diameter (max eccentricity); 0 for a single node. Computed by
+  /// all-sources BFS: O(n * m), fine for the experiment scales.
+  std::uint32_t diameter = 0;
+  /// Eccentricity of node 0 (the conventional source in this repo).
+  std::uint32_t source_eccentricity = 0;
+};
+
+/// Computes the statistics above. Requires a connected graph (diameter is
+/// otherwise undefined); throws std::invalid_argument if disconnected.
+GraphStats compute_stats(const PortGraph& g);
+
+/// Eccentricity of one node (max BFS distance). Throws if some node is
+/// unreachable.
+std::uint32_t eccentricity(const PortGraph& g, NodeId v);
+
+}  // namespace oraclesize

@@ -1,0 +1,82 @@
+#include "graph/subdivision.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "graph/complete_star.h"
+
+namespace oraclesize {
+
+SubdividedGraph subdivide_edges(const PortGraph& base,
+                                const std::vector<Edge>& edges) {
+  const std::size_t n = base.num_nodes();
+  std::set<std::pair<NodeId, NodeId>> chosen;
+  for (const Edge& e : edges) {
+    if (e.u >= e.v) {
+      throw std::invalid_argument("subdivide_edges: edge not normalized");
+    }
+    if (!base.has_port(e.u, e.port_u) ||
+        base.neighbor(e.u, e.port_u) != Endpoint{e.v, e.port_v}) {
+      throw std::invalid_argument("subdivide_edges: edge not in base graph");
+    }
+    if (!chosen.insert({e.u, e.v}).second) {
+      throw std::invalid_argument("subdivide_edges: duplicate edge");
+    }
+  }
+
+  SubdividedGraph out;
+  out.subdivided = edges;
+  out.graph = PortGraph(n + edges.size());
+  for (NodeId v = 0; v < n; ++v) out.graph.set_label(v, base.label(v));
+
+  // Copy every non-subdivided edge verbatim.
+  for (const Edge& e : base.edges()) {
+    if (!chosen.count({e.u, e.v})) {
+      out.graph.add_edge(e.u, e.port_u, e.v, e.port_v);
+    }
+  }
+  // Insert the middle nodes. Labels follow the paper: w_i gets label n+i
+  // (1-based i); here ids are dense so w_i = n + i (0-based) with the
+  // default label n+i+1.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    const NodeId w = static_cast<NodeId>(n + i);
+    out.hidden.push_back(w);
+    // e.u has the smaller id, hence (with labels id+1) the smaller label:
+    // w's port 0 goes to e.u, port 1 to e.v, per the paper.
+    out.graph.add_edge(e.u, e.port_u, w, 0);
+    out.graph.add_edge(e.v, e.port_v, w, 1);
+  }
+  return out;
+}
+
+std::vector<Edge> random_complete_star_edges(std::size_t n, std::size_t count,
+                                             Rng& rng) {
+  const std::size_t total = n * (n - 1) / 2;
+  if (count > total) {
+    throw std::invalid_argument("random_complete_star_edges: count too big");
+  }
+  std::set<std::pair<NodeId, NodeId>> chosen;
+  std::vector<Edge> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const NodeId a = static_cast<NodeId>(rng.below(n));
+    NodeId b = static_cast<NodeId>(rng.below(n - 1));
+    if (b >= a) ++b;
+    const NodeId u = a < b ? a : b;
+    const NodeId v = a < b ? b : a;
+    if (!chosen.insert({u, v}).second) continue;
+    out.push_back(Edge{u, complete_star_port(n, u, v), v,
+                       complete_star_port(n, v, u)});
+  }
+  return out;
+}
+
+SubdividedGraph make_gns(std::size_t n, std::size_t num_subdivided,
+                         Rng& rng) {
+  const PortGraph base = make_complete_star(n);
+  return subdivide_edges(base,
+                         random_complete_star_edges(n, num_subdivided, rng));
+}
+
+}  // namespace oraclesize

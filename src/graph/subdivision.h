@@ -1,0 +1,43 @@
+// Edge-subdivision construction G_{n,S} (proof of Theorem 2.2).
+//
+// Given a base network and a tuple S = (e_1, ..., e_t) of distinct edges, a
+// new node w_i is inserted in the middle of each e_i = {u_i, v_i}: the port
+// numbers at u_i and v_i are unchanged, and w_i (of degree 2) uses port 0
+// towards its smaller-labeled endpoint and port 1 towards the other. The
+// inserted nodes receive labels n+1, ..., n+t in tuple order — for the
+// wakeup lower bound the *label* of the hidden node encodes the position of
+// its edge in S, which is exactly what makes the adversary's instance family
+// of size n! * (C(n,2) choose n) possible.
+#pragma once
+
+#include <vector>
+
+#include "graph/port_graph.h"
+#include "util/rng.h"
+
+namespace oraclesize {
+
+/// A subdivided graph together with the bookkeeping the lower-bound
+/// experiments need.
+struct SubdividedGraph {
+  PortGraph graph;                 ///< base nodes keep their ids; w_i appended
+  std::vector<Edge> subdivided;    ///< S, as edges of the base graph
+  std::vector<NodeId> hidden;      ///< hidden[i] = id of w_i (label base_n+i+1)
+};
+
+/// Subdivides the given (distinct, normalized u < v) edges of `base`.
+/// Throws std::invalid_argument on duplicate or non-existent edges.
+SubdividedGraph subdivide_edges(const PortGraph& base,
+                                const std::vector<Edge>& edges);
+
+/// Samples `count` distinct edges of K*_n uniformly at random, without
+/// materializing the complete graph (ports computed by the circulant rule).
+std::vector<Edge> random_complete_star_edges(std::size_t n, std::size_t count,
+                                             Rng& rng);
+
+/// The wakeup lower-bound family: K*_n with `num_subdivided` random distinct
+/// edges subdivided (num_subdivided = n in Theorem 2.2; c*n in the Remark).
+/// The source is node id 0 (label 1). Requires num_subdivided <= C(n,2).
+SubdividedGraph make_gns(std::size_t n, std::size_t num_subdivided, Rng& rng);
+
+}  // namespace oraclesize

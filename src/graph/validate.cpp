@@ -1,0 +1,72 @@
+#include "graph/validate.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+namespace oraclesize {
+
+std::string validate_ports(const PortGraph& g) {
+  std::ostringstream err;
+  std::unordered_set<Label> labels;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!labels.insert(g.label(v)).second) {
+      err << "duplicate label " << g.label(v) << " at node " << v;
+      return err.str();
+    }
+    std::unordered_set<NodeId> seen_neighbors;
+    const std::size_t deg = g.degree(v);
+    for (Port p = 0; p < deg; ++p) {
+      if (!g.has_port(v, p)) {
+        err << "node " << v << " has a vacant port " << p << " below degree "
+            << deg;
+        return err.str();
+      }
+      const Endpoint e = g.neighbor(v, p);
+      if (!g.has_port(e.node, e.port)) {
+        err << "node " << v << " port " << p << " points to vacant slot";
+        return err.str();
+      }
+      const Endpoint back = g.neighbor(e.node, e.port);
+      if (back.node != v || back.port != p) {
+        err << "asymmetric port relation at node " << v << " port " << p;
+        return err.str();
+      }
+      if (!seen_neighbors.insert(e.node).second) {
+        err << "parallel edge between " << v << " and " << e.node;
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<std::uint32_t> bfs_distances(const PortGraph& g, NodeId root) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist.at(root) = 0;
+  queue.push_back(root);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p).node;
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const PortGraph& g) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) return false;
+  }
+  return true;
+}
+
+}  // namespace oraclesize

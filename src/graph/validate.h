@@ -1,0 +1,29 @@
+// Structural validation of port-labeled graphs.
+//
+// Every constructed network in tests and benchmarks is passed through these
+// checks; the lower-bound families in particular have intricate port
+// inheritance rules that are easy to get subtly wrong.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/port_graph.h"
+
+namespace oraclesize {
+
+/// Checks that (a) occupied ports at every node are exactly 0..deg-1 with no
+/// holes, (b) the neighbor relation is symmetric, (c) node labels are
+/// pairwise distinct, and (d) there are no parallel edges.
+/// Returns an empty string if valid, otherwise a human-readable diagnosis of
+/// the first violation found.
+std::string validate_ports(const PortGraph& g);
+
+/// True iff the graph is connected (every network in the paper is).
+bool is_connected(const PortGraph& g);
+
+/// BFS distances from `root`; unreachable nodes get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> bfs_distances(const PortGraph& g, NodeId root);
+
+}  // namespace oraclesize

@@ -1,0 +1,83 @@
+#include "lowerbound/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+double log2_oracle_outputs(std::uint64_t oracle_bits, std::size_t nodes) {
+  if (nodes == 0) throw std::invalid_argument("log2_oracle_outputs: nodes=0");
+  double acc = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t q = 0; q <= oracle_bits; ++q) {
+    const double term = static_cast<double>(q) +
+                        log2_choose(q + nodes - 1, nodes - 1);
+    acc = log2_add(acc, term);
+  }
+  return acc;
+}
+
+double log2_oracle_outputs_upper(std::uint64_t oracle_bits,
+                                 std::size_t nodes) {
+  const double q = static_cast<double>(oracle_bits);
+  return std::log2(q + 1.0) + q + log2_choose(oracle_bits + nodes, nodes);
+}
+
+double log2_wakeup_family(std::size_t n, std::size_t c) {
+  const std::uint64_t total_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const std::uint64_t special = static_cast<std::uint64_t>(c) * n;
+  return log2_factorial(special) + log2_choose(total_edges, special);
+}
+
+double wakeup_message_lower_bound(std::size_t n, std::size_t c,
+                                  std::uint64_t oracle_bits) {
+  const std::size_t nodes = (1 + c) * n;
+  const std::uint64_t special = static_cast<std::uint64_t>(c) * n;
+  const double bound = log2_wakeup_family(n, c) -
+                       log2_oracle_outputs(oracle_bits, nodes) -
+                       log2_factorial(special);
+  return std::max(0.0, bound);
+}
+
+double log2_broadcast_family(std::size_t n, std::size_t k) {
+  if (k == 0 || n % (4 * k) != 0) {
+    throw std::invalid_argument("log2_broadcast_family: 4k must divide n");
+  }
+  const std::uint64_t total_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const std::uint64_t x = n / (4 * k);   // cliques that must be found
+  const std::uint64_t y = 3 * n / (4 * k);  // excluded edges
+  return log2_choose(total_edges - y, x);
+}
+
+double broadcast_message_lower_bound(std::size_t n, std::size_t k,
+                                     std::uint64_t oracle_bits) {
+  const double bound = log2_broadcast_family(n, k) -
+                       log2_oracle_outputs(oracle_bits, 2 * n);
+  return std::max(0.0, bound);
+}
+
+double empirical_wakeup_threshold(std::size_t n, std::size_t c,
+                                  double linear_slack, int steps) {
+  const std::size_t network = (1 + c) * n;
+  const double full =
+      static_cast<double>(network) * std::log2(static_cast<double>(network));
+  double best = 0.0;
+  for (int i = 1; i < steps; ++i) {
+    const double alpha = static_cast<double>(i) / steps;
+    const auto bits = static_cast<std::uint64_t>(alpha * full);
+    const double lb = wakeup_message_lower_bound(n, c, bits);
+    if (lb > linear_slack * static_cast<double>(network)) {
+      best = alpha;
+    } else if (best > 0.0) {
+      break;  // bound is monotone decreasing in alpha; we are past the edge
+    }
+  }
+  return best;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,66 @@
+// Analytic lower-bound calculators — the quantitative content of
+// Theorems 2.2 and 3.2 (Equations 2 through 7 of the paper), computed
+// exactly in log-space rather than through the proofs' loose closed-form
+// estimates.
+//
+// The common skeleton of both proofs:
+//   1. P  = number of graphs in the adversarial family;
+//   2. Q  = number of distinct advice functions an oracle of size <= q can
+//           output on graphs with a given node count;
+//   3. pigeonhole: some P/Q graphs share one advice function, hence one
+//      scheme; Lemma 2.1 then forces at least log2((P/Q)/|X|!) messages.
+//
+// We expose each ingredient separately so benchmarks can print the full
+// pipeline, and compose them into the headline message bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oraclesize {
+
+/// log2 of the exact number of advice functions of total size at most
+/// `oracle_bits` over `nodes` nodes:
+///     Q = sum_{q'=0}^{q} 2^{q'} * C(q' + nodes - 1, nodes - 1).
+/// (2^{q'} bit strings, split into `nodes` ordered, possibly empty pieces.)
+double log2_oracle_outputs(std::uint64_t oracle_bits, std::size_t nodes);
+
+/// log2 of the paper's closed-form over-estimate (Equation 3):
+///     Q <= (q+1) * 2^q * C(q + nodes, nodes).
+double log2_oracle_outputs_upper(std::uint64_t oracle_bits, std::size_t nodes);
+
+/// log2 of the wakeup family size with c*n subdivided edges (Equation 2 is
+/// the c = 1 case; the Remark after Theorem 2.2 uses general c):
+///     P = (c*n)! * C(C(n,2), c*n).
+double log2_wakeup_family(std::size_t n, std::size_t c);
+
+/// Theorem 2.2 / Remark, end to end: the guaranteed worst-case number of
+/// messages for ANY wakeup algorithm using at most `oracle_bits` bits of
+/// advice on the ((1+c)n)-node family G_{n,S} with |S| = c*n:
+///     max(0, log2 P - log2 Q - log2((c*n)!)).
+/// With c = 1 and oracle_bits = alpha * (2n) log2(2n), alpha < 1/2, this is
+/// Omega(n log n) — the paper's separation.
+double wakeup_message_lower_bound(std::size_t n, std::size_t c,
+                                  std::uint64_t oracle_bits);
+
+/// log2 of the broadcast family size for fixed C = C* (Equation 6 without
+/// the |X|! factor, which cancels in Lemma 2.1):
+///     P' = C(C(n,2) - 3n/4k, n/4k).
+/// Requires 4k | n.
+double log2_broadcast_family(std::size_t n, std::size_t k);
+
+/// Claim 3.3 / Theorem 3.2, end to end: guaranteed worst-case messages for
+/// ANY broadcast algorithm using at most `oracle_bits` on the (2n)-node
+/// family G_{n,k}: max(0, log2 P' - log2 Q).
+double broadcast_message_lower_bound(std::size_t n, std::size_t k,
+                                     std::uint64_t oracle_bits);
+
+/// The oracle-size threshold ratio that c subdivisions certify (Remark after
+/// Theorem 2.2): alpha below c/(c+1) forces superlinear wakeup. Returned as
+/// the largest alpha (granularity `steps` points in (0,1)) for which
+/// wakeup_message_lower_bound(n, c, alpha * N log2 N) still exceeds
+/// `linear_slack * N` messages, where N = (1+c)n is the network size.
+double empirical_wakeup_threshold(std::size_t n, std::size_t c,
+                                  double linear_slack = 1.0, int steps = 200);
+
+}  // namespace oraclesize

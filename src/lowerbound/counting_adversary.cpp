@@ -1,0 +1,45 @@
+#include "lowerbound/counting_adversary.h"
+
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+CountingAdversary::CountingAdversary(const EdgeDiscoveryProblem& problem)
+    : problem_(problem) {
+  if (problem.num_special > problem.num_candidates) {
+    throw std::invalid_argument("CountingAdversary: m > N");
+  }
+}
+
+ProbeResult CountingAdversary::answer(std::size_t /*edge*/) {
+  if (resolved()) {
+    throw std::logic_error("CountingAdversary: already resolved");
+  }
+  const std::size_t remaining_special = problem_.num_special - specials_;
+  const std::size_t u = unprobed();
+  if (u == 0) throw std::logic_error("CountingAdversary: no candidates left");
+
+  // |J_regular| / (m-r)! = C(u-1, m-r);  |J_special| / (m-r)! = C(u-1, m-r-1)
+  const double log_regular = log2_choose(u - 1, remaining_special);
+  const double log_special = log2_choose(u - 1, remaining_special - 1);
+  // The proof's rule: |J_special| >= |J_regular| -> special. The 1e-9 slack
+  // absorbs lgamma rounding on exact ties.
+  if (log_special >= log_regular - 1e-9) {
+    ++specials_;
+    return ProbeResult{true, specials_};  // smallest unused label
+  }
+  ++regulars_;
+  return ProbeResult{false, 0};
+}
+
+bool CountingAdversary::resolved() const { return log2_active() <= 1e-9; }
+
+double CountingAdversary::log2_active() const {
+  const std::size_t remaining_special = problem_.num_special - specials_;
+  return log2_choose(unprobed(), remaining_special) +
+         log2_factorial(remaining_special);
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,47 @@
+// The production adversary of Lemma 2.1, with closed-form instance counting.
+//
+// The instance family is fully symmetric (every set of m specials over N
+// candidates, every labeling), so after d regular answers and r revealed
+// specials the active-family size is
+//
+//     |J| = C(U, m-r) * (m-r)!        with U = N - d - r unprobed candidates,
+//
+// and for a fresh probe the split is
+//
+//     |J_regular|        = C(U-1, m-r)   * (m-r)!
+//     |J_special, total| = C(U-1, m-r-1) * (m-r)!   (summed over labels).
+//
+// The adversary answers by majority, exactly as in the proof, comparing the
+// two counts in log-space; when it says "special" it reveals the smallest
+// unused label (all labels give equal subfamilies, matching the proof's
+// arg-max choice). Validated against an explicit enumeration adversary
+// (exact_adversary.h) in tests.
+#pragma once
+
+#include "lowerbound/edge_discovery.h"
+
+namespace oraclesize {
+
+class CountingAdversary final : public Adversary {
+ public:
+  explicit CountingAdversary(const EdgeDiscoveryProblem& problem);
+
+  ProbeResult answer(std::size_t edge) override;
+  bool resolved() const override;
+  double log2_active() const override;
+  std::string name() const override { return "counting"; }
+
+  std::size_t regulars() const noexcept { return regulars_; }
+  std::size_t specials() const noexcept { return specials_; }
+
+ private:
+  std::size_t unprobed() const noexcept {
+    return problem_.num_candidates - regulars_ - specials_;
+  }
+
+  EdgeDiscoveryProblem problem_;
+  std::size_t regulars_ = 0;
+  std::size_t specials_ = 0;
+};
+
+}  // namespace oraclesize

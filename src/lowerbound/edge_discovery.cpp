@@ -1,0 +1,44 @@
+#include "lowerbound/edge_discovery.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+double EdgeDiscoveryProblem::log2_instances() const {
+  return log2_choose(num_candidates, num_special) +
+         log2_factorial(num_special);
+}
+
+double EdgeDiscoveryProblem::log2_probe_bound() const {
+  return log2_choose(num_candidates, num_special);
+}
+
+GameResult play_edge_discovery(const EdgeDiscoveryProblem& problem,
+                               ProbeStrategy& strategy, Adversary& adversary) {
+  GameResult result;
+  result.log2_initial_instances = problem.log2_instances();
+  result.probe_lower_bound = problem.log2_probe_bound();
+  strategy.begin(problem);
+
+  std::unordered_set<std::size_t> probed;
+  while (!adversary.resolved()) {
+    if (probed.size() >= problem.num_candidates) {
+      throw std::logic_error(
+          "play_edge_discovery: all candidates probed but not resolved");
+    }
+    const std::size_t edge = strategy.next_probe();
+    if (edge >= problem.num_candidates || !probed.insert(edge).second) {
+      throw std::logic_error("play_edge_discovery: invalid or repeated probe");
+    }
+    const ProbeResult answer = adversary.answer(edge);
+    if (answer.special) ++result.specials_found;
+    strategy.observe(edge, answer);
+    ++result.probes;
+  }
+  return result;
+}
+
+}  // namespace oraclesize

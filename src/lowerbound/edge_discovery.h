@@ -1,0 +1,90 @@
+// The edge-discovery problem (Section 2) — the combinatorial engine behind
+// both lower bounds.
+//
+// An instance is (n, X, Y): X a set of |X| *special* edges of K*_n, each
+// carrying a distinct label in 1..|X|, and Y a disjoint set of excluded
+// edges. A communication scheme knows n, |X| and Y, and must discover X:
+// whenever an edge is traversed (probed), either its (edge, label) pair is
+// revealed (special) or it is revealed non-special. Lemma 2.1: against the
+// majority adversary, any scheme needs at least log2(|I| / |X|!) probes,
+// where I is the family of a-priori-possible instances.
+//
+// We abstract the candidate edges as indices 0..N-1 (N = C(n,2) - |Y|): the
+// adversary argument never looks at the graph structure, only at which
+// candidates have been probed. The wakeup reduction (Theorem 2.2) maps
+// subdivided edges of G_{n,S} to specials with label = position in S; the
+// broadcast reduction (Theorem 3.2) maps the n/4k cliques that must be
+// discovered from outside.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace oraclesize {
+
+struct EdgeDiscoveryProblem {
+  std::size_t num_candidates = 0;  ///< N: probe-able edges (not in Y)
+  std::size_t num_special = 0;     ///< m = |X|
+
+  /// log2 of the instance-family size |I| = C(N, m) * m!.
+  double log2_instances() const;
+
+  /// Lemma 2.1's probe lower bound log2(|I| / m!) = log2 C(N, m).
+  double log2_probe_bound() const;
+};
+
+/// What a probe reveals.
+struct ProbeResult {
+  bool special = false;
+  std::size_t label = 0;  ///< 1..m when special, 0 otherwise
+};
+
+/// An adaptive adversary: answers probes so as to keep the active instance
+/// family as large as possible (the proof's halving argument).
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Answers a probe of candidate `edge` (must be unprobed so far).
+  virtual ProbeResult answer(std::size_t edge) = 0;
+
+  /// True when exactly one instance remains active — the scheme is done.
+  virtual bool resolved() const = 0;
+
+  /// log2 of the number of currently active instances.
+  virtual double log2_active() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// A probing scheme under test.
+class ProbeStrategy {
+ public:
+  virtual ~ProbeStrategy() = default;
+
+  virtual void begin(const EdgeDiscoveryProblem& problem) = 0;
+
+  /// The next candidate to probe; must never repeat a probe.
+  virtual std::size_t next_probe() = 0;
+
+  /// Feedback for the probe just issued.
+  virtual void observe(std::size_t edge, const ProbeResult& result) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct GameResult {
+  std::uint64_t probes = 0;
+  std::size_t specials_found = 0;
+  double log2_initial_instances = 0;  ///< log2 |I|
+  double probe_lower_bound = 0;       ///< Lemma 2.1's log2(|I|/m!)
+};
+
+/// Plays strategy vs adversary until the adversary is resolved.
+/// Throws std::logic_error if the strategy repeats a probe or runs out of
+/// candidates before resolution.
+GameResult play_edge_discovery(const EdgeDiscoveryProblem& problem,
+                               ProbeStrategy& strategy, Adversary& adversary);
+
+}  // namespace oraclesize

@@ -1,0 +1,94 @@
+#include "lowerbound/exact_adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+ExactAdversary::ExactAdversary(const EdgeDiscoveryProblem& problem,
+                               std::size_t max_instances)
+    : problem_(problem) {
+  const double log_count = problem.log2_instances();
+  if (log_count > std::log2(static_cast<double>(max_instances))) {
+    throw std::invalid_argument("ExactAdversary: family too large");
+  }
+  const std::size_t n = problem.num_candidates;
+  const std::size_t m = problem.num_special;
+
+  // Enumerate subsets of size m via the classic combination walk, then all
+  // label permutations of each.
+  std::vector<std::size_t> comb(m);
+  for (std::size_t i = 0; i < m; ++i) comb[i] = i;
+  std::vector<std::uint8_t> labels(m);
+  for (;;) {
+    for (std::size_t i = 0; i < m; ++i) {
+      labels[i] = static_cast<std::uint8_t>(i + 1);
+    }
+    do {
+      Instance inst(n, 0);
+      for (std::size_t i = 0; i < m; ++i) inst[comb[i]] = labels[i];
+      active_.push_back(std::move(inst));
+    } while (std::next_permutation(labels.begin(), labels.end()));
+
+    if (m == 0) break;
+    // Advance the combination.
+    std::size_t i = m;
+    while (i > 0 && comb[i - 1] == n - m + (i - 1)) --i;
+    if (i == 0) break;
+    ++comb[i - 1];
+    for (std::size_t j = i; j < m; ++j) comb[j] = comb[j - 1] + 1;
+  }
+}
+
+ProbeResult ExactAdversary::answer(std::size_t edge) {
+  if (resolved()) throw std::logic_error("ExactAdversary: already resolved");
+  const std::size_t m = problem_.num_special;
+
+  std::size_t regular_count = 0;
+  std::vector<std::size_t> special_count(m + 1, 0);  // by label
+  for (const Instance& inst : active_) {
+    if (inst[edge] == 0) {
+      ++regular_count;
+    } else {
+      ++special_count[inst[edge]];
+    }
+  }
+  std::size_t special_total = 0;
+  for (std::size_t l = 1; l <= m; ++l) special_total += special_count[l];
+
+  ProbeResult result;
+  if (special_total >= regular_count) {  // the proof's majority rule
+    result.special = true;
+    // arg-max label; ties -> smallest (matches CountingAdversary).
+    std::size_t best = 1;
+    for (std::size_t l = 2; l <= m; ++l) {
+      if (special_count[l] > special_count[best]) best = l;
+    }
+    result.label = best;
+  }
+
+  std::vector<Instance> survivors;
+  survivors.reserve(active_.size());
+  for (Instance& inst : active_) {
+    const bool consistent = result.special
+                                ? inst[edge] == result.label
+                                : inst[edge] == 0;
+    if (consistent) survivors.push_back(std::move(inst));
+  }
+  active_ = std::move(survivors);
+  if (active_.empty()) {
+    throw std::logic_error("ExactAdversary: family emptied (bug)");
+  }
+  return result;
+}
+
+bool ExactAdversary::resolved() const { return active_.size() <= 1; }
+
+double ExactAdversary::log2_active() const {
+  return std::log2(static_cast<double>(active_.size()));
+}
+
+}  // namespace oraclesize

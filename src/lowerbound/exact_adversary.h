@@ -1,0 +1,38 @@
+// Brute-force reference adversary: explicit enumeration of the instance
+// family.
+//
+// Feasible only for tiny (N, m) — C(N, m) * m! instances are materialized —
+// but it implements Lemma 2.1's adversary literally (actual majority counts
+// over actual instance sets, arg-max label choice) and so serves as the
+// ground truth that the closed-form CountingAdversary is checked against.
+#pragma once
+
+#include <vector>
+
+#include "lowerbound/edge_discovery.h"
+
+namespace oraclesize {
+
+class ExactAdversary final : public Adversary {
+ public:
+  /// Materializes all C(N,m)*m! instances. Throws std::invalid_argument when
+  /// the family would exceed `max_instances` (default 2'000'000).
+  explicit ExactAdversary(const EdgeDiscoveryProblem& problem,
+                          std::size_t max_instances = 2'000'000);
+
+  ProbeResult answer(std::size_t edge) override;
+  bool resolved() const override;
+  double log2_active() const override;
+  std::string name() const override { return "exact"; }
+
+  std::size_t active_count() const noexcept { return active_.size(); }
+
+ private:
+  // One instance: label_of[edge] in 1..m for specials, 0 for regulars.
+  using Instance = std::vector<std::uint8_t>;
+
+  EdgeDiscoveryProblem problem_;
+  std::vector<Instance> active_;
+};
+
+}  // namespace oraclesize

@@ -1,0 +1,212 @@
+#include "lowerbound/lazy_wakeup.h"
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/complete_star.h"
+#include "lowerbound/counting_adversary.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+namespace {
+
+struct PendingMessage {
+  std::int64_t round = 0;
+  std::uint64_t seq = 0;
+  NodeId to = kNoNode;
+  Port at_port = kNoPort;
+  Message msg;
+  bool sender_informed = false;
+};
+
+struct Later {
+  bool operator()(const PendingMessage& a, const PendingMessage& b) const {
+    if (a.round != b.round) return a.round > b.round;
+    return a.seq > b.seq;
+  }
+};
+
+/// The lazily decided instance: edge states of K*_n plus materialized
+/// hidden nodes.
+class LazyInstance {
+ public:
+  explicit LazyInstance(std::size_t n)
+      : n_(n), problem_{n * (n - 1) / 2, n}, adversary_(problem_) {}
+
+  std::size_t base_nodes() const noexcept { return n_; }
+  std::size_t hidden_count() const noexcept { return hidden_of_edge_.size(); }
+  std::size_t edges_probed() const noexcept { return probed_; }
+  double probe_lower_bound() const { return problem_.log2_probe_bound(); }
+
+  /// Routes a send from `from` (base or hidden) through local port `port`.
+  /// Returns the destination (node, port), materializing a hidden node if
+  /// the adversary so decides. Hidden node for label l has id n_ + l - 1.
+  Endpoint route(NodeId from, Port port) {
+    if (from >= n_) return route_from_hidden(from, port);
+    const NodeId far = complete_star_neighbor(n_, from, port);
+    const auto key = normalized(from, far);
+    auto it = state_.find(key);
+    if (it == state_.end()) {
+      it = state_.emplace(key, decide(key)).first;
+    }
+    const EdgeState& st = it->second;
+    if (!st.special) {
+      return Endpoint{far, complete_star_port(n_, far, from)};
+    }
+    // Message from the smaller endpoint arrives at the hidden node's port
+    // 0, from the larger at port 1 (the paper's subdivision ports).
+    return Endpoint{st.hidden, from == key.first ? Port{0} : Port{1}};
+  }
+
+ private:
+  struct EdgeState {
+    bool special = false;
+    NodeId hidden = kNoNode;
+  };
+
+  static std::pair<NodeId, NodeId> normalized(NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  Endpoint route_from_hidden(NodeId h, Port port) const {
+    const auto& key = edge_of_hidden_.at(h);
+    if (port == 0) {
+      return Endpoint{key.first, complete_star_port(n_, key.first,
+                                                    key.second)};
+    }
+    if (port == 1) {
+      return Endpoint{key.second, complete_star_port(n_, key.second,
+                                                     key.first)};
+    }
+    throw std::logic_error("lazy wakeup: hidden node has only ports 0/1");
+  }
+
+  EdgeState decide(const std::pair<NodeId, NodeId>& key) {
+    ++probed_;
+    ProbeResult answer;
+    if (!adversary_.resolved()) {
+      answer = adversary_.answer(0);  // symmetric family: identity is moot
+    } else {
+      // The family is down to one instance: unprobed edges are special
+      // exactly when specials are still owed (then each remaining unprobed
+      // edge is one of them — by resolution there are equally many).
+      const std::size_t owed = n_ - hidden_of_edge_.size();
+      answer.special = owed > 0;
+      if (answer.special) answer.label = hidden_of_edge_.size() + 1;
+    }
+    EdgeState st;
+    if (answer.special) {
+      st.special = true;
+      st.hidden = static_cast<NodeId>(n_ + answer.label - 1);
+      hidden_of_edge_.emplace(key, st.hidden);
+      edge_of_hidden_.emplace(st.hidden, key);
+    }
+    return st;
+  }
+
+  std::size_t n_;
+  EdgeDiscoveryProblem problem_;
+  CountingAdversary adversary_;
+  std::size_t probed_ = 0;
+  std::map<std::pair<NodeId, NodeId>, EdgeState> state_;
+  std::map<std::pair<NodeId, NodeId>, NodeId> hidden_of_edge_;
+  std::map<NodeId, std::pair<NodeId, NodeId>> edge_of_hidden_;
+
+ public:
+  /// The committed specials, in label order.
+  std::vector<std::pair<NodeId, NodeId>> special_edges() const {
+    std::vector<std::pair<NodeId, NodeId>> out;
+    out.reserve(edge_of_hidden_.size());
+    for (const auto& [hidden, edge] : edge_of_hidden_) out.push_back(edge);
+    return out;  // std::map iterates hidden ids (= labels) in order
+  }
+};
+
+}  // namespace
+
+LazyWakeupResult play_lazy_wakeup(std::size_t n, const Algorithm& algorithm,
+                                  std::uint64_t max_messages) {
+  // C(n,2) >= n (so that n special edges fit) requires n >= 3.
+  if (n < 3) throw std::invalid_argument("play_lazy_wakeup: n >= 3");
+  LazyInstance instance(n);
+  LazyWakeupResult result;
+  result.probe_lower_bound = instance.probe_lower_bound();
+
+  const std::size_t max_nodes = 2 * n;
+  std::vector<std::unique_ptr<NodeBehavior>> behaviors(max_nodes);
+  std::vector<NodeInput> inputs(max_nodes);
+  std::vector<bool> informed(max_nodes, false);
+  informed[0] = true;  // node 0 (label 1) is the source
+
+  auto ensure_behavior = [&](NodeId v) {
+    if (behaviors[v]) return;
+    inputs[v] = NodeInput{BitString{}, v == 0, static_cast<Label>(v) + 1,
+                          v < n ? n - 1 : 2};
+    behaviors[v] = algorithm.make_behavior(inputs[v]);
+  };
+
+  std::priority_queue<PendingMessage, std::vector<PendingMessage>, Later>
+      queue;
+  std::uint64_t seq = 0;
+
+  auto submit = [&](NodeId v, const std::vector<Send>& sends,
+                    std::int64_t round) {
+    if (sends.empty()) return;
+    if (!informed[v]) {
+      std::ostringstream os;
+      os << "wakeup violation: uninformed node " << v << " transmitted";
+      result.violation = os.str();
+      return;
+    }
+    for (const Send& s : sends) {
+      if (s.port >= inputs[v].degree) {
+        result.violation = "invalid port";
+        return;
+      }
+      ++result.messages;
+      if (result.messages > max_messages) {
+        result.violation = "message budget exceeded";
+        return;
+      }
+      const Endpoint dst = instance.route(v, s.port);
+      queue.push(PendingMessage{round + 1, seq++, dst.node, dst.port, s.msg,
+                                informed[v]});
+    }
+  };
+
+  for (NodeId v = 0; v < n && result.violation.empty(); ++v) {
+    ensure_behavior(v);
+    submit(v, behaviors[v]->on_start(inputs[v]), 0);
+  }
+
+  auto completed = [&]() {
+    if (instance.hidden_count() < n) return false;
+    for (std::size_t v = 0; v < max_nodes; ++v) {
+      if (!informed[v]) return false;
+    }
+    return true;
+  };
+
+  while (!queue.empty() && result.violation.empty() && !completed()) {
+    const PendingMessage pm = queue.top();
+    queue.pop();
+    ensure_behavior(pm.to);
+    if (pm.sender_informed) informed[pm.to] = true;
+    submit(pm.to, behaviors[pm.to]->on_receive(inputs[pm.to], pm.msg,
+                                               pm.at_port),
+           pm.round);
+  }
+
+  result.hidden_found = instance.hidden_count();
+  result.edges_probed = instance.edges_probed();
+  result.completed = result.violation.empty() && completed();
+  result.special_edges = instance.special_edges();
+  return result;
+}
+
+}  // namespace oraclesize

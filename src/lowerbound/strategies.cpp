@@ -1,0 +1,49 @@
+#include "lowerbound/strategies.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace oraclesize {
+
+void SequentialStrategy::begin(const EdgeDiscoveryProblem& /*problem*/) {
+  next_ = 0;
+}
+
+std::size_t SequentialStrategy::next_probe() { return next_++; }
+
+void SequentialStrategy::observe(std::size_t /*edge*/,
+                                 const ProbeResult& /*result*/) {}
+
+void RandomStrategy::begin(const EdgeDiscoveryProblem& problem) {
+  order_.resize(problem.num_candidates);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  Rng rng(seed_);
+  rng.shuffle(order_);
+  cursor_ = 0;
+}
+
+std::size_t RandomStrategy::next_probe() {
+  if (cursor_ >= order_.size()) {
+    throw std::logic_error("RandomStrategy: out of candidates");
+  }
+  return order_[cursor_++];
+}
+
+void RandomStrategy::observe(std::size_t /*edge*/,
+                             const ProbeResult& /*result*/) {}
+
+void FixedOrderStrategy::begin(const EdgeDiscoveryProblem& /*problem*/) {
+  cursor_ = 0;
+}
+
+std::size_t FixedOrderStrategy::next_probe() {
+  if (cursor_ >= order_.size()) {
+    throw std::logic_error("FixedOrderStrategy: out of candidates");
+  }
+  return order_[cursor_++];
+}
+
+void FixedOrderStrategy::observe(std::size_t /*edge*/,
+                                 const ProbeResult& /*result*/) {}
+
+}  // namespace oraclesize

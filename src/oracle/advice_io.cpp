@@ -1,0 +1,89 @@
+#include "oracle/advice_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oraclesize {
+
+void write_advice(std::ostream& os, const std::vector<BitString>& advice) {
+  os << "advice " << advice.size() << "\n";
+  for (std::size_t v = 0; v < advice.size(); ++v) {
+    if (!advice[v].empty()) {
+      os << v << " " << advice[v].to_string() << "\n";
+    }
+  }
+}
+
+std::string advice_to_text(const std::vector<BitString>& advice) {
+  std::ostringstream os;
+  write_advice(os, advice);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "read_advice: line " << line << ": " << what;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+std::vector<BitString> read_advice(std::istream& is) {
+  std::vector<BitString> advice;
+  bool seen_header = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;
+
+    if (first == "advice") {
+      if (seen_header) fail(lineno, "duplicate header");
+      std::size_t n = 0;
+      if (!(ls >> n)) fail(lineno, "bad node count");
+      advice.assign(n, BitString{});
+      seen_header = true;
+      continue;
+    }
+    if (!seen_header) fail(lineno, "entry before header");
+    std::size_t v = 0;
+    try {
+      std::size_t pos = 0;
+      v = std::stoull(first, &pos);
+      if (pos != first.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      fail(lineno, "bad node index '" + first + "'");
+    }
+    if (v >= advice.size()) fail(lineno, "node index out of range");
+    std::string bits;
+    if (!(ls >> bits)) fail(lineno, "missing bit string");
+    if (!advice[v].empty()) fail(lineno, "duplicate entry for node");
+    try {
+      advice[v] = BitString::from_string(bits);
+    } catch (const std::exception& e) {
+      fail(lineno, e.what());
+    }
+    if (advice[v].empty()) fail(lineno, "empty bit string entry");
+    std::string extra;
+    if (ls >> extra) fail(lineno, "trailing tokens");
+  }
+  if (!seen_header) {
+    throw std::invalid_argument("read_advice: missing header");
+  }
+  return advice;
+}
+
+std::vector<BitString> advice_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_advice(is);
+}
+
+}  // namespace oraclesize

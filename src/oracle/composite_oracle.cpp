@@ -1,0 +1,96 @@
+#include "oracle/composite_oracle.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "bitio/codecs.h"
+
+namespace oraclesize {
+
+std::vector<BitString> split_composite_advice(const BitString& advice,
+                                              std::size_t parts) {
+  std::vector<BitString> out(parts);
+  if (advice.empty()) return out;  // all parts empty
+  BitReader in(advice);
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::uint64_t length = read_doubled(in);
+    if (length > in.remaining()) {
+      throw std::invalid_argument("split_composite_advice: truncated part");
+    }
+    for (std::uint64_t b = 0; b < length; ++b) {
+      out[i].append_bit(in.read_bit());
+    }
+  }
+  if (!in.exhausted()) {
+    throw std::invalid_argument("split_composite_advice: trailing bits");
+  }
+  return out;
+}
+
+std::vector<BitString> CompositeOracle::advise(const PortGraph& g,
+                                               NodeId source) const {
+  std::vector<std::vector<BitString>> per_part;
+  per_part.reserve(parts_.size());
+  for (const Oracle* oracle : parts_) {
+    per_part.push_back(oracle->advise(g, source));
+  }
+  std::vector<BitString> out(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool any = false;
+    for (const auto& part : per_part) any = any || !part[v].empty();
+    if (!any) continue;  // all-empty node keeps the empty string
+    BitString s;
+    for (const auto& part : per_part) {
+      append_doubled(s, part[v].size());
+      s.append(part[v]);
+    }
+    out[v] = s;
+  }
+  return out;
+}
+
+std::string CompositeOracle::name() const {
+  std::ostringstream os;
+  os << "composite(";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i) os << "+";
+    os << parts_[i]->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+namespace {
+
+class ProjectedBehavior final : public NodeBehavior {
+ public:
+  ProjectedBehavior(NodeInput projected, std::unique_ptr<NodeBehavior> inner)
+      : projected_(std::move(projected)), inner_(std::move(inner)) {}
+
+  std::vector<Send> on_start(const NodeInput& /*composite*/) override {
+    return inner_->on_start(projected_);
+  }
+  std::vector<Send> on_receive(const NodeInput& /*composite*/,
+                               const Message& msg, Port from_port) override {
+    return inner_->on_receive(projected_, msg, from_port);
+  }
+  bool terminated() const override { return inner_->terminated(); }
+  std::uint64_t output() const override { return inner_->output(); }
+
+ private:
+  NodeInput projected_;
+  std::unique_ptr<NodeBehavior> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> AdviceProjection::make_behavior(
+    const NodeInput& input) const {
+  NodeInput projected = input;
+  projected.advice = split_composite_advice(input.advice, parts_).at(index_);
+  auto inner = inner_.make_behavior(projected);
+  return std::make_unique<ProjectedBehavior>(std::move(projected),
+                                             std::move(inner));
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,68 @@
+// Oracle composition: one advice assignment serving several tasks.
+//
+// Oracle size is a resource, and resources add: if task A needs f_A and
+// task B needs f_B, a single oracle handing every node
+// delim(f_A(v)) ++ delim(f_B(v)) serves both at size
+// size(A) + size(B) + O(n log max-part) — so the difficulty measure is
+// subadditive under task combination. CompositeOracle implements the
+// combinator; AdviceProjection lets an unmodified Algorithm consume its
+// slice of the composite string.
+//
+// Layout per node: for each part, doubled-bit(length) followed by the
+// part's bits. (A part may be empty: doubled(0) costs 4 bits; nodes where
+// ALL parts are empty get the empty string, preserving each component
+// oracle's "leaves get nothing" frugality.)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "oracle/oracle.h"
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+/// Splits a composite advice string into its parts. Inverse of the
+/// CompositeOracle layout; the empty string yields `parts` empty strings.
+std::vector<BitString> split_composite_advice(const BitString& advice,
+                                              std::size_t parts);
+
+class CompositeOracle final : public Oracle {
+ public:
+  /// The component oracles must outlive this object.
+  explicit CompositeOracle(std::vector<const Oracle*> parts)
+      : parts_(std::move(parts)) {}
+
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override;
+  std::string name() const override;
+
+  std::size_t num_parts() const noexcept { return parts_.size(); }
+
+ private:
+  std::vector<const Oracle*> parts_;
+};
+
+/// Adapts an algorithm to read part `index` of a composite advice string
+/// (of `parts` parts) as if it were the whole advice. Everything else —
+/// scheme construction, wakeup flag, behavior — is delegated unchanged.
+class AdviceProjection final : public Algorithm {
+ public:
+  AdviceProjection(const Algorithm& inner, std::size_t index,
+                   std::size_t parts)
+      : inner_(inner), index_(index), parts_(parts) {}
+
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override {
+    return inner_.name() + "@part" + std::to_string(index_);
+  }
+  bool is_wakeup() const override { return inner_.is_wakeup(); }
+
+ private:
+  const Algorithm& inner_;
+  std::size_t index_;
+  std::size_t parts_;
+};
+
+}  // namespace oraclesize

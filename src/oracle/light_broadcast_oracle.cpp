@@ -1,0 +1,35 @@
+#include "oracle/light_broadcast_oracle.h"
+
+#include "bitio/codecs.h"
+
+namespace oraclesize {
+
+std::vector<std::vector<std::uint64_t>> LightBroadcastOracle::assigned_ports(
+    const PortGraph& g, NodeId source, TreeKind tree) {
+  std::vector<std::vector<std::uint64_t>> ports(g.num_nodes());
+  if (g.num_nodes() <= 1) return ports;
+  const SpanningTree t = build_tree(g, source, tree);
+  for (const Edge& e : t.edges(g)) {
+    // Give w(e) to the endpoint whose port equals w(e); tie -> smaller id
+    // (e is normalized with e.u < e.v).
+    const NodeId x = (e.port_u <= e.port_v) ? e.u : e.v;
+    ports[x].push_back(e.weight());
+  }
+  return ports;
+}
+
+std::vector<BitString> LightBroadcastOracle::advise(const PortGraph& g,
+                                                    NodeId source) const {
+  const auto ports = assigned_ports(g, source, tree_);
+  std::vector<BitString> advice(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!ports[v].empty()) advice[v] = encode_weight_list(ports[v]);
+  }
+  return advice;
+}
+
+std::string LightBroadcastOracle::name() const {
+  return std::string("light-broadcast(") + to_string(tree_) + ")";
+}
+
+}  // namespace oraclesize

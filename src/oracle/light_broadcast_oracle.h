@@ -1,0 +1,39 @@
+// The Theorem 3.1 oracle: O(n) bits enabling broadcast with a linear number
+// of messages.
+//
+// Take the Claim 3.1 light spanning tree T0 (sum of #2(w(e)) <= 4n for
+// w(e) = min port). For every tree edge e = {u,v}, the binary representation
+// of w(e) is handed to the endpoint x whose port number on e *is* w(e)
+// (ties broken towards the smaller node id). A node holding several weights
+// gets them packed into one self-delimiting string (encode_weight_list).
+// Decoded at the node, each weight is literally one of its own port numbers
+// that carries a tree edge — which is all scheme B (core/broadcast_b.h)
+// needs.
+#pragma once
+
+#include "oracle/oracle.h"
+#include "oracle/tree_wakeup_oracle.h"  // TreeKind
+
+namespace oraclesize {
+
+class LightBroadcastOracle final : public Oracle {
+ public:
+  /// TreeKind::kLight reproduces Theorem 3.1. Other kinds are ablations
+  /// (E9): the same advice layout over a different tree — correct broadcast
+  /// but without the 4n contribution guarantee.
+  explicit LightBroadcastOracle(TreeKind tree = TreeKind::kLight)
+      : tree_(tree) {}
+
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override;
+  std::string name() const override;
+
+  /// The per-node *port lists* prior to encoding (exposed for tests).
+  static std::vector<std::vector<std::uint64_t>> assigned_ports(
+      const PortGraph& g, NodeId source, TreeKind tree);
+
+ private:
+  TreeKind tree_;
+};
+
+}  // namespace oraclesize

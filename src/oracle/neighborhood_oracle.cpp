@@ -1,0 +1,69 @@
+#include "oracle/neighborhood_oracle.h"
+
+#include <deque>
+#include <string>
+
+#include "bitio/codecs.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+std::vector<BitString> NeighborhoodOracle::advise(const PortGraph& g,
+                                                  NodeId /*source*/) const {
+  const std::size_t n = g.num_nodes();
+  std::vector<BitString> advice(n);
+  if (n == 0 || radius_ == 0) return advice;
+  const int width = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)));
+
+  std::vector<std::uint32_t> dist(n);
+  for (NodeId x = 0; x < n; ++x) {
+    // Bounded BFS from x.
+    std::fill(dist.begin(), dist.end(), 0xffffffffu);
+    std::deque<NodeId> queue{x};
+    dist[x] = 0;
+    std::vector<NodeId> inside;  // nodes with dist < radius
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      if (dist[v] >= radius_) continue;
+      inside.push_back(v);
+      for (Port p = 0; p < g.degree(v); ++p) {
+        const Endpoint e = g.neighbor(v, p);
+        if (dist[e.node] == 0xffffffffu) {
+          dist[e.node] = dist[v] + 1;
+          queue.push_back(e.node);
+        }
+      }
+    }
+    // The ball's edges: every edge with an endpoint strictly inside. Each is
+    // recorded once, from the side that is inside (smaller id wins when both
+    // are).
+    std::vector<Edge> ball;
+    for (const NodeId v : inside) {
+      for (Port p = 0; p < g.degree(v); ++p) {
+        const Endpoint e = g.neighbor(v, p);
+        const bool other_inside = dist[e.node] < radius_;
+        if (other_inside && e.node < v) continue;  // recorded from its side
+        ball.push_back(v < e.node ? Edge{v, p, e.node, e.port}
+                                  : Edge{e.node, e.port, v, p});
+      }
+    }
+    BitString s;
+    append_doubled(s, static_cast<std::uint64_t>(ball.size()));
+    append_doubled(s, static_cast<std::uint64_t>(width));
+    for (const Edge& e : ball) {
+      s.append_uint(e.u, width);
+      s.append_uint(e.port_u, width);
+      s.append_uint(e.v, width);
+      s.append_uint(e.port_v, width);
+    }
+    advice[x] = s;
+  }
+  return advice;
+}
+
+std::string NeighborhoodOracle::name() const {
+  return "neighborhood(rho=" + std::to_string(radius_) + ")";
+}
+
+}  // namespace oraclesize

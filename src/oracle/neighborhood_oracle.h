@@ -1,0 +1,32 @@
+// The "knowledge of the topology within radius rho" oracle.
+//
+// This is the kind of *particular* partial information the pre-oracle
+// literature assumed (e.g. Awerbuch, Goldreich, Peleg, Vainish: with
+// radius-rho knowledge, wakeup costs Theta(min{m, n^{1+Theta(1)/rho}})
+// messages). Expressing it as an oracle lets the E6/E9 tables put the
+// traditional assumptions and the paper's tailor-made advice on one axis:
+// bits versus achievable message complexity.
+//
+// Each node receives the edge list of its distance-<=rho ball: for every
+// edge {u,v} with min(dist(x,u), dist(x,v)) < rho, the tuple
+// (u, port_u, v, port_v) in fixed-width fields, prefixed by a doubled-bit
+// edge count and field width.
+#pragma once
+
+#include "oracle/oracle.h"
+
+namespace oraclesize {
+
+class NeighborhoodOracle final : public Oracle {
+ public:
+  explicit NeighborhoodOracle(std::uint32_t radius) : radius_(radius) {}
+
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override;
+  std::string name() const override;
+
+ private:
+  std::uint32_t radius_;
+};
+
+}  // namespace oraclesize

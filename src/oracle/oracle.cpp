@@ -1,0 +1,21 @@
+#include "oracle/oracle.h"
+
+#include <algorithm>
+
+namespace oraclesize {
+
+std::uint64_t oracle_size_bits(const std::vector<BitString>& advice) {
+  std::uint64_t total = 0;
+  for (const BitString& s : advice) total += s.size();
+  return total;
+}
+
+std::uint64_t max_advice_bits(const std::vector<BitString>& advice) {
+  std::uint64_t best = 0;
+  for (const BitString& s : advice) {
+    best = std::max<std::uint64_t>(best, s.size());
+  }
+  return best;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,42 @@
+// Partial-advice wakeup oracle: the upper-bound side of the bits/messages
+// tradeoff curve.
+//
+// Theorem 2.1 gives every internal tree node its child ports (Theta(n log n)
+// bits total, n-1 messages); the null oracle gives nothing (0 bits, Theta(m)
+// flooding messages). This oracle interpolates: each node keeps its tree
+// advice independently with probability `fraction` (seeded, deterministic),
+// and the paired HybridWakeupAlgorithm (core/hybrid_wakeup.h) has advised
+// nodes relay along tree child ports while unadvised nodes fall back to
+// flooding. Correctness holds for every kept-set (each node's tree parent is
+// eventually informed and either tree-relays or floods towards it), so the
+// fraction knob traces a real message-complexity-versus-oracle-size curve —
+// the quantity the paper's difficulty measure is about (experiment E11).
+//
+// Advice layout: "1" + Theorem 2.1 port list for advised nodes (so an
+// advised leaf gets the 1-bit string "1"), empty string for unadvised ones.
+#pragma once
+
+#include "oracle/oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+
+namespace oraclesize {
+
+class PartialTreeOracle final : public Oracle {
+ public:
+  /// fraction in [0,1]: probability a node keeps its advice. 1.0 recovers
+  /// (one flag bit more than) Theorem 2.1; 0.0 recovers the null oracle.
+  PartialTreeOracle(double fraction, std::uint64_t seed,
+                    TreeKind tree = TreeKind::kBfs)
+      : fraction_(fraction), seed_(seed), tree_(tree) {}
+
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override;
+  std::string name() const override;
+
+ private:
+  double fraction_;
+  std::uint64_t seed_;
+  TreeKind tree_;
+};
+
+}  // namespace oraclesize

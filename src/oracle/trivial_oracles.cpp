@@ -1,0 +1,43 @@
+#include "oracle/trivial_oracles.h"
+
+#include "bitio/codecs.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+
+std::vector<BitString> NullOracle::advise(const PortGraph& g,
+                                          NodeId /*source*/) const {
+  return std::vector<BitString>(g.num_nodes());
+}
+
+BitString encode_graph_map(const PortGraph& g) {
+  const std::size_t n = g.num_nodes();
+  BitString out;
+  append_doubled(out, static_cast<std::uint64_t>(n));
+  if (n == 0) return out;
+  const int width = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)));
+  for (NodeId v = 0; v < n; ++v) {
+    append_doubled(out, static_cast<std::uint64_t>(g.degree(v)));
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const Endpoint e = g.neighbor(v, p);
+      out.append_uint(e.node, width);
+      out.append_uint(e.port, width);
+    }
+  }
+  return out;
+}
+
+std::vector<BitString> FullMapOracle::advise(const PortGraph& g,
+                                             NodeId /*source*/) const {
+  const BitString map = encode_graph_map(g);
+  return std::vector<BitString>(g.num_nodes(), map);
+}
+
+std::vector<BitString> SourceMapOracle::advise(const PortGraph& g,
+                                               NodeId source) const {
+  std::vector<BitString> advice(g.num_nodes());
+  advice.at(source) = encode_graph_map(g);
+  return advice;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,42 @@
+// Reference oracles bracketing the interesting ones.
+//
+//  * NullOracle     — zero bits: the "no knowledge" extreme. Flooding still
+//                     broadcasts/wakes up, at Theta(m) messages.
+//  * FullMapOracle  — every node gets the complete labeled, ported map of
+//                     the network: the "full knowledge" extreme of the
+//                     pre-oracle literature, at Theta(n * m log n) bits.
+//  * SourceMapOracle— only the source gets the full map (Theta(m log n)
+//                     bits); a natural middle point used in the E6 table.
+#pragma once
+
+#include "oracle/oracle.h"
+
+namespace oraclesize {
+
+class NullOracle final : public Oracle {
+ public:
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override;
+  std::string name() const override { return "null"; }
+};
+
+/// Uniquely decodable encoding of the entire port-labeled graph:
+/// doubled(n), then for every node v in id order doubled(deg(v)) followed by
+/// deg(v) fixed-width (neighbor id, neighbor port) pairs.
+BitString encode_graph_map(const PortGraph& g);
+
+class FullMapOracle final : public Oracle {
+ public:
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override;
+  std::string name() const override { return "full-map"; }
+};
+
+class SourceMapOracle final : public Oracle {
+ public:
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override;
+  std::string name() const override { return "source-map"; }
+};
+
+}  // namespace oraclesize

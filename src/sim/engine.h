@@ -1,0 +1,67 @@
+// The discrete-event execution engine.
+//
+// Given a network, a source, per-node advice strings (the oracle's output),
+// and an algorithm, the engine instantiates one scheme per node and plays
+// the message-passing execution under a chosen scheduler. It tracks the
+// paper's notion of "informed" — the source is informed, and a node becomes
+// informed upon receiving a message *sent by an informed node* (the source
+// message can be piggybacked on any such message) — and can machine-check
+// the wakeup constraint: a non-source node must not transmit before it is
+// informed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bitio/bitstring.h"
+#include "graph/port_graph.h"
+#include "sim/metrics.h"
+#include "sim/scheduler.h"
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+struct RunOptions {
+  SchedulerKind scheduler = SchedulerKind::kSynchronous;
+  std::uint64_t seed = 1;          ///< randomness for kAsyncRandom
+  std::uint32_t max_delay = 16;    ///< max per-message delay, kAsyncRandom
+  std::uint64_t max_messages = 50'000'000;  ///< runaway-scheme safety valve
+  bool enforce_wakeup = false;  ///< flag transmissions by uninformed nodes
+  bool anonymous = false;       ///< hide id(v) from the algorithm (pass 0)
+  bool trace = false;           ///< record every transmission (tests only)
+};
+
+struct RunResult {
+  Metrics metrics;
+  std::vector<bool> informed;  ///< per node
+  bool all_informed = false;   ///< the task's success criterion
+  /// Empty when the run is clean; otherwise the first violation detected
+  /// (wakeup constraint, invalid port, message budget).
+  std::string violation;
+  std::vector<SentRecord> trace;  ///< only when RunOptions::trace
+  std::vector<bool> terminated;   ///< per-node NodeBehavior::terminated()
+  std::vector<std::uint64_t> outputs;  ///< per-node NodeBehavior::output()
+  std::vector<std::uint64_t> sends_by_node;  ///< per-node message load
+  /// Scheduler key (round, under kSynchronous) at which each node became
+  /// informed; kNeverInformed for nodes that never did, 0 for the source.
+  static constexpr std::int64_t kNeverInformed =
+      std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> informed_at;
+
+  /// The heaviest sender's message count (load balance of the scheme —
+  /// the paper counts totals; per-node load is a natural refinement).
+  std::uint64_t max_node_sends() const;
+
+  std::size_t informed_count() const;
+};
+
+/// Executes `algorithm` on `g` from `source` with the given advice strings
+/// (advice.size() must equal g.num_nodes()). Deterministic for fixed inputs
+/// and options.
+RunResult run_execution(const PortGraph& g, NodeId source,
+                        const std::vector<BitString>& advice,
+                        const Algorithm& algorithm, const RunOptions& options);
+
+}  // namespace oraclesize

@@ -1,0 +1,46 @@
+#include "sim/history.h"
+
+namespace oraclesize {
+
+namespace {
+
+/// Replays the growing history through the pure scheme and emits only the
+/// sends appended since the previous invocation.
+class ReplayBehavior final : public NodeBehavior {
+ public:
+  explicit ReplayBehavior(const HistoryScheme& scheme) : scheme_(scheme) {}
+
+  std::vector<Send> on_start(const NodeInput& input) override {
+    history_.input = input;
+    return advance();
+  }
+
+  std::vector<Send> on_receive(const NodeInput& /*input*/, const Message& msg,
+                               Port from_port) override {
+    history_.received.emplace_back(msg, from_port);
+    return advance();
+  }
+
+ private:
+  std::vector<Send> advance() {
+    std::vector<Send> all = scheme_(history_);
+    std::vector<Send> fresh(all.begin() + static_cast<std::ptrdiff_t>(
+                                              emitted_),
+                            all.end());
+    emitted_ = all.size();
+    return fresh;
+  }
+
+  const HistoryScheme& scheme_;
+  History history_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeBehavior> HistorySchemeAlgorithm::make_behavior(
+    const NodeInput& /*input*/) const {
+  return std::make_unique<ReplayBehavior>(scheme_);
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,92 @@
+// The paper's literal scheme formalism: histories and history functions.
+//
+// Section 1.4 defines a scheme S_v as a function from *histories*
+//
+//     H = (f(v), s(v), id(v), deg(v), (m1,p1), (m2,p2), ..., (mk,pk))
+//
+// to send-sets. The engine's NodeBehavior interface is the incremental form
+// of the same object; this header provides the literal form:
+//
+//  * History — the full knowledge of a node at a point of the execution;
+//  * HistoryScheme — a pure function History -> sends;
+//  * HistorySchemeAlgorithm — adapts a HistoryScheme into an Algorithm by
+//    replaying the growing history at every step (stateless by
+//    construction, exactly the paper's object);
+//  * RecordingBehavior — wraps any NodeBehavior and records its history,
+//    letting tests check that a stateful behavior is equivalent to some
+//    history function (determinism over histories).
+//
+// The adapter is O(k) per delivery (it re-presents the whole history), so
+// it is a specification/testing device, not the production path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/scheme.h"
+
+namespace oraclesize {
+
+/// The paper's history H at a node.
+struct History {
+  NodeInput input;  ///< the prefix (f(v), s(v), id(v), deg(v))
+  std::vector<std::pair<Message, Port>> received;  ///< (m_i, p_i), in order
+};
+
+/// A scheme in the paper's sense: sends as a pure function of the history.
+using HistoryScheme = std::function<std::vector<Send>(const History&)>;
+
+/// Adapts a history function into an executable Algorithm. The function is
+/// invoked once on the empty history (on_start) and once per delivery with
+/// the full history so far; to keep send-sets disjoint across invocations
+/// the adapter emits only the *new* sends, i.e. the scheme must be
+/// monotone: scheme(H') must extend scheme(H) whenever H' extends H by one
+/// message. The paper's schemes (tree wakeup, scheme B) all have this
+/// property — each history step triggers a batch of sends that is never
+/// retracted.
+class HistorySchemeAlgorithm final : public Algorithm {
+ public:
+  HistorySchemeAlgorithm(HistoryScheme scheme, std::string name,
+                         bool wakeup = false)
+      : scheme_(std::move(scheme)), name_(std::move(name)), wakeup_(wakeup) {}
+
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const override;
+  std::string name() const override { return name_; }
+  bool is_wakeup() const override { return wakeup_; }
+
+ private:
+  HistoryScheme scheme_;
+  std::string name_;
+  bool wakeup_;
+};
+
+/// Decorates a NodeBehavior, recording the history it has been shown.
+/// Tests use it to validate behavior/history-function equivalence.
+class RecordingBehavior final : public NodeBehavior {
+ public:
+  explicit RecordingBehavior(std::unique_ptr<NodeBehavior> inner)
+      : inner_(std::move(inner)) {}
+
+  std::vector<Send> on_start(const NodeInput& input) override {
+    history_.input = input;
+    return inner_->on_start(input);
+  }
+  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
+                               Port from_port) override {
+    history_.received.emplace_back(msg, from_port);
+    return inner_->on_receive(input, msg, from_port);
+  }
+  bool terminated() const override { return inner_->terminated(); }
+  std::uint64_t output() const override { return inner_->output(); }
+
+  const History& history() const noexcept { return history_; }
+
+ private:
+  std::unique_ptr<NodeBehavior> inner_;
+  History history_;
+};
+
+}  // namespace oraclesize

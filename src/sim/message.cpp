@@ -1,0 +1,17 @@
+#include "sim/message.h"
+
+namespace oraclesize {
+
+std::string to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kSource:
+      return "source";
+    case MsgKind::kHello:
+      return "hello";
+    case MsgKind::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+}  // namespace oraclesize

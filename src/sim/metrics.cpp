@@ -1,0 +1,31 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+namespace oraclesize {
+
+void Metrics::count_send(const Message& msg) noexcept {
+  ++messages_total;
+  switch (msg.kind) {
+    case MsgKind::kSource:
+      ++messages_source;
+      break;
+    case MsgKind::kHello:
+      ++messages_hello;
+      break;
+    case MsgKind::kControl:
+      ++messages_control;
+      break;
+  }
+  bits_sent += static_cast<std::uint64_t>(msg.size_bits());
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "messages=" << messages_total << " (source=" << messages_source
+     << ", hello=" << messages_hello << ", control=" << messages_control
+     << "), bits=" << bits_sent << ", deliveries=" << deliveries;
+  return os.str();
+}
+
+}  // namespace oraclesize

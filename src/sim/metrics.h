@@ -1,0 +1,36 @@
+// Execution metrics: the quantities the paper's statements are about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/port_graph.h"
+#include "sim/message.h"
+
+namespace oraclesize {
+
+/// A record of one transmission (kept only when tracing is enabled).
+struct SentRecord {
+  NodeId from = kNoNode;
+  Port port = kNoPort;
+  NodeId to = kNoNode;
+  MsgKind kind = MsgKind::kControl;
+  bool sender_informed = false;  ///< was the sender informed when it sent?
+  std::int64_t sent_at = 0;      ///< scheduler key of the triggering event
+};
+
+struct Metrics {
+  std::uint64_t messages_total = 0;
+  std::uint64_t messages_source = 0;   ///< kSource messages (carrying M)
+  std::uint64_t messages_hello = 0;    ///< kHello
+  std::uint64_t messages_control = 0;  ///< kControl
+  std::uint64_t bits_sent = 0;         ///< sum of Message::size_bits()
+  std::uint64_t deliveries = 0;
+  std::int64_t completion_key = 0;  ///< largest delivery key (time, for sync)
+
+  void count_send(const Message& msg) noexcept;
+  std::string summary() const;
+};
+
+}  // namespace oraclesize

@@ -1,0 +1,49 @@
+#include "sim/scheduler.h"
+
+namespace oraclesize {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSynchronous:
+      return "sync";
+    case SchedulerKind::kAsyncRandom:
+      return "async-random";
+    case SchedulerKind::kAsyncFifo:
+      return "async-fifo";
+    case SchedulerKind::kAsyncLifo:
+      return "async-lifo";
+    case SchedulerKind::kAsyncLinkFifo:
+      return "async-link-fifo";
+  }
+  return "unknown";
+}
+
+Scheduler::Scheduler(SchedulerKind kind, std::uint64_t seed,
+                     std::uint32_t max_delay)
+    : kind_(kind), rng_(seed), max_delay_(max_delay == 0 ? 1 : max_delay) {}
+
+std::int64_t Scheduler::delivery_key(std::int64_t now, std::uint64_t seq,
+                                     std::uint64_t link) {
+  switch (kind_) {
+    case SchedulerKind::kSynchronous:
+      return now + 1;
+    case SchedulerKind::kAsyncRandom:
+      return now + 1 + static_cast<std::int64_t>(rng_.below(max_delay_));
+    case SchedulerKind::kAsyncFifo:
+      return static_cast<std::int64_t>(seq);
+    case SchedulerKind::kAsyncLifo:
+      return -static_cast<std::int64_t>(seq);
+    case SchedulerKind::kAsyncLinkFifo: {
+      // Random per-message delay, clamped so this link's deliveries stay in
+      // send order (FIFO channel), while distinct links race freely.
+      const std::int64_t candidate =
+          now + 1 + static_cast<std::int64_t>(rng_.below(max_delay_));
+      std::int64_t& clock = link_clock_[link];
+      clock = (candidate > clock) ? candidate : clock + 1;
+      return clock;
+    }
+  }
+  return now + 1;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,60 @@
+// Delivery-order policies for the simulator.
+//
+// The paper's upper bounds hold under *total asynchrony* (any finite delay,
+// any interleaving) and the lower bounds already hold synchronously, so the
+// engine supports both extremes plus randomized and adversarial middles:
+//
+//  * kSynchronous — classic rounds: everything sent in round t arrives in
+//    round t+1, deliveries within a round in send order.
+//  * kAsyncRandom — each message independently delayed by 1..max_delay
+//    (seeded), modelling a benign asynchronous network.
+//  * kAsyncFifo — one global FIFO: strictly ordered, single delivery at a
+//    time (a degenerate but legal asynchronous executive).
+//  * kAsyncLifo — adversarial: always delivers the *most recently sent*
+//    pending message first. This is the schedule that exposes
+//    hello-after-M races in broadcast scheme B (DESIGN.md deviation #4).
+//  * kAsyncLinkFifo — messages on the same directed link arrive in send
+//    order (the classic asynchronous message-passing model with FIFO
+//    channels), but different links race with independent random delays.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace oraclesize {
+
+enum class SchedulerKind {
+  kSynchronous,
+  kAsyncRandom,
+  kAsyncFifo,
+  kAsyncLifo,
+  kAsyncLinkFifo,
+};
+
+const char* to_string(SchedulerKind kind);
+
+/// Computes the priority key under which a message becomes deliverable.
+/// Lower keys deliver first; ties broken by sequence number (FIFO).
+class Scheduler {
+ public:
+  Scheduler(SchedulerKind kind, std::uint64_t seed, std::uint32_t max_delay);
+
+  /// Key for a message sent with sequence number `seq` while the engine was
+  /// processing an event with key `now` (0 for on_start sends). `link`
+  /// identifies the directed channel (sender, sender-port); only
+  /// kAsyncLinkFifo consults it.
+  std::int64_t delivery_key(std::int64_t now, std::uint64_t seq,
+                            std::uint64_t link);
+
+  SchedulerKind kind() const noexcept { return kind_; }
+
+ private:
+  SchedulerKind kind_;
+  Rng rng_;
+  std::uint32_t max_delay_;
+  std::unordered_map<std::uint64_t, std::int64_t> link_clock_;
+};
+
+}  // namespace oraclesize

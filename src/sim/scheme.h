@@ -1,0 +1,84 @@
+// The algorithm/scheme model of the paper (Section 1.4), in executable form.
+//
+// A broadcast algorithm A maps the local quadruple
+//     (f(v), s(v), id(v), deg(v))
+// to a *scheme* S_v: a function from the node's communication history to a
+// set of (message, port) sends. A stateful per-node object is the executable
+// equivalent of a history function — its state is, by construction, a
+// function of the history of inputs it has seen — so NodeBehavior exposes
+// exactly two entry points: one for the empty history (on_start, where only
+// broadcast schemes may transmit) and one per received message (on_receive).
+//
+// A *wakeup* algorithm is a broadcast algorithm whose schemes return the
+// empty set on all histories with no received messages unless the node is
+// the source; the engine can enforce this machine-checkably
+// (RunOptions::enforce_wakeup in sim/engine.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitio/bitstring.h"
+#include "graph/port_graph.h"
+#include "sim/message.h"
+
+namespace oraclesize {
+
+/// The local knowledge quadruple a node starts with.
+struct NodeInput {
+  BitString advice;        ///< f(v), the oracle's string for this node
+  bool is_source = false;  ///< s(v)
+  Label id = 0;            ///< id(v); 0 when the run is anonymous
+  std::size_t degree = 0;  ///< deg(v)
+};
+
+/// One outgoing transmission: send `msg` through local port `port`.
+struct Send {
+  Message msg;
+  Port port = kNoPort;
+};
+
+/// Executable scheme for a single node. Implementations keep per-node state
+/// across calls; the engine creates one instance per node per run.
+class NodeBehavior {
+ public:
+  virtual ~NodeBehavior() = default;
+
+  /// Reaction to the empty history, invoked once before any delivery.
+  /// Wakeup schemes must return {} here unless the node is the source.
+  virtual std::vector<Send> on_start(const NodeInput& input) = 0;
+
+  /// Reaction to a message arriving on local port `from_port`.
+  virtual std::vector<Send> on_receive(const NodeInput& input,
+                                       const Message& msg,
+                                       Port from_port) = 0;
+
+  /// Local termination: true once this node has finished its part of the
+  /// task according to its own state (e.g. the census source after all
+  /// acknowledgments arrived). Purely observational — the engine never
+  /// consults it for scheduling; RunResult snapshots it after the run.
+  virtual bool terminated() const { return false; }
+
+  /// A local output value, when the task computes one (e.g. the census
+  /// count at the source). 0 when the scheme has nothing to report.
+  virtual std::uint64_t output() const { return 0; }
+};
+
+/// The algorithm A: a factory from quadruples to schemes. Implementations
+/// must not inspect anything beyond the quadruple — in particular they never
+/// see the graph. (The oracle saw the graph; the algorithm only sees f(v).)
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput& input) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True for wakeup algorithms; lets harnesses switch on enforcement.
+  virtual bool is_wakeup() const { return false; }
+};
+
+}  // namespace oraclesize

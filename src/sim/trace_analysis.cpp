@@ -1,0 +1,62 @@
+#include "sim/trace_analysis.h"
+
+#include <algorithm>
+
+namespace oraclesize {
+
+namespace {
+
+EdgeKey normalized(const SentRecord& s) {
+  return {std::min(s.from, s.to), std::max(s.from, s.to)};
+}
+
+}  // namespace
+
+std::map<EdgeKey, std::uint64_t> traffic_per_edge(
+    const std::vector<SentRecord>& trace) {
+  std::map<EdgeKey, std::uint64_t> out;
+  for (const SentRecord& s : trace) ++out[normalized(s)];
+  return out;
+}
+
+std::map<EdgeKey, std::uint64_t> traffic_per_edge(
+    const std::vector<SentRecord>& trace, MsgKind kind) {
+  std::map<EdgeKey, std::uint64_t> out;
+  for (const SentRecord& s : trace) {
+    if (s.kind == kind) ++out[normalized(s)];
+  }
+  return out;
+}
+
+std::map<DirectedKey, std::uint64_t> traffic_per_direction(
+    const std::vector<SentRecord>& trace) {
+  std::map<DirectedKey, std::uint64_t> out;
+  for (const SentRecord& s : trace) ++out[{s.from, s.to}];
+  return out;
+}
+
+std::uint64_t max_edge_traffic(const std::vector<SentRecord>& trace) {
+  std::uint64_t best = 0;
+  for (const auto& [edge, count] : traffic_per_edge(trace)) {
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+bool traffic_within(const std::vector<SentRecord>& trace,
+                    const std::set<EdgeKey>& allowed) {
+  for (const SentRecord& s : trace) {
+    if (!allowed.count(normalized(s))) return false;
+  }
+  return true;
+}
+
+std::uint64_t uninformed_sends(const std::vector<SentRecord>& trace) {
+  std::uint64_t count = 0;
+  for (const SentRecord& s : trace) {
+    if (!s.sender_informed) ++count;
+  }
+  return count;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,46 @@
+// Post-hoc analysis of execution traces.
+//
+// When RunOptions::trace is set the engine records every transmission;
+// these helpers turn that record into the quantities invariants are stated
+// about: per-edge traffic, per-direction traffic, per-kind breakdowns, and
+// the "does all traffic ride a given edge set" predicate the Theorem 3.1
+// proofs use.
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace oraclesize {
+
+/// Normalized undirected edge key (min id, max id).
+using EdgeKey = std::pair<NodeId, NodeId>;
+/// Directed key (from, to).
+using DirectedKey = std::pair<NodeId, NodeId>;
+
+/// Messages per undirected edge, optionally restricted to one kind.
+std::map<EdgeKey, std::uint64_t> traffic_per_edge(
+    const std::vector<SentRecord>& trace);
+std::map<EdgeKey, std::uint64_t> traffic_per_edge(
+    const std::vector<SentRecord>& trace, MsgKind kind);
+
+/// Messages per directed (from, to) pair.
+std::map<DirectedKey, std::uint64_t> traffic_per_direction(
+    const std::vector<SentRecord>& trace);
+
+/// The heaviest undirected edge's message count (0 for an empty trace).
+std::uint64_t max_edge_traffic(const std::vector<SentRecord>& trace);
+
+/// True iff every traced message traveled inside `allowed` (normalized
+/// undirected keys) — e.g. the spanning-tree edge set.
+bool traffic_within(const std::vector<SentRecord>& trace,
+                    const std::set<EdgeKey>& allowed);
+
+/// Number of messages sent by nodes that were not informed at send time
+/// (0 for any wakeup-legal execution).
+std::uint64_t uninformed_sends(const std::vector<SentRecord>& trace);
+
+}  // namespace oraclesize

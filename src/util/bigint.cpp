@@ -1,0 +1,168 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oraclesize {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}  // namespace
+
+BigNat::BigNat(u64 v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigNat::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNat& BigNat::operator+=(const BigNat& other) {
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u64 before = limbs_[i];
+    limbs_[i] = before + rhs + carry;
+    carry = (limbs_[i] < before || (carry && limbs_[i] == before)) ? 1 : 0;
+  }
+  if (carry) limbs_.push_back(1);
+  return *this;
+}
+
+BigNat& BigNat::operator*=(u64 m) {
+  if (m == 0 || is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  u64 carry = 0;
+  for (u64& limb : limbs_) {
+    const u128 prod = static_cast<u128>(limb) * m + carry;
+    limb = static_cast<u64>(prod);
+    carry = static_cast<u64>(prod >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+BigNat BigNat::operator*(const BigNat& other) const {
+  if (is_zero() || other.is_zero()) return BigNat{};
+  BigNat out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(limbs_[i]) * other.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry) {
+      const u128 cur = static_cast<u128>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigNat& BigNat::divide_exact(u64 divisor) {
+  if (divisor == 0) throw std::invalid_argument("BigNat: divide by zero");
+  u64 remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const u128 cur = (static_cast<u128>(remainder) << 64) | limbs_[i];
+    limbs_[i] = static_cast<u64>(cur / divisor);
+    remainder = static_cast<u64>(cur % divisor);
+  }
+  if (remainder != 0) {
+    throw std::invalid_argument("BigNat::divide_exact: not divisible");
+  }
+  trim();
+  return *this;
+}
+
+int BigNat::compare(const BigNat& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+std::size_t BigNat::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         static_cast<std::size_t>(64 - __builtin_clzll(top));
+}
+
+double BigNat::log2() const {
+  if (is_zero()) return -std::numeric_limits<double>::infinity();
+  // Top two limbs give a 128-bit mantissa; lower limbs only shift the
+  // exponent (their contribution to log2 is below double precision).
+  const std::size_t top = limbs_.size();
+  const std::size_t consumed = std::min<std::size_t>(top, 2);
+  double mantissa = 0.0;
+  for (std::size_t i = top; i-- > top - consumed;) {
+    mantissa =
+        mantissa * std::ldexp(1.0, 64) + static_cast<double>(limbs_[i]);
+  }
+  return std::log2(mantissa) + static_cast<double>((top - consumed) * 64);
+}
+
+std::uint64_t BigNat::to_u64() const {
+  if (limbs_.size() > 1) throw std::overflow_error("BigNat::to_u64");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::string BigNat::to_string() const {
+  if (is_zero()) return "0";
+  BigNat tmp = *this;
+  std::string out;
+  while (!tmp.is_zero()) {
+    // Divide by 10^19 (largest power of ten in a u64) and render remainder.
+    constexpr u64 kChunk = 10'000'000'000'000'000'000ull;
+    u64 remainder = 0;
+    for (std::size_t i = tmp.limbs_.size(); i-- > 0;) {
+      const u128 cur = (static_cast<u128>(remainder) << 64) | tmp.limbs_[i];
+      tmp.limbs_[i] = static_cast<u64>(cur / kChunk);
+      remainder = static_cast<u64>(cur % kChunk);
+    }
+    tmp.trim();
+    std::string part = std::to_string(remainder);
+    if (!tmp.is_zero()) part.insert(0, 19 - part.size(), '0');
+    out.insert(0, part);
+  }
+  return out;
+}
+
+BigNat BigNat::factorial(u64 n) {
+  BigNat out(1);
+  for (u64 i = 2; i <= n; ++i) out *= i;
+  return out;
+}
+
+BigNat BigNat::binomial(u64 n, u64 k) {
+  if (k > n) return BigNat{};
+  if (k > n - k) k = n - k;
+  BigNat out(1);
+  // Multiply/divide alternately; out stays integral because every prefix
+  // product of C(n,k)'s factors is itself a binomial coefficient.
+  for (u64 i = 1; i <= k; ++i) {
+    out *= (n - k + i);
+    out.divide_exact(i);
+  }
+  return out;
+}
+
+}  // namespace oraclesize

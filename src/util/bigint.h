@@ -1,0 +1,81 @@
+// Arbitrary-precision unsigned integers for *exact* instance counting.
+//
+// The lower-bound machinery compares instance-family cardinalities like
+// C(U, m-r) * (m-r)!. The production path (util/mathx.h) works in log space
+// via lgamma — fast, but floating point. This class provides the exact
+// ground truth: big-naturals with addition, multiplication, comparison,
+// and exact binomial/factorial constructors, used by tests to certify that
+// every decision the CountingAdversary makes from lgamma values agrees
+// with exact arithmetic at scales where enumeration (exact_adversary.h)
+// is hopeless.
+//
+// Scope is deliberately small: unsigned only, no division beyond the small
+// divisor needed by binomial(), magnitudes up to a few hundred thousand
+// bits. Not a general bignum library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oraclesize {
+
+class BigNat {
+ public:
+  BigNat() = default;                      // zero
+  explicit BigNat(std::uint64_t v);        // small value
+
+  static BigNat factorial(std::uint64_t n);
+  /// C(n, k); returns zero when k > n.
+  static BigNat binomial(std::uint64_t n, std::uint64_t k);
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+
+  BigNat& operator+=(const BigNat& other);
+  friend BigNat operator+(BigNat a, const BigNat& b) { return a += b; }
+
+  BigNat& operator*=(std::uint64_t m);
+  BigNat operator*(const BigNat& other) const;
+
+  /// Exact division by a small divisor. Requires divisor != 0 and exact
+  /// divisibility (checked; throws std::invalid_argument otherwise).
+  BigNat& divide_exact(std::uint64_t divisor);
+
+  /// Three-way comparison: -1, 0, +1.
+  int compare(const BigNat& other) const noexcept;
+  friend bool operator==(const BigNat& a, const BigNat& b) noexcept {
+    return a.compare(b) == 0;
+  }
+  friend bool operator<(const BigNat& a, const BigNat& b) noexcept {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigNat& a, const BigNat& b) noexcept {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigNat& a, const BigNat& b) noexcept {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigNat& a, const BigNat& b) noexcept {
+    return a.compare(b) >= 0;
+  }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const noexcept;
+
+  /// log2 of the value (-infinity for zero); used to cross-check the
+  /// lgamma-based pipeline. Exact to double precision.
+  double log2() const;
+
+  /// Exact value if it fits in 64 bits; throws std::overflow_error else.
+  std::uint64_t to_u64() const;
+
+  /// Decimal rendering (for diagnostics; O(bits^2/64)).
+  std::string to_string() const;
+
+ private:
+  void trim();
+  // Little-endian base-2^64 limbs; empty means zero.
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace oraclesize

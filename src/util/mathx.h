@@ -1,0 +1,49 @@
+// Log-space combinatorics and integer-log helpers.
+//
+// The lower-bound machinery of the paper (Lemma 2.1, Theorems 2.2 and 3.2)
+// compares cardinalities of instance families that overflow any fixed-width
+// integer long before the interesting range of n (e.g. |I| ~ n! * (n^2/2
+// choose n)). All such quantities are therefore manipulated as base-2
+// logarithms computed via lgamma, which is exact enough (relative error
+// ~1e-14) for every comparison the adversary makes: the quantities compared
+// differ by at least a factor of ~2 whenever a decision matters.
+#pragma once
+
+#include <cstdint>
+
+namespace oraclesize {
+
+/// ceil(log2(x)) for x >= 1. ceil_log2(1) == 0.
+int ceil_log2(std::uint64_t x) noexcept;
+
+/// floor(log2(x)) for x >= 1. floor_log2(1) == 0.
+int floor_log2(std::uint64_t x) noexcept;
+
+/// The paper's #2(w): number of bits in the standard binary representation
+/// of w, with the convention #2(0) = #2(1) = 1.
+/// #2(w) = floor(log2 w) + 1 for w > 1.
+int num_bits(std::uint64_t w) noexcept;
+
+/// log2(x!) via lgamma. Requires x >= 0; log2_factorial(0) == 0.
+double log2_factorial(std::uint64_t x) noexcept;
+
+/// log2(a choose b). Returns -infinity if b > a. log2_choose(a, 0) == 0.
+double log2_choose(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// log2(a^b) = b * log2(a). Requires a >= 1.
+double log2_pow(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Numerically stable log2(2^a + 2^b).
+double log2_add(double a, double b) noexcept;
+
+/// Numerically stable log2(2^a - 2^b). Requires a >= b.
+/// Returns -infinity when a == b.
+double log2_sub(double a, double b) noexcept;
+
+/// Verifies Claim 2.1 of the paper numerically:
+/// (a(1+b) choose a) <= (6b)^a, i.e.
+/// log2_choose(a*(1+b), a) <= a*log2(6b).
+/// Returns true iff the inequality holds for the given a, b.
+bool claim21_holds(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace oraclesize

@@ -1,0 +1,49 @@
+// Minimal aligned-table and CSV printer used by the benchmark harness to
+// reproduce the paper's result tables in a readable form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oraclesize {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// or as CSV. Cells are stored as strings; numeric helpers format with a
+/// fixed precision suited to the experiment tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_* calls append cells to it.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(const char* value) { return cell(std::string(value)); }
+  /// Fixed-point double with the given number of decimals.
+  Table& cell(double value, int decimals = 2);
+  /// Any integral type.
+  template <typename T>
+    requires std::is_integral_v<T>
+  Table& cell(T value) {
+    return cell(std::to_string(value));
+  }
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment, a header rule, and an optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of commas; cells never
+  /// contain commas in this code base).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oraclesize

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of oraclesize_cli, run by ctest. First argument:
+# path to the CLI binary.
+set -euo pipefail
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# gen -> run for every task on a sparse network.
+"$CLI" gen random 80 0.08 --seed 5 > "$TMP/net.txt"
+grep -q '^portgraph 80$' "$TMP/net.txt" || fail "gen header"
+
+for task in wakeup broadcast flooding census gossip hybrid; do
+  "$CLI" run "$task" < "$TMP/net.txt" > "$TMP/out.txt" || fail "run $task"
+  grep -q ': ok,' "$TMP/out.txt" || fail "$task not ok"
+done
+
+# advise | run --advice-file round trip.
+"$CLI" advise light < "$TMP/net.txt" > "$TMP/advice.txt"
+grep -q '^advice 80$' "$TMP/advice.txt" || fail "advise header"
+"$CLI" run broadcast --advice-file "$TMP/advice.txt" < "$TMP/net.txt" \
+  > "$TMP/out.txt"
+grep -q 'file:' "$TMP/out.txt" || fail "advice-file oracle name"
+grep -q ': ok,' "$TMP/out.txt" || fail "advice-file run"
+
+# Census reports the node count.
+"$CLI" gen grid 6 7 | "$CLI" run census > "$TMP/out.txt"
+grep -q 'census output at source: 42' "$TMP/out.txt" || fail "census output"
+
+# Deterministic generation: same seed, same bytes.
+"$CLI" gen random 50 0.1 --seed 9 > "$TMP/a.txt"
+"$CLI" gen random 50 0.1 --seed 9 > "$TMP/b.txt"
+cmp -s "$TMP/a.txt" "$TMP/b.txt" || fail "gen determinism"
+
+# tree and bounds and game produce their key lines.
+"$CLI" gen complete 32 | "$CLI" tree light | grep -q 'contribution' \
+  || fail "tree"
+"$CLI" bounds wakeup 256 1 500 | grep -q 'guaranteed wakeup messages' \
+  || fail "bounds wakeup"
+"$CLI" bounds broadcast 256 4 64 | grep -q 'guaranteed broadcast messages' \
+  || fail "bounds broadcast"
+"$CLI" game 60 4 | grep -q 'measured probes' || fail "game"
+
+# Failure paths exit non-zero.
+if "$CLI" run wakeup --source 999 < "$TMP/net.txt" >/dev/null 2>&1; then
+  fail "out-of-range source accepted"
+fi
+if echo "garbage" | "$CLI" run wakeup >/dev/null 2>&1; then
+  fail "garbage network accepted"
+fi
+if "$CLI" gen bogus 5 >/dev/null 2>&1; then
+  fail "unknown family accepted"
+fi
+
+"$CLI" gen torus 5 5 | "$CLI" stats | grep -q "diameter" || fail "stats"
+
+echo "cli smoke: all checks passed"

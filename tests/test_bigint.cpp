@@ -1,0 +1,132 @@
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(BigNat, SmallValues) {
+  EXPECT_TRUE(BigNat().is_zero());
+  EXPECT_EQ(BigNat(0).to_u64(), 0u);
+  EXPECT_EQ(BigNat(42).to_u64(), 42u);
+  EXPECT_EQ(BigNat(42).to_string(), "42");
+  EXPECT_EQ(BigNat().to_string(), "0");
+}
+
+TEST(BigNat, AdditionWithCarries) {
+  BigNat a(~std::uint64_t{0});  // 2^64 - 1
+  a += BigNat(1);
+  EXPECT_EQ(a.bit_length(), 65u);
+  EXPECT_EQ(a.to_string(), "18446744073709551616");
+  a += a;
+  EXPECT_EQ(a.to_string(), "36893488147419103232");  // 2^65
+}
+
+TEST(BigNat, SmallMultiplication) {
+  BigNat a(123456789);
+  a *= 987654321;
+  EXPECT_EQ(a.to_string(), "121932631112635269");
+  a *= 0;
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(BigNat, BigMultiplicationKnownValue) {
+  // 2^128 = (2^64)^2.
+  BigNat two64(~std::uint64_t{0});
+  two64 += BigNat(1);
+  const BigNat two128 = two64 * two64;
+  EXPECT_EQ(two128.bit_length(), 129u);
+  EXPECT_EQ(two128.to_string(), "340282366920938463463374607431768211456");
+}
+
+TEST(BigNat, FactorialKnownValues) {
+  EXPECT_EQ(BigNat::factorial(0).to_u64(), 1u);
+  EXPECT_EQ(BigNat::factorial(5).to_u64(), 120u);
+  EXPECT_EQ(BigNat::factorial(20).to_u64(), 2432902008176640000u);
+  EXPECT_EQ(BigNat::factorial(25).to_string(),
+            "15511210043330985984000000");
+}
+
+TEST(BigNat, BinomialKnownValues) {
+  EXPECT_EQ(BigNat::binomial(5, 2).to_u64(), 10u);
+  EXPECT_EQ(BigNat::binomial(10, 5).to_u64(), 252u);
+  EXPECT_EQ(BigNat::binomial(100, 50).to_string(),
+            "100891344545564193334812497256");
+  EXPECT_TRUE(BigNat::binomial(3, 7).is_zero());
+  EXPECT_EQ(BigNat::binomial(7, 0).to_u64(), 1u);
+  EXPECT_EQ(BigNat::binomial(7, 7).to_u64(), 1u);
+}
+
+TEST(BigNat, PascalIdentityExact) {
+  for (std::uint64_t n : {10ull, 40ull, 97ull}) {
+    for (std::uint64_t k = 1; k < n; k += 5) {
+      const BigNat lhs = BigNat::binomial(n, k);
+      BigNat rhs = BigNat::binomial(n - 1, k - 1);
+      rhs += BigNat::binomial(n - 1, k);
+      EXPECT_EQ(lhs, rhs) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BigNat, DivideExactChecks) {
+  BigNat a = BigNat::factorial(30);
+  EXPECT_NO_THROW(a.divide_exact(30));
+  EXPECT_EQ(a, BigNat::factorial(29));
+  BigNat b(10);
+  EXPECT_THROW(b.divide_exact(3), std::invalid_argument);
+  EXPECT_THROW(b.divide_exact(0), std::invalid_argument);
+}
+
+TEST(BigNat, Comparisons) {
+  EXPECT_LT(BigNat(3), BigNat(5));
+  EXPECT_GT(BigNat::factorial(21), BigNat::factorial(20));
+  EXPECT_LE(BigNat(7), BigNat(7));
+  EXPECT_EQ(BigNat::binomial(60, 30), BigNat::binomial(60, 30));
+}
+
+TEST(BigNat, ToU64Overflow) {
+  EXPECT_THROW(BigNat::factorial(30).to_u64(), std::overflow_error);
+}
+
+TEST(BigNat, Log2MatchesLgammaPipeline) {
+  // The exact log2 agrees with util/mathx.h's lgamma-based values to ~1e-9
+  // relative error across the magnitudes the adversary uses.
+  for (std::uint64_t n : {50ull, 500ull, 5000ull}) {
+    for (std::uint64_t k : {std::uint64_t{1}, std::uint64_t{7}, n / 3,
+                            n / 2}) {
+      const double exact = BigNat::binomial(n, k).log2();
+      const double approx = log2_choose(n, k);
+      EXPECT_NEAR(exact, approx, 1e-6 * std::max(1.0, exact))
+          << "n=" << n << " k=" << k;
+    }
+  }
+  EXPECT_NEAR(BigNat::factorial(2000).log2(), log2_factorial(2000), 1e-6);
+}
+
+TEST(BigNat, Log2OfZeroIsNegInfinity) {
+  EXPECT_TRUE(std::isinf(BigNat().log2()));
+  EXPECT_LT(BigNat().log2(), 0);
+}
+
+TEST(BigNat, AdversaryDecisionsMatchExactArithmetic) {
+  // The heart of the cross-check: the CountingAdversary decides "special"
+  // iff C(u-1, s-1) >= C(u-1, s) computed via lgamma. Certify the same
+  // comparison with exact integers over a dense grid, including the
+  // near-tie region u ~ 2s where the decision flips.
+  for (std::uint64_t u = 2; u <= 400; u += 7) {
+    for (std::uint64_t s = 1; s <= u; s += 3) {
+      const bool exact_special =
+          BigNat::binomial(u - 1, s - 1) >= BigNat::binomial(u - 1, s);
+      const bool approx_special =
+          log2_choose(u - 1, s - 1) >= log2_choose(u - 1, s) - 1e-9;
+      EXPECT_EQ(exact_special, approx_special) << "u=" << u << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,191 @@
+#include "lowerbound/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(Bounds, OracleOutputsTinyCasesExact) {
+  // q = 0: only the all-empty assignment. Q = 1.
+  EXPECT_NEAR(log2_oracle_outputs(0, 4), 0.0, 1e-9);
+  // q = 1, nodes = 2: q'=0 gives 1; q'=1 gives 2 strings * 2 placements = 4.
+  // Q = 5.
+  EXPECT_NEAR(log2_oracle_outputs(1, 2), std::log2(5.0), 1e-9);
+  // q = 2, nodes = 1: 1 + 2 + 4 = 7.
+  EXPECT_NEAR(log2_oracle_outputs(2, 1), std::log2(7.0), 1e-9);
+}
+
+TEST(Bounds, OracleOutputsMonotone) {
+  double prev = -1;
+  for (std::uint64_t q : {0ull, 1ull, 5ull, 20ull, 100ull}) {
+    const double cur = log2_oracle_outputs(q, 8);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Bounds, PaperUpperBoundDominatesExactCount) {
+  // Equation 3 is an over-estimate; the exact count must stay below it.
+  for (std::uint64_t q : {1ull, 10ull, 100ull, 1000ull}) {
+    for (std::size_t nodes : {2u, 10u, 100u}) {
+      EXPECT_LE(log2_oracle_outputs(q, nodes),
+                log2_oracle_outputs_upper(q, nodes) + 1e-9)
+          << "q=" << q << " nodes=" << nodes;
+    }
+  }
+}
+
+TEST(Bounds, WakeupFamilySizeEquation2) {
+  // P = n! * C(C(n,2), n); check against direct computation.
+  const std::size_t n = 12;
+  const double expected =
+      log2_factorial(12) + log2_choose(66, 12);
+  EXPECT_NEAR(log2_wakeup_family(n, 1), expected, 1e-9);
+}
+
+TEST(Bounds, WakeupLowerBoundIsNLogNForSmallAlpha) {
+  // Theorem 2.2's quantitative heart, at exactly computable scale: with
+  // oracle budget alpha * N log N (N = 2n nodes) and alpha = 0.1, the
+  // guaranteed message count exceeds the network size and grows strictly
+  // faster than linearly. (The paper's alpha -> 1/2 threshold is
+  // asymptotic; with exact counting the admissible alpha grows with n —
+  // see RemarkThresholdGrowsWithC and bench_e2.)
+  auto lb = [](std::size_t n) {
+    const std::size_t network = 2 * n;
+    const auto bits = static_cast<std::uint64_t>(
+        0.1 * network * std::log2(static_cast<double>(network)));
+    return wakeup_message_lower_bound(n, 1, bits);
+  };
+  const double b512 = lb(512), b1024 = lb(1024), b2048 = lb(2048);
+  EXPECT_GT(b512, 1024.0);  // superlinear already at n=512
+  // Doubling n more than doubles the bound (n log n growth).
+  EXPECT_GT(b1024 / b512, 2.0);
+  EXPECT_GT(b2048 / b1024, 2.0);
+}
+
+TEST(Bounds, WakeupLowerBoundVanishesForHugeOracles) {
+  // Give the oracle more bits than the family has entropy: bound hits 0.
+  const std::size_t n = 64;
+  const auto huge = static_cast<std::uint64_t>(
+      log2_wakeup_family(n, 1) + 10 * n);
+  EXPECT_EQ(wakeup_message_lower_bound(n, 1, huge), 0.0);
+}
+
+TEST(Bounds, WakeupLowerBoundMonotoneDecreasingInOracleBits) {
+  const std::size_t n = 128;
+  double prev = 1e18;
+  for (std::uint64_t bits : {0ull, 100ull, 1000ull, 5000ull, 20000ull}) {
+    const double cur = wakeup_message_lower_bound(n, 1, bits);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Bounds, WakeupZeroOracleMatchesLemmaDirectly) {
+  // With q = 0, Q = 1 and the bound must equal log2(P / n!) = log2 C(C(n,2), n).
+  const std::size_t n = 32;
+  EXPECT_NEAR(wakeup_message_lower_bound(n, 1, 0),
+              log2_choose(32 * 31 / 2, 32), 1e-6);
+}
+
+TEST(Bounds, RemarkThresholdGrowsWithC) {
+  // The Remark: subdividing c*n edges pushes the oracle-size threshold
+  // towards c/(c+1): for fixed n, the alpha at which the bound collapses
+  // strictly increases with c (and stays below 1).
+  const std::size_t n = 256;
+  const double t1 = empirical_wakeup_threshold(n, 1);
+  const double t2 = empirical_wakeup_threshold(n, 2);
+  const double t3 = empirical_wakeup_threshold(n, 3);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t3, t2);
+  EXPECT_LT(t3, 1.0);
+}
+
+TEST(Bounds, ThresholdGrowsWithN) {
+  // At fixed c = 1, exact counting admits larger and larger alpha as n
+  // grows (the asymptotic limit being the paper's 1/2).
+  const double a = empirical_wakeup_threshold(128, 1);
+  const double b = empirical_wakeup_threshold(512, 1);
+  const double c = empirical_wakeup_threshold(2048, 1);
+  EXPECT_GT(b, a);
+  EXPECT_GT(c, b);
+  EXPECT_LT(c, 0.5);  // never crosses the paper's threshold from below
+}
+
+TEST(Bounds, BroadcastFamilyRequiresDivisibility) {
+  EXPECT_THROW(log2_broadcast_family(10, 4), std::invalid_argument);
+  EXPECT_NO_THROW(log2_broadcast_family(16, 4));
+}
+
+TEST(Bounds, BroadcastFamilyEquation6) {
+  // P' = C(C(n,2) - 3n/4k, n/4k), n = 16, k = 4: C(120 - 3, 1) = 117.
+  EXPECT_NEAR(log2_broadcast_family(16, 4), std::log2(117.0), 1e-9);
+}
+
+TEST(Bounds, BroadcastLowerBoundBeatsClaim33Budget) {
+  // Claim 3.3's contradiction step: with oracle size n/(2k) on the
+  // (2n)-node family G_{n,k} and k within the claim's regime
+  // (k <= ~sqrt(log n)), the edge-discovery bound must exceed the assumed
+  // message budget n(k-1)/8.
+  struct Case {
+    std::size_t n, k;
+  };
+  // k <= sqrt(log2 n) requires n >= 2^16 for k = 4.
+  for (const Case c : {Case{1 << 16, 4}, Case{1 << 18, 4}}) {
+    ASSERT_EQ(c.n % (4 * c.k), 0u);
+    const auto bits = static_cast<std::uint64_t>(c.n / (2 * c.k));
+    const double lb = broadcast_message_lower_bound(c.n, c.k, bits);
+    EXPECT_GT(lb, static_cast<double>(c.n) * (c.k - 1) / 8.0)
+        << "n=" << c.n << " k=" << c.k;
+  }
+}
+
+TEST(Bounds, BroadcastLowerBoundPerNodeRatioGrowsWithN) {
+  // Theorem 3.2's superlinearity, visible as a trend at computable scale:
+  // with advice budget n/(2k) and k grown slowly with n, the guaranteed
+  // messages *per node* keep increasing.
+  struct Case {
+    std::size_t n, k;
+  };
+  double prev_ratio = 0.0;
+  for (const Case c : {Case{3072, 3}, Case{1 << 14, 4}, Case{1 << 16, 4}}) {
+    ASSERT_EQ(c.n % (4 * c.k), 0u);
+    const auto bits = static_cast<std::uint64_t>(c.n / (2 * c.k));
+    const double ratio = broadcast_message_lower_bound(c.n, c.k, bits) /
+                         static_cast<double>(2 * c.n);
+    EXPECT_GT(ratio, prev_ratio) << "n=" << c.n;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 0.2);
+}
+
+TEST(Bounds, BroadcastLowerBoundZeroWhenOracleHuge) {
+  const std::size_t n = 64, k = 2;
+  const auto huge =
+      static_cast<std::uint64_t>(log2_broadcast_family(n, k)) + 100;
+  EXPECT_EQ(broadcast_message_lower_bound(n, k, huge), 0.0);
+}
+
+TEST(Bounds, SeparationHeadline) {
+  // The paper's punchline at computable scale: broadcast on the (2n)-node
+  // family is solved with <= 3(2n-1) messages by scheme B (Theorem 3.1),
+  // while a zero-advice wakeup is already forced to spend Theta(n log n)
+  // messages — more than broadcast's total — and the gap widens with n.
+  double prev_gap = 0.0;
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    const double broadcast_achieved = 3.0 * (2.0 * n - 1.0);
+    const double wakeup_needed = wakeup_message_lower_bound(n, 1, 0);
+    EXPECT_GT(wakeup_needed, broadcast_achieved) << "n=" << n;
+    const double gap = wakeup_needed / broadcast_achieved;
+    EXPECT_GT(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+}  // namespace
+}  // namespace oraclesize

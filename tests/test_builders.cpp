@@ -1,0 +1,162 @@
+#include "graph/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/validate.h"
+
+namespace oraclesize {
+namespace {
+
+void expect_valid_connected(const PortGraph& g) {
+  EXPECT_EQ(validate_ports(g), "");
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Builders, Path) {
+  const PortGraph g = make_path(6);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_EQ(g.degree(5), 1u);
+}
+
+TEST(Builders, SingletonPath) {
+  const PortGraph g = make_path(1);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  expect_valid_connected(g);
+}
+
+TEST(Builders, Cycle) {
+  const PortGraph g = make_cycle(7);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Builders, CycleRejectsTooSmall) {
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Builders, Star) {
+  const PortGraph g = make_star(9);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.degree(0), 8u);
+  for (NodeId v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Builders, Grid) {
+  const PortGraph g = make_grid(3, 4);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17u);
+}
+
+TEST(Builders, DegenerateGridIsPath) {
+  const PortGraph g = make_grid(1, 5);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(Builders, Hypercube) {
+  const PortGraph g = make_hypercube(4);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  // Canonical labeling: port = dimension, symmetric across each edge.
+  for (NodeId v = 0; v < 16; ++v) {
+    for (Port p = 0; p < 4; ++p) {
+      const Endpoint e = g.neighbor(v, p);
+      EXPECT_EQ(e.node, v ^ (1u << p));
+      EXPECT_EQ(e.port, p);
+    }
+  }
+}
+
+TEST(Builders, HypercubeDimZero) {
+  const PortGraph g = make_hypercube(0);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builders, BinaryTree) {
+  const PortGraph g = make_binary_tree(10);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 2u);  // children 1, 2
+}
+
+TEST(Builders, RandomTreeIsTree) {
+  Rng rng(5);
+  for (std::size_t n : {1u, 2u, 3u, 10u, 57u, 256u}) {
+    const PortGraph g = make_random_tree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n - (n > 0 ? 1 : 0));
+    expect_valid_connected(g);
+  }
+}
+
+TEST(Builders, RandomTreesVary) {
+  Rng rng(6);
+  const PortGraph a = make_random_tree(40, rng);
+  const PortGraph b = make_random_tree(40, rng);
+  // Two independent uniform trees on 40 nodes almost surely differ.
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(Builders, RandomConnectedIsConnectedAcrossDensities) {
+  Rng rng(7);
+  for (double p : {0.0, 0.05, 0.3, 1.0}) {
+    const PortGraph g = make_random_connected(30, p, rng);
+    expect_valid_connected(g);
+    EXPECT_GE(g.num_edges(), 29u);
+  }
+}
+
+TEST(Builders, RandomConnectedFullDensityIsComplete) {
+  Rng rng(8);
+  const PortGraph g = make_random_connected(12, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 12u * 11 / 2);
+}
+
+TEST(Builders, Lollipop) {
+  const PortGraph g = make_lollipop(10);
+  expect_valid_connected(g);
+  // Clique on 5 nodes (10 edges) + path of 5 more edges.
+  EXPECT_EQ(g.num_edges(), 10u + 5u);
+}
+
+TEST(Builders, ShufflePortsPreservesStructure) {
+  Rng rng(9);
+  const PortGraph g = make_random_connected(25, 0.2, rng);
+  const PortGraph h = shuffle_ports(g, rng);
+  EXPECT_EQ(validate_ports(h), "");
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(h.degree(v), g.degree(v));
+    EXPECT_EQ(h.label(v), g.label(v));
+  }
+  // Same adjacency relation, node by node.
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(h.port_towards(e.u, e.v), kNoPort);
+  }
+}
+
+TEST(Builders, ShufflePortsActuallyShuffles) {
+  Rng rng(10);
+  const PortGraph g = make_star(40);  // center has 39 ports to permute
+  const PortGraph h = shuffle_ports(g, rng);
+  std::size_t moved = 0;
+  for (Port p = 0; p < g.degree(0); ++p) {
+    if (g.neighbor(0, p).node != h.neighbor(0, p).node) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+}  // namespace
+}  // namespace oraclesize

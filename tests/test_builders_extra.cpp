@@ -1,0 +1,120 @@
+// Coverage for the extended family builders (torus, bipartite, wheel,
+// caterpillar, random regular) and their use as algorithm workloads.
+#include <gtest/gtest.h>
+
+#include "core/broadcast_b.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "graph/light_tree.h"
+#include "graph/validate.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+
+namespace oraclesize {
+namespace {
+
+void expect_valid_connected(const PortGraph& g) {
+  EXPECT_EQ(validate_ports(g), "");
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BuildersExtra, Torus) {
+  const PortGraph g = make_torus(4, 5);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 40u);  // 2 edges per node
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(BuildersExtra, TorusRejectsSmallWrap) {
+  EXPECT_THROW(make_torus(2, 5), std::invalid_argument);
+  EXPECT_THROW(make_torus(5, 2), std::invalid_argument);
+}
+
+TEST(BuildersExtra, CompleteBipartite) {
+  const PortGraph g = make_complete_bipartite(3, 4);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4u);
+  for (NodeId v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  // No edge within a side.
+  EXPECT_EQ(g.port_towards(0, 1), kNoPort);
+  EXPECT_EQ(g.port_towards(3, 4), kNoPort);
+}
+
+TEST(BuildersExtra, Star1KIsBipartite) {
+  const PortGraph g = make_complete_bipartite(1, 6);
+  EXPECT_EQ(g.degree(0), 6u);
+  expect_valid_connected(g);
+}
+
+TEST(BuildersExtra, Wheel) {
+  const PortGraph g = make_wheel(8);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_edges(), 14u);  // 7 rim + 7 spokes
+  EXPECT_EQ(g.degree(0), 7u);
+  for (NodeId v = 1; v < 8; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(BuildersExtra, Caterpillar) {
+  const PortGraph g = make_caterpillar(5, 3);
+  expect_valid_connected(g);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 19u);  // a tree
+  // Spine interior nodes: 2 spine neighbors + 3 legs.
+  EXPECT_EQ(g.degree(2), 5u);
+  // Legs are leaves.
+  EXPECT_EQ(g.degree(19), 1u);
+}
+
+TEST(BuildersExtra, CaterpillarNoLegsIsPath) {
+  const PortGraph g = make_caterpillar(6, 0);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+}
+
+TEST(BuildersExtra, RandomRegular) {
+  Rng rng(81);
+  for (auto [n, d] : {std::pair<std::size_t, std::size_t>{20, 3},
+                      {30, 4}, {50, 6}}) {
+    const PortGraph g = make_random_regular(n, d, rng);
+    expect_valid_connected(g);
+    EXPECT_EQ(g.num_nodes(), n);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+  }
+}
+
+TEST(BuildersExtra, RandomRegularRejectsImpossible) {
+  Rng rng(82);
+  EXPECT_THROW(make_random_regular(5, 3, rng), std::invalid_argument);  // nd odd
+  EXPECT_THROW(make_random_regular(4, 4, rng), std::invalid_argument);  // d>=n
+  EXPECT_THROW(make_random_regular(10, 1, rng), std::invalid_argument);  // d<2
+}
+
+TEST(BuildersExtra, NewFamiliesRunBothPrimitives) {
+  Rng rng(83);
+  std::vector<PortGraph> graphs;
+  graphs.push_back(make_torus(5, 6));
+  graphs.push_back(make_complete_bipartite(6, 9));
+  graphs.push_back(make_wheel(25));
+  graphs.push_back(make_caterpillar(8, 4));
+  graphs.push_back(make_random_regular(40, 4, rng));
+  for (const PortGraph& g : graphs) {
+    const std::size_t n = g.num_nodes();
+    const TaskReport w =
+        run_task(g, 0, TreeWakeupOracle(), WakeupTreeAlgorithm());
+    ASSERT_TRUE(w.ok()) << g.summary();
+    EXPECT_EQ(w.run.metrics.messages_total, n - 1);
+    const TaskReport b =
+        run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm());
+    ASSERT_TRUE(b.ok()) << g.summary();
+    EXPECT_LE(b.run.metrics.messages_total, 3 * (n - 1));
+    EXPECT_LE(b.oracle_bits, 10 * n);
+    EXPECT_LE(light_tree(g, 0).contribution, 4 * n);
+  }
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,138 @@
+// The census/echo extension: same Theorem 2.1 oracle, richer task —
+// the source learns n and detects termination, at 2(n-1) messages.
+#include "core/census.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/runner.h"
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "graph/subdivision.h"
+#include "oracle/tree_wakeup_oracle.h"
+
+namespace oraclesize {
+namespace {
+
+struct CensusCase {
+  std::string name;
+  PortGraph graph;
+  NodeId source;
+};
+
+std::vector<CensusCase> census_cases() {
+  Rng rng(501);
+  std::vector<CensusCase> cases;
+  cases.push_back({"singleton", make_path(1), 0});
+  cases.push_back({"pair", make_path(2), 1});
+  cases.push_back({"path", make_path(30), 7});
+  cases.push_back({"star-center", make_star(20), 0});
+  cases.push_back({"star-leaf", make_star(20), 3});
+  cases.push_back({"grid", make_grid(5, 8), 0});
+  cases.push_back({"complete", make_complete_star(25), 0});
+  cases.push_back({"random", make_random_connected(60, 0.1, rng), 11});
+  cases.push_back({"gns", make_gns(10, 10, rng).graph, 0});
+  return cases;
+}
+
+class CensusEndToEnd : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(CensusEndToEnd, SourceLearnsNWithTwoNMessages) {
+  for (const CensusCase& c : census_cases()) {
+    RunOptions opts;
+    opts.scheduler = GetParam();
+    opts.seed = 3;
+    const TaskReport r = run_task(c.graph, c.source, TreeWakeupOracle(),
+                                  CensusAlgorithm(), opts);
+    const std::size_t n = c.graph.num_nodes();
+    ASSERT_TRUE(r.ok()) << c.name << ": " << r.summary();
+    // The source terminated and counted everyone.
+    EXPECT_TRUE(r.run.terminated[c.source]) << c.name;
+    EXPECT_EQ(r.run.outputs[c.source], n) << c.name;
+    // Exactly n-1 source messages down and n-1 count reports up.
+    EXPECT_EQ(r.run.metrics.messages_source, n - 1) << c.name;
+    EXPECT_EQ(r.run.metrics.messages_control, n - 1) << c.name;
+    EXPECT_EQ(r.run.metrics.messages_total, 2 * (n - 1)) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, CensusEndToEnd,
+    ::testing::Values(SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom,
+                      SchedulerKind::kAsyncFifo, SchedulerKind::kAsyncLifo,
+                      SchedulerKind::kAsyncLinkFifo),
+    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+      std::string name = to_string(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(Census, EveryNodeOutputsItsSubtreeSize) {
+  Rng rng(502);
+  const PortGraph g = make_random_connected(40, 0.15, rng);
+  const NodeId source = 5;
+  const TaskReport r =
+      run_task(g, source, TreeWakeupOracle(TreeKind::kBfs), CensusAlgorithm());
+  ASSERT_TRUE(r.ok());
+  const SpanningTree tree = bfs_tree(g, source);
+  // Subtree sizes, computed independently.
+  std::vector<std::uint64_t> subtree(g.num_nodes(), 1);
+  // Process nodes in decreasing depth.
+  std::vector<NodeId> order(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return tree.depth(a) > tree.depth(b);
+  });
+  for (NodeId v : order) {
+    if (!tree.is_root(v)) subtree[tree.parent(v)] += subtree[v];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(r.run.terminated[v]) << v;
+    EXPECT_EQ(r.run.outputs[v], subtree[v]) << v;
+  }
+}
+
+TEST(Census, RespectsWakeupConstraint) {
+  // run_task auto-enforces (is_wakeup); a clean report is the proof.
+  const PortGraph g = make_star(12);
+  const TaskReport r =
+      run_task(g, 4, TreeWakeupOracle(), CensusAlgorithm());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.run.violation.empty());
+}
+
+TEST(Census, CountPayloadsAreLogBounded) {
+  const PortGraph g = make_path(64);
+  const TaskReport r =
+      run_task(g, 0, TreeWakeupOracle(), CensusAlgorithm());
+  ASSERT_TRUE(r.ok());
+  // 63 bare M messages (2 bits) + count reports carrying <= #2(63) bits
+  // each: total strictly below messages * (2 + 6).
+  EXPECT_LE(r.run.metrics.bits_sent, r.run.metrics.messages_total * 8);
+}
+
+TEST(Census, SameOracleAsWakeup) {
+  // The entire point: census needs not one bit more of advice.
+  Rng rng(503);
+  const PortGraph g = make_random_connected(50, 0.2, rng);
+  const auto advice = TreeWakeupOracle().advise(g, 0);
+  RunOptions opts;
+  opts.enforce_wakeup = true;
+  const RunResult r = run_execution(g, 0, advice, CensusAlgorithm(), opts);
+  EXPECT_TRUE(r.violation.empty());
+  EXPECT_EQ(r.outputs[0], g.num_nodes());
+}
+
+TEST(Census, SingletonTerminatesInstantly) {
+  const PortGraph g = make_path(1);
+  const TaskReport r =
+      run_task(g, 0, TreeWakeupOracle(), CensusAlgorithm());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.run.terminated[0]);
+  EXPECT_EQ(r.run.outputs[0], 1u);
+  EXPECT_EQ(r.run.metrics.messages_total, 0u);
+}
+
+}  // namespace
+}  // namespace oraclesize

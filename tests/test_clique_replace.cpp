@@ -1,0 +1,170 @@
+#include "graph/clique_replace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/complete_star.h"
+#include "graph/subdivision.h"
+#include "graph/validate.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(CliqueReplace, PaperShapeInvariants) {
+  Rng rng(1);
+  const std::size_t n = 16, k = 4;  // 4k = 16 divides n
+  const CliqueReplacedGraph g = make_random_gnsc(n, k, rng);
+  EXPECT_EQ(validate_ports(g.graph), "");
+  EXPECT_TRUE(is_connected(g.graph));
+  // "every graph in G_{n,k} has 2n nodes"
+  EXPECT_EQ(g.graph.num_nodes(), 2 * n);
+  // "all nodes with labels larger than n have degree k-1"
+  for (NodeId v = static_cast<NodeId>(n); v < 2 * n; ++v) {
+    EXPECT_EQ(g.graph.degree(v), k - 1) << "clique node " << v;
+  }
+  // Base nodes keep degree n-1.
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(g.graph.degree(v), n - 1);
+  }
+}
+
+TEST(CliqueReplace, CliqueNodeLabels) {
+  Rng rng(2);
+  const std::size_t n = 8, k = 2;
+  const CliqueReplacedGraph g = make_random_gnsc(n, k, rng);
+  // Clique i (1-based) nodes are labeled n+(i-1)k+1 .. n+ik.
+  for (std::size_t i = 0; i < g.num_cliques(); ++i) {
+    for (int a = 1; a <= static_cast<int>(k); ++a) {
+      const NodeId v = g.clique_node(i, a);
+      EXPECT_EQ(g.graph.label(v), n + i * k + static_cast<std::size_t>(a));
+    }
+  }
+}
+
+TEST(CliqueReplace, CliquePortBijection) {
+  for (std::size_t k : {2u, 3u, 5u, 8u}) {
+    for (int a = 1; a <= static_cast<int>(k); ++a) {
+      std::set<Port> ports;
+      for (int b = 1; b <= static_cast<int>(k); ++b) {
+        if (a == b) continue;
+        const Port p = clique_port(k, a, b);
+        EXPECT_LT(p, k - 1);
+        EXPECT_TRUE(ports.insert(p).second);
+      }
+    }
+  }
+}
+
+TEST(CliqueReplace, AttachmentInheritsPorts) {
+  Rng rng(3);
+  const std::size_t n = 16, k = 4;
+  const CliqueReplacedGraph g = make_random_gnsc(n, k, rng);
+  for (std::size_t i = 0; i < g.num_cliques(); ++i) {
+    const Edge& e = g.s[i];
+    const auto [ai, bi] = g.c[i];
+    const NodeId na = g.clique_node(i, ai);
+    const NodeId nb = g.clique_node(i, bi);
+    // u_i's old port for e_i now reaches a_i, on f_i's port at a_i.
+    EXPECT_EQ(g.graph.neighbor(e.u, e.port_u),
+              (Endpoint{na, clique_port(k, ai, bi)}));
+    EXPECT_EQ(g.graph.neighbor(e.v, e.port_v),
+              (Endpoint{nb, clique_port(k, bi, ai)}));
+  }
+}
+
+TEST(CliqueReplace, RemovedEdgeIsAbsentInsideClique) {
+  Rng rng(4);
+  const std::size_t n = 16, k = 4;
+  const CliqueReplacedGraph g = make_random_gnsc(n, k, rng);
+  for (std::size_t i = 0; i < g.num_cliques(); ++i) {
+    const auto [ai, bi] = g.c[i];
+    EXPECT_EQ(g.graph.port_towards(g.clique_node(i, ai),
+                                   g.clique_node(i, bi)),
+              kNoPort);
+    // All other intra-clique pairs are adjacent.
+    for (int a = 1; a <= static_cast<int>(k); ++a) {
+      for (int b = a + 1; b <= static_cast<int>(k); ++b) {
+        if (a == ai && b == bi) continue;
+        EXPECT_NE(g.graph.port_towards(g.clique_node(i, a),
+                                       g.clique_node(i, b)),
+                  kNoPort);
+      }
+    }
+  }
+}
+
+TEST(CliqueReplace, SurvivingCompleteEdgesUntouched) {
+  Rng rng(5);
+  const std::size_t n = 16, k = 4;
+  const CliqueReplacedGraph g = make_random_gnsc(n, k, rng);
+  std::set<std::pair<NodeId, NodeId>> replaced;
+  for (const Edge& e : g.s) replaced.insert({e.u, e.v});
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (replaced.count({i, j})) continue;
+      EXPECT_EQ(g.graph.neighbor(i, complete_star_port(n, i, j)).node, j);
+    }
+  }
+}
+
+TEST(CliqueReplace, EdgeCount) {
+  Rng rng(6);
+  const std::size_t n = 24, k = 3;
+  const CliqueReplacedGraph g = make_random_gnsc(n, k, rng);
+  const std::size_t q = n / k;
+  // C(n,2) - q (replaced) + q * (C(k,2) - 1) (clique minus f_i) + 2q
+  // (attachments).
+  const std::size_t expected =
+      n * (n - 1) / 2 - q + q * (k * (k - 1) / 2 - 1) + 2 * q;
+  EXPECT_EQ(g.graph.num_edges(), expected);
+}
+
+TEST(CliqueReplace, MinimalCliqueSizeTwo) {
+  // k = 2: H_i is a single edge that gets removed; its two endpoints hang
+  // off u_i and v_i as pendant nodes of degree k-1 = 1.
+  Rng rng(7);
+  const std::size_t n = 8, k = 2;
+  const CliqueReplacedGraph g = make_random_gnsc(n, k, rng);
+  EXPECT_EQ(validate_ports(g.graph), "");
+  EXPECT_TRUE(is_connected(g.graph));
+  for (NodeId v = static_cast<NodeId>(n); v < 2 * n; ++v) {
+    EXPECT_EQ(g.graph.degree(v), 1u);
+  }
+}
+
+TEST(CliqueReplace, RejectsBadDivisibility) {
+  Rng rng(8);
+  EXPECT_THROW(make_random_gnsc(10, 4, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_gnsc(16, 1, rng), std::invalid_argument);
+}
+
+TEST(CliqueReplace, RejectsMalformedExplicitInputs) {
+  const std::size_t n = 8, k = 2;
+  Rng rng(9);
+  auto s = random_complete_star_edges(n, n / k, rng);
+  std::vector<std::pair<int, int>> c(n / k, {1, 2});
+  // Wrong |S|.
+  EXPECT_THROW(make_gnsc(n, k, std::vector<Edge>{s[0]}, c),
+               std::invalid_argument);
+  // Bad (a,b) with a >= b.
+  std::vector<std::pair<int, int>> bad_c(n / k, {2, 2});
+  EXPECT_THROW(make_gnsc(n, k, s, bad_c), std::invalid_argument);
+  // Duplicate S edge.
+  auto dup = s;
+  dup[1] = dup[0];
+  EXPECT_THROW(make_gnsc(n, k, dup, c), std::invalid_argument);
+}
+
+TEST(CliqueReplace, DeterministicForExplicitInputs) {
+  const std::size_t n = 8, k = 2;
+  Rng rng(10);
+  const auto s = random_complete_star_edges(n, n / k, rng);
+  const std::vector<std::pair<int, int>> c(n / k, {1, 2});
+  const CliqueReplacedGraph a = make_gnsc(n, k, s, c);
+  const CliqueReplacedGraph b = make_gnsc(n, k, s, c);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,196 @@
+#include "bitio/codecs.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+// ---- doubled-bit code ------------------------------------------------------
+
+TEST(DoubledCode, PaperExampleShape) {
+  // Encoding of 5 (binary 101): 11 00 11 then terminator 10.
+  BitString s;
+  append_doubled(s, 5);
+  EXPECT_EQ(s.to_string(), "11001110");
+}
+
+TEST(DoubledCode, ZeroIsRepresentable) {
+  BitString s;
+  append_doubled(s, 0);
+  EXPECT_EQ(s.to_string(), "0010");
+  BitReader r(s);
+  EXPECT_EQ(read_doubled(r), 0u);
+}
+
+TEST(DoubledCode, LengthFormula) {
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 7ull, 8ull, 1000ull,
+                          (1ull << 32) + 17}) {
+    BitString s;
+    append_doubled(s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), doubled_length(v)) << v;
+    EXPECT_EQ(doubled_length(v), 2 * num_bits(v) + 2) << v;
+  }
+}
+
+TEST(DoubledCode, RoundTripSweep) {
+  for (std::uint64_t v = 0; v < 2000; ++v) {
+    BitString s;
+    append_doubled(s, v);
+    BitReader r(s);
+    EXPECT_EQ(read_doubled(r), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(DoubledCode, SelfDelimitingInConcatenation) {
+  BitString s;
+  const std::vector<std::uint64_t> values{0, 1, 5, 1023, 42, 0, 7};
+  for (std::uint64_t v : values) append_doubled(s, v);
+  BitReader r(s);
+  for (std::uint64_t v : values) EXPECT_EQ(read_doubled(r), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(DoubledCode, RejectsMalformedInput) {
+  // "01" as first pair is invalid.
+  const BitString bad = BitString::from_string("0110");
+  BitReader r(bad);
+  EXPECT_THROW(read_doubled(r), std::invalid_argument);
+  // Immediate terminator with no payload.
+  const BitString empty_payload = BitString::from_string("10");
+  BitReader r2(empty_payload);
+  EXPECT_THROW(read_doubled(r2), std::invalid_argument);
+  // Truncated mid-pair.
+  const BitString truncated = BitString::from_string("110");
+  BitReader r3(truncated);
+  EXPECT_THROW(read_doubled(r3), std::out_of_range);
+}
+
+// ---- Elias gamma / delta ---------------------------------------------------
+
+TEST(EliasGamma, KnownCodewords) {
+  BitString s1;
+  append_elias_gamma(s1, 1);
+  EXPECT_EQ(s1.to_string(), "1");
+  BitString s2;
+  append_elias_gamma(s2, 2);
+  EXPECT_EQ(s2.to_string(), "010");
+  BitString s5;
+  append_elias_gamma(s5, 5);
+  EXPECT_EQ(s5.to_string(), "00101");
+}
+
+TEST(EliasGamma, RoundTripSweep) {
+  for (std::uint64_t v = 1; v < 3000; ++v) {
+    BitString s;
+    append_elias_gamma(s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), elias_gamma_length(v));
+    BitReader r(s);
+    EXPECT_EQ(read_elias_gamma(r), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(EliasGamma, RejectsZero) {
+  BitString s;
+  EXPECT_THROW(append_elias_gamma(s, 0), std::invalid_argument);
+}
+
+TEST(EliasDelta, RoundTripSweep) {
+  for (std::uint64_t v = 1; v < 3000; ++v) {
+    BitString s;
+    append_elias_delta(s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), elias_delta_length(v));
+    BitReader r(s);
+    EXPECT_EQ(read_elias_delta(r), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(EliasDelta, ShorterThanGammaForLargeValues) {
+  EXPECT_LT(elias_delta_length(1u << 20), elias_gamma_length(1u << 20));
+}
+
+TEST(EliasDelta, LargeValueRoundTrip) {
+  for (std::uint64_t v : {1ull << 31, (1ull << 52) + 12345, ~0ull >> 1}) {
+    BitString s;
+    append_elias_delta(s, v);
+    BitReader r(s);
+    EXPECT_EQ(read_elias_delta(r), v);
+  }
+}
+
+// ---- port-list codec (Theorem 2.1 payload) ---------------------------------
+
+TEST(PortList, EmptyListIsEmptyString) {
+  // Leaves of the spanning tree receive the empty string, verbatim from the
+  // paper.
+  const BitString s = encode_port_list({}, 10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(decode_port_list(s).empty());
+}
+
+TEST(PortList, RoundTrip) {
+  const std::vector<std::uint64_t> ports{0, 5, 1023, 7};
+  const BitString s = encode_port_list(ports, 10);
+  EXPECT_EQ(decode_port_list(s), ports);
+}
+
+TEST(PortList, LengthMatchesTheorem21) {
+  // c(v) * ceil(log2 n) + O(log log n): header is 2*#2(width)+2 bits.
+  const int width = 13;  // ceil(log2 n) for n = 8192
+  const std::vector<std::uint64_t> ports{1, 2, 3, 4, 5};
+  const BitString s = encode_port_list(ports, width);
+  EXPECT_EQ(s.size(), ports.size() * width +
+                          static_cast<std::size_t>(doubled_length(width)));
+}
+
+TEST(PortList, SingleChild) {
+  const BitString s = encode_port_list({3}, 2);
+  EXPECT_EQ(decode_port_list(s), std::vector<std::uint64_t>{3});
+}
+
+TEST(PortList, RejectsGarbageTail) {
+  BitString s = encode_port_list({1, 2}, 4);
+  s.append_bit(true);  // leftover bit no longer divisible by the width
+  EXPECT_THROW(decode_port_list(s), std::invalid_argument);
+}
+
+TEST(PortList, RejectsBadWidth) {
+  EXPECT_THROW(encode_port_list({1}, 0), std::invalid_argument);
+}
+
+// ---- weight-list codec (Theorem 3.1 payload) -------------------------------
+
+TEST(WeightList, EmptyRoundTrip) {
+  const BitString s = encode_weight_list({});
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(decode_weight_list(s).empty());
+}
+
+TEST(WeightList, MultisetRoundTripWithDuplicates) {
+  const std::vector<std::uint64_t> weights{0, 0, 1, 5, 5, 128};
+  EXPECT_EQ(decode_weight_list(encode_weight_list(weights)), weights);
+}
+
+TEST(WeightList, SizeIsLinearInContribution) {
+  // Each weight costs 2*#2(w) + 2 bits (DESIGN.md deviation #3).
+  const std::vector<std::uint64_t> weights{0, 3, 9, 1000};
+  std::size_t expected = 0;
+  for (std::uint64_t w : weights) {
+    expected += static_cast<std::size_t>(2 * num_bits(w) + 2);
+  }
+  EXPECT_EQ(encode_weight_list(weights).size(), expected);
+}
+
+TEST(WeightList, OrderPreserved) {
+  const std::vector<std::uint64_t> weights{9, 1, 4};
+  EXPECT_EQ(decode_weight_list(encode_weight_list(weights)), weights);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,89 @@
+#include "graph/complete_star.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/validate.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(CompleteStar, BasicShape) {
+  const PortGraph g = make_complete_star(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(validate_ports(g), "");
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(CompleteStar, PortFormulaIsBijectivePerNode) {
+  // This is exactly the property the paper's (i-j) mod (n-1) formula lacks
+  // (DESIGN.md deviation #1): at every node the ports of the n-1 incident
+  // edges must be a permutation of 0..n-2.
+  for (std::size_t n : {2u, 3u, 4u, 5u, 9u, 16u, 33u}) {
+    for (NodeId i = 0; i < n; ++i) {
+      std::set<Port> ports;
+      for (NodeId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const Port p = complete_star_port(n, i, j);
+        EXPECT_LT(p, n - 1);
+        EXPECT_TRUE(ports.insert(p).second)
+            << "collision at n=" << n << " i=" << i << " j=" << j;
+      }
+      EXPECT_EQ(ports.size(), n - 1);
+    }
+  }
+}
+
+TEST(CompleteStar, NeighborIsInverseOfPort) {
+  const std::size_t n = 11;
+  for (NodeId i = 0; i < n; ++i) {
+    for (Port p = 0; p + 1 < n; ++p) {
+      const NodeId j = complete_star_neighbor(n, i, p);
+      EXPECT_EQ(complete_star_port(n, i, j), p);
+    }
+  }
+}
+
+TEST(CompleteStar, GraphAgreesWithFormula) {
+  const std::size_t n = 9;
+  const PortGraph g = make_complete_star(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Port p = complete_star_port(n, i, j);
+      EXPECT_EQ(g.neighbor(i, p).node, j);
+    }
+  }
+}
+
+TEST(CompleteStar, PortLabelingIsStructureOblivious) {
+  // The port at i towards j depends only on (j - i) mod n: the rotation
+  // invariance that makes the labeling reveal nothing about S.
+  const std::size_t n = 10;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = 0; j + 1 < n; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(complete_star_port(n, i, j),
+                complete_star_port(n, i + 1, j + 1));
+    }
+  }
+}
+
+TEST(CompleteStar, RejectsBadArguments) {
+  EXPECT_THROW(make_complete_star(1), std::invalid_argument);
+  EXPECT_THROW(complete_star_port(5, 2, 2), std::invalid_argument);
+  EXPECT_THROW(complete_star_port(5, 2, 9), std::invalid_argument);
+  EXPECT_THROW(complete_star_neighbor(5, 0, 4), std::invalid_argument);
+}
+
+TEST(CompleteStar, SmallestCase) {
+  const PortGraph g = make_complete_star(2);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.neighbor(0, 0), (Endpoint{1, 0}));
+}
+
+}  // namespace
+}  // namespace oraclesize

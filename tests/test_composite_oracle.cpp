@@ -1,0 +1,124 @@
+// Oracle composition: subadditivity of the difficulty measure, executable.
+#include "oracle/composite_oracle.h"
+
+#include "bitio/codecs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/broadcast_b.h"
+#include "core/census.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(CompositeOracle, SplitRoundTrip) {
+  std::vector<BitString> parts(3);
+  parts[0] = BitString::from_string("1011");
+  parts[2] = BitString::from_string("0");
+  // Compose by hand using the documented layout.
+  BitString composite;
+  for (const BitString& p : parts) {
+    append_doubled(composite, p.size());
+    composite.append(p);
+  }
+  const auto back = split_composite_advice(composite, 3);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], parts[0]);
+  EXPECT_TRUE(back[1].empty());
+  EXPECT_EQ(back[2], parts[2]);
+}
+
+TEST(CompositeOracle, EmptyStringSplitsToAllEmpty) {
+  const auto parts = split_composite_advice(BitString{}, 4);
+  for (const BitString& p : parts) EXPECT_TRUE(p.empty());
+}
+
+TEST(CompositeOracle, SplitRejectsMalformed) {
+  BitString bad;
+  append_doubled(bad, 10);  // announces 10 bits, provides none
+  EXPECT_THROW(split_composite_advice(bad, 1), std::invalid_argument);
+  BitString trailing;
+  append_doubled(trailing, 0);
+  trailing.append_bit(true);  // extra bit after the last part
+  EXPECT_THROW(split_composite_advice(trailing, 1), std::invalid_argument);
+}
+
+TEST(CompositeOracle, SizeIsSumPlusDelimiters) {
+  Rng rng(901);
+  const PortGraph g = make_random_connected(40, 0.2, rng);
+  const TreeWakeupOracle wakeup;
+  const LightBroadcastOracle light;
+  const CompositeOracle both({&wakeup, &light});
+  const auto advice = both.advise(g, 0);
+  const auto wa = oracle_size_bits(wakeup.advise(g, 0));
+  const auto la = oracle_size_bits(light.advise(g, 0));
+  const auto ca = oracle_size_bits(advice);
+  EXPECT_GE(ca, wa + la);
+  // Delimiter overhead: at most 2 * (2*#2(maxlen) + 2) per node.
+  EXPECT_LE(ca, wa + la + g.num_nodes() * 2 *
+                              (2 * static_cast<std::uint64_t>(
+                                       num_bits(1 << 20)) +
+                               2));
+}
+
+TEST(CompositeOracle, BothTasksRunFromOneAdvice) {
+  Rng rng(902);
+  const PortGraph g = make_random_connected(50, 0.15, rng);
+  const std::size_t n = g.num_nodes();
+  const TreeWakeupOracle wakeup_oracle;
+  const LightBroadcastOracle light_oracle;
+  const CompositeOracle both({&wakeup_oracle, &light_oracle});
+
+  const WakeupTreeAlgorithm wakeup;
+  const BroadcastBAlgorithm broadcast;
+  const AdviceProjection wakeup_part(wakeup, 0, 2);
+  const AdviceProjection broadcast_part(broadcast, 1, 2);
+
+  const TaskReport w = run_task(g, 0, both, wakeup_part);
+  ASSERT_TRUE(w.ok()) << w.summary();
+  EXPECT_EQ(w.run.metrics.messages_total, n - 1);
+
+  const TaskReport b = run_task(g, 0, both, broadcast_part);
+  ASSERT_TRUE(b.ok()) << b.summary();
+  EXPECT_LE(b.run.metrics.messages_total, 3 * (n - 1));
+}
+
+TEST(CompositeOracle, ProjectionPreservesWakeupFlag) {
+  const WakeupTreeAlgorithm wakeup;
+  const BroadcastBAlgorithm broadcast;
+  EXPECT_TRUE(AdviceProjection(wakeup, 0, 2).is_wakeup());
+  EXPECT_FALSE(AdviceProjection(broadcast, 1, 2).is_wakeup());
+}
+
+TEST(CompositeOracle, ThreeWayComposite) {
+  // Wakeup advice twice (two tasks sharing a tree) plus broadcast advice.
+  const PortGraph g = make_complete_star(24);
+  const TreeWakeupOracle tree;
+  const LightBroadcastOracle light;
+  const CompositeOracle triple({&tree, &tree, &light});
+  EXPECT_EQ(triple.num_parts(), 3u);
+  const auto advice = triple.advise(g, 0);
+
+  const CensusAlgorithm census;
+  const TaskReport c = run_task(g, 0, triple, AdviceProjection(census, 1, 3));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.run.outputs[0], 24u);
+}
+
+TEST(CompositeOracle, NameListsParts) {
+  const TreeWakeupOracle tree;
+  const LightBroadcastOracle light;
+  const CompositeOracle both({&tree, &light});
+  EXPECT_EQ(both.name(),
+            "composite(tree-wakeup(bfs)+light-broadcast(light))");
+}
+
+}  // namespace
+}  // namespace oraclesize

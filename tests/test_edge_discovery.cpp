@@ -1,0 +1,179 @@
+#include "lowerbound/edge_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lowerbound/counting_adversary.h"
+#include "lowerbound/exact_adversary.h"
+#include "lowerbound/strategies.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(EdgeDiscovery, InstanceCounting) {
+  const EdgeDiscoveryProblem p{10, 3};
+  // |I| = C(10,3) * 3! = 120 * 6 = 720.
+  EXPECT_NEAR(p.log2_instances(), std::log2(720.0), 1e-9);
+  EXPECT_NEAR(p.log2_probe_bound(), std::log2(120.0), 1e-9);
+}
+
+TEST(EdgeDiscovery, Lemma21BoundHoldsForEveryStrategy) {
+  // The theorem this module exists for: measured probes >= log2(|I|/|X|!).
+  for (std::size_t n : {6u, 10u, 20u, 40u}) {
+    for (std::size_t m : {1u, 2u, 3u, 5u}) {
+      const EdgeDiscoveryProblem p{n, m};
+      SequentialStrategy seq;
+      RandomStrategy rnd(99);
+      for (ProbeStrategy* s :
+           std::initializer_list<ProbeStrategy*>{&seq, &rnd}) {
+        CountingAdversary adv(p);
+        const GameResult r = play_edge_discovery(p, *s, adv);
+        EXPECT_GE(static_cast<double>(r.probes), r.probe_lower_bound)
+            << "N=" << n << " m=" << m << " strategy=" << s->name();
+        EXPECT_EQ(r.specials_found, m);
+      }
+    }
+  }
+}
+
+TEST(EdgeDiscovery, AdversaryForcesNearExhaustiveSearch) {
+  // Against the majority adversary, hidden edges surface only near the end:
+  // probes >= N - m for the symmetric family (each "regular" answer is
+  // majority while unprobed >> specials).
+  const EdgeDiscoveryProblem p{100, 4};
+  SequentialStrategy s;
+  CountingAdversary adv(p);
+  const GameResult r = play_edge_discovery(p, s, adv);
+  EXPECT_GE(r.probes, p.num_candidates - p.num_special);
+}
+
+TEST(EdgeDiscovery, ZeroSpecialsResolveImmediately) {
+  const EdgeDiscoveryProblem p{10, 0};
+  CountingAdversary adv(p);
+  EXPECT_TRUE(adv.resolved());
+  SequentialStrategy s;
+  const GameResult r = play_edge_discovery(p, s, adv);
+  EXPECT_EQ(r.probes, 0u);
+}
+
+TEST(EdgeDiscovery, AllSpecialCornerCase) {
+  // m = N: every edge is special; the only freedom is the labeling. Once
+  // m-1 specials are revealed the last one is forced (one unprobed edge,
+  // one unused label), so the adversary legitimately resolves early.
+  const EdgeDiscoveryProblem p{4, 4};
+  SequentialStrategy s;
+  CountingAdversary adv(p);
+  const GameResult r = play_edge_discovery(p, s, adv);
+  EXPECT_EQ(r.specials_found, 3u);
+  EXPECT_EQ(r.probes, 3u);
+  EXPECT_GE(static_cast<double>(r.probes), r.probe_lower_bound);
+}
+
+TEST(EdgeDiscovery, CountingMatchesExactAdversaryDecisions) {
+  // Cross-validation: on identical probe sequences, the closed-form and the
+  // brute-force adversaries give identical answers and identical active
+  // counts after every step.
+  for (std::size_t n : {5u, 7u, 9u}) {
+    for (std::size_t m : {1u, 2u, 3u}) {
+      const EdgeDiscoveryProblem p{n, m};
+      CountingAdversary counting(p);
+      ExactAdversary exact(p);
+      for (std::size_t e = 0; e < n; ++e) {
+        if (counting.resolved()) {
+          EXPECT_TRUE(exact.resolved());
+          break;
+        }
+        ASSERT_FALSE(exact.resolved());
+        const ProbeResult a = counting.answer(e);
+        const ProbeResult b = exact.answer(e);
+        EXPECT_EQ(a.special, b.special) << "n=" << n << " m=" << m << " e=" << e;
+        if (a.special) {
+          EXPECT_EQ(a.label, b.label);
+        }
+        EXPECT_NEAR(counting.log2_active(), exact.log2_active(), 1e-9);
+      }
+      EXPECT_EQ(counting.resolved(), exact.resolved());
+    }
+  }
+}
+
+TEST(EdgeDiscovery, ExactAdversaryMaterializesFullFamily) {
+  const EdgeDiscoveryProblem p{6, 2};
+  ExactAdversary adv(p);
+  EXPECT_EQ(adv.active_count(), 30u);  // C(6,2)*2! = 15*2
+}
+
+TEST(EdgeDiscovery, ExactAdversaryHalvingInvariant) {
+  // Lemma 2.1's engine: each answer keeps at least half (regular) or at
+  // least a 1/(2(m-r)) fraction (special) of the active family.
+  const EdgeDiscoveryProblem p{8, 2};
+  ExactAdversary adv(p);
+  SequentialStrategy s;
+  s.begin(p);
+  std::size_t specials_seen = 0;
+  while (!adv.resolved()) {
+    const std::size_t before = adv.active_count();
+    const std::size_t remaining = p.num_special - specials_seen;
+    const ProbeResult r = adv.answer(s.next_probe());
+    const std::size_t after = adv.active_count();
+    if (r.special) {
+      ++specials_seen;
+      EXPECT_GE(2 * remaining * after, before);
+    } else {
+      EXPECT_GE(2 * after, before);
+    }
+  }
+}
+
+TEST(EdgeDiscovery, RefusesOversizedExactFamilies) {
+  const EdgeDiscoveryProblem p{200, 10};
+  EXPECT_THROW(ExactAdversary adv(p), std::invalid_argument);
+}
+
+TEST(EdgeDiscovery, GameRejectsRepeatedProbes) {
+  const EdgeDiscoveryProblem p{5, 1};
+  FixedOrderStrategy s({0, 0, 1, 2, 3, 4});
+  CountingAdversary adv(p);
+  EXPECT_THROW(play_edge_discovery(p, s, adv), std::logic_error);
+}
+
+TEST(EdgeDiscovery, GameRejectsOutOfRangeProbe) {
+  const EdgeDiscoveryProblem p{5, 1};
+  FixedOrderStrategy s({7});
+  CountingAdversary adv(p);
+  EXPECT_THROW(play_edge_discovery(p, s, adv), std::logic_error);
+}
+
+TEST(EdgeDiscovery, ProbeOrderDoesNotHelp) {
+  // Symmetry: any two probe orders yield the same probe count against the
+  // counting adversary.
+  const EdgeDiscoveryProblem p{30, 3};
+  SequentialStrategy seq;
+  CountingAdversary a1(p);
+  const GameResult r1 = play_edge_discovery(p, seq, a1);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    RandomStrategy rnd(seed);
+    CountingAdversary a2(p);
+    const GameResult r2 = play_edge_discovery(p, rnd, a2);
+    EXPECT_EQ(r1.probes, r2.probes) << "seed " << seed;
+  }
+}
+
+TEST(EdgeDiscovery, WakeupScaleBoundIsNLogN) {
+  // Theorem 2.2's engine: N = C(n,2), m = n gives
+  // log2 C(N, n) = Theta(n log n). Check the growth factor empirically.
+  auto bound = [](std::size_t n) {
+    return EdgeDiscoveryProblem{n * (n - 1) / 2, n}.log2_probe_bound();
+  };
+  const double b64 = bound(64), b128 = bound(128), b256 = bound(256);
+  // Doubling n slightly more than doubles the bound (n log n growth).
+  EXPECT_GT(b128 / b64, 2.0);
+  EXPECT_LT(b128 / b64, 2.6);
+  EXPECT_GT(b256 / b128, 2.0);
+  EXPECT_LT(b256 / b128, 2.5);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,82 @@
+#include "core/flooding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "oracle/trivial_oracles.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(Flooding, InformsEveryoneWithZeroAdvice) {
+  Rng rng(301);
+  for (int i = 0; i < 5; ++i) {
+    const PortGraph g = make_random_connected(30 + 10 * i, 0.15, rng);
+    const TaskReport report =
+        run_task(g, 0, NullOracle(), FloodingAlgorithm());
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.oracle_bits, 0u);
+  }
+}
+
+TEST(Flooding, SatisfiesWakeupConstraint) {
+  // FloodingAlgorithm::is_wakeup() is true, so run_task auto-enforces; a
+  // clean report proves no pre-M transmission happened.
+  const PortGraph g = make_grid(5, 5);
+  const TaskReport report = run_task(g, 12, NullOracle(), FloodingAlgorithm());
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.run.violation.empty());
+}
+
+TEST(Flooding, MessageCountFormula) {
+  // deg(s) + sum_{v != s} (deg(v) - 1) = 2m - (n - 1).
+  Rng rng(302);
+  const PortGraph g = make_random_connected(40, 0.2, rng);
+  const TaskReport report = run_task(g, 0, NullOracle(), FloodingAlgorithm());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.run.metrics.messages_total,
+            2 * g.num_edges() - (g.num_nodes() - 1));
+}
+
+TEST(Flooding, QuadraticOnCompleteGraphs) {
+  // The contrast that motivates oracles: with zero knowledge the cost is
+  // Theta(m) = Theta(n^2) on dense networks.
+  const std::size_t n = 64;
+  const PortGraph g = make_complete_star(n);
+  const TaskReport report = run_task(g, 0, NullOracle(), FloodingAlgorithm());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.run.metrics.messages_total,
+            2 * (n * (n - 1) / 2) - (n - 1));
+  EXPECT_GT(report.run.metrics.messages_total, n * (n - 1) / 2);
+}
+
+TEST(Flooding, LinearOnTrees) {
+  // On a tree m = n-1, so flooding is optimal there: 2m - (n-1) = n-1.
+  Rng rng(303);
+  const PortGraph g = make_random_tree(50, rng);
+  const TaskReport report = run_task(g, 0, NullOracle(), FloodingAlgorithm());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.run.metrics.messages_total, g.num_nodes() - 1);
+}
+
+TEST(Flooding, AsyncSchedulersComplete) {
+  Rng rng(304);
+  const PortGraph g = make_random_connected(40, 0.1, rng);
+  for (SchedulerKind kind :
+       {SchedulerKind::kAsyncRandom, SchedulerKind::kAsyncLifo}) {
+    RunOptions opts;
+    opts.scheduler = kind;
+    opts.seed = 11;
+    const TaskReport report =
+        run_task(g, 5, NullOracle(), FloodingAlgorithm(), opts);
+    EXPECT_TRUE(report.ok()) << to_string(kind);
+    // The count is schedule-independent: every node relays exactly once.
+    EXPECT_EQ(report.run.metrics.messages_total,
+              2 * g.num_edges() - (g.num_nodes() - 1));
+  }
+}
+
+}  // namespace
+}  // namespace oraclesize

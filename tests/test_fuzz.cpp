@@ -1,0 +1,114 @@
+// Randomized end-to-end property sweep ("fuzz" suite).
+//
+// For a grid of seeds, draw a random connected network (random density,
+// random port shuffle, random source) and check every paper invariant at
+// once, under every scheduler:
+//   * wakeup:    exactly n-1 messages, all informed, constraint clean;
+//   * census:    2(n-1) messages, source output == n, all terminated;
+//   * broadcast: <= 3(n-1) messages, all informed, M/hello budgets,
+//                light-tree advice <= 10n bits;
+//   * light tree: contribution <= 4n;
+//   * anonymity: hiding ids changes nothing (checked via totals).
+#include <gtest/gtest.h>
+
+#include "core/broadcast_b.h"
+#include "core/census.h"
+#include "core/gossip.h"
+#include "core/hybrid_wakeup.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "graph/light_tree.h"
+#include "graph/validate.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/partial_tree_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+
+namespace oraclesize {
+namespace {
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, AllPaperInvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.below(120));
+  const double p = rng.unit() * 0.4;
+  PortGraph g = make_random_connected(n, p, rng);
+  if (rng.chance(0.5)) g = shuffle_ports(g, rng);
+  const NodeId source = static_cast<NodeId>(rng.below(n));
+  ASSERT_EQ(validate_ports(g), "");
+  ASSERT_TRUE(is_connected(g));
+
+  // Light-tree invariant.
+  EXPECT_LE(light_tree(g, source).contribution, 4 * n);
+
+  const SchedulerKind kinds[] = {
+      SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom,
+      SchedulerKind::kAsyncFifo, SchedulerKind::kAsyncLifo,
+      SchedulerKind::kAsyncLinkFifo};
+  const SchedulerKind sched = kinds[rng.below(5)];
+
+  RunOptions opts;
+  opts.scheduler = sched;
+  opts.seed = seed;
+  opts.max_delay = 1 + static_cast<std::uint32_t>(rng.below(64));
+  opts.anonymous = rng.chance(0.5);
+
+  // Wakeup.
+  {
+    const TaskReport r =
+        run_task(g, source, TreeWakeupOracle(), WakeupTreeAlgorithm(), opts);
+    ASSERT_TRUE(r.ok()) << "wakeup seed=" << seed << " " << r.summary();
+    EXPECT_EQ(r.run.metrics.messages_total, n - 1);
+  }
+  // Census.
+  {
+    const TaskReport r =
+        run_task(g, source, TreeWakeupOracle(), CensusAlgorithm(), opts);
+    ASSERT_TRUE(r.ok()) << "census seed=" << seed << " " << r.summary();
+    EXPECT_EQ(r.run.metrics.messages_total, 2 * (n - 1));
+    EXPECT_EQ(r.run.outputs[source], n);
+    for (NodeId v = 0; v < n; ++v) EXPECT_TRUE(r.run.terminated[v]);
+  }
+  // Broadcast scheme B.
+  {
+    const TaskReport r = run_task(g, source, LightBroadcastOracle(),
+                                  BroadcastBAlgorithm(), opts);
+    ASSERT_TRUE(r.ok()) << "broadcast seed=" << seed << " " << r.summary();
+    EXPECT_LE(r.oracle_bits, 10 * n);
+    EXPECT_LE(r.run.metrics.messages_source, 2 * (n - 1));
+    EXPECT_LE(r.run.metrics.messages_hello, n - 1);
+    EXPECT_LE(r.run.metrics.messages_total, 3 * (n - 1));
+  }
+  // Gossip: everyone learns the full label sum.
+  {
+    const TaskReport r = run_task(g, source, TreeWakeupOracle(),
+                                  GossipTreeAlgorithm(), opts);
+    ASSERT_TRUE(r.ok()) << "gossip seed=" << seed << " " << r.summary();
+    EXPECT_EQ(r.run.metrics.messages_total, 3 * (n - 1));
+    if (!opts.anonymous) {
+      const std::uint64_t want =
+          static_cast<std::uint64_t>(n) * (n + 1) / 2;
+      for (NodeId v = 0; v < n; ++v) EXPECT_EQ(r.run.outputs[v], want);
+    }
+  }
+  // Hybrid wakeup at a random advice fraction.
+  {
+    const double q = rng.unit();
+    const TaskReport r = run_task(g, source, PartialTreeOracle(q, seed),
+                                  HybridWakeupAlgorithm(), opts);
+    ASSERT_TRUE(r.ok()) << "hybrid seed=" << seed << " q=" << q << " "
+                        << r.summary();
+    EXPECT_GE(r.run.metrics.messages_total, n - 1);
+    EXPECT_LE(r.run.metrics.messages_total,
+              2 * g.num_edges());  // never worse than double-flooding
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,78 @@
+// Golden regression pins.
+//
+// Every component in this library is deterministic given its seeds, so the
+// exact numbers below are stable across platforms and builds. They exist to
+// catch *silent semantic drift*: a refactor that changes an encoding, a
+// tree tie-break, or the scheduler's ordering will move these values even
+// when all behavioral invariants still hold. If a change legitimately
+// alters them (e.g. an intentional codec improvement), update the constants
+// and say why in the commit.
+#include <gtest/gtest.h>
+
+#include "core/broadcast_b.h"
+#include "core/census.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "graph/light_tree.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+
+namespace oraclesize {
+namespace {
+
+PortGraph golden_graph() {
+  Rng rng(20260706);
+  return make_random_connected(100, 0.08, rng);
+}
+
+TEST(Goldens, GraphGeneration) {
+  const PortGraph g = golden_graph();
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 482u);
+}
+
+TEST(Goldens, WakeupOracleAndRun) {
+  const PortGraph g = golden_graph();
+  const TaskReport w =
+      run_task(g, 0, TreeWakeupOracle(), WakeupTreeAlgorithm());
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.oracle_bits, 909u);
+  EXPECT_EQ(w.run.metrics.messages_total, 99u);
+}
+
+TEST(Goldens, BroadcastOracleAndRun) {
+  const PortGraph g = golden_graph();
+  const TaskReport b =
+      run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.oracle_bits, 396u);
+  EXPECT_EQ(b.run.metrics.messages_total, 197u);
+  EXPECT_EQ(b.run.metrics.messages_hello, 98u);
+}
+
+TEST(Goldens, LightTreeContribution) {
+  EXPECT_EQ(light_tree(golden_graph(), 0).contribution, 99u);
+}
+
+TEST(Goldens, CompleteGraphOracleSizes) {
+  const PortGraph k = make_complete_star(64);
+  EXPECT_EQ(oracle_size_bits(TreeWakeupOracle().advise(k, 0)), 386u);
+  EXPECT_EQ(oracle_size_bits(LightBroadcastOracle().advise(k, 0)), 252u);
+}
+
+TEST(Goldens, AsyncCensusBits) {
+  const PortGraph g = golden_graph();
+  RunOptions opts;
+  opts.scheduler = SchedulerKind::kAsyncRandom;
+  opts.seed = 777;
+  const TaskReport c =
+      run_task(g, 13, TreeWakeupOracle(), CensusAlgorithm(), opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.run.outputs[13], 100u);
+  EXPECT_EQ(c.run.metrics.bits_sent, 548u);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,109 @@
+#include "core/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "oracle/tree_wakeup_oracle.h"
+
+namespace oraclesize {
+namespace {
+
+// Sum of labels 1..n: the fingerprint every node must report.
+std::uint64_t label_sum(std::size_t n) {
+  return static_cast<std::uint64_t>(n) * (n + 1) / 2;
+}
+
+TEST(Gossip, EveryNodeLearnsEveryRumor) {
+  Rng rng(701);
+  struct Case {
+    std::string name;
+    PortGraph graph;
+    NodeId source;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"path", make_path(20), 3});
+  cases.push_back({"star", make_star(15), 0});
+  cases.push_back({"grid", make_grid(4, 6), 10});
+  cases.push_back({"complete", make_complete_star(20), 0});
+  cases.push_back({"random", make_random_connected(40, 0.15, rng), 7});
+  for (const Case& c : cases) {
+    const TaskReport r = run_task(c.graph, c.source, TreeWakeupOracle(),
+                                  GossipTreeAlgorithm());
+    ASSERT_TRUE(r.ok()) << c.name << ": " << r.summary();
+    const std::size_t n = c.graph.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_TRUE(r.run.terminated[v]) << c.name << " node " << v;
+      EXPECT_EQ(r.run.outputs[v], label_sum(n)) << c.name << " node " << v;
+    }
+  }
+}
+
+TEST(Gossip, ExactlyThreePhasesOfMessages) {
+  Rng rng(702);
+  const PortGraph g = make_random_connected(35, 0.2, rng);
+  const TaskReport r =
+      run_task(g, 0, TreeWakeupOracle(), GossipTreeAlgorithm());
+  ASSERT_TRUE(r.ok());
+  const std::size_t n = g.num_nodes();
+  EXPECT_EQ(r.run.metrics.messages_source, n - 1);   // phase 1 down
+  EXPECT_EQ(r.run.metrics.messages_control, n - 1);  // phase 2 up
+  EXPECT_EQ(r.run.metrics.messages_hello, n - 1);    // phase 3 down
+  EXPECT_EQ(r.run.metrics.messages_total, 3 * (n - 1));
+}
+
+TEST(Gossip, WorksUnderEveryScheduler) {
+  Rng rng(703);
+  const PortGraph g = make_random_connected(30, 0.2, rng);
+  for (SchedulerKind kind :
+       {SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom,
+        SchedulerKind::kAsyncFifo, SchedulerKind::kAsyncLifo,
+        SchedulerKind::kAsyncLinkFifo}) {
+    RunOptions opts;
+    opts.scheduler = kind;
+    opts.seed = 13;
+    const TaskReport r =
+        run_task(g, 2, TreeWakeupOracle(), GossipTreeAlgorithm(), opts);
+    EXPECT_TRUE(r.ok()) << to_string(kind);
+    EXPECT_EQ(r.run.outputs[17], label_sum(g.num_nodes())) << to_string(kind);
+  }
+}
+
+TEST(Gossip, RespectsWakeupConstraint) {
+  const PortGraph g = make_grid(4, 4);
+  const TaskReport r =
+      run_task(g, 0, TreeWakeupOracle(), GossipTreeAlgorithm());
+  EXPECT_TRUE(r.ok());  // run_task auto-enforces for is_wakeup()
+}
+
+TEST(Gossip, BitTrafficReflectsOutputSize) {
+  // Gossip's output is Theta(n log n) bits per node, so total traffic must
+  // exceed broadcast's constant-size-message regime by a growing factor.
+  const PortGraph path = make_path(64);
+  const TaskReport r =
+      run_task(path, 0, TreeWakeupOracle(), GossipTreeAlgorithm());
+  ASSERT_TRUE(r.ok());
+  // Phase 3 alone ships ~n rumors to each of n-1 nodes along the path.
+  EXPECT_GT(r.run.metrics.bits_sent,
+            static_cast<std::uint64_t>(64) * 63);  // >> 3(n-1) messages * 8
+}
+
+TEST(Gossip, SingletonTerminatesWithOwnRumor) {
+  const PortGraph g = make_path(1);
+  const TaskReport r =
+      run_task(g, 0, TreeWakeupOracle(), GossipTreeAlgorithm());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.run.terminated[0]);
+  EXPECT_EQ(r.run.outputs[0], 1u);
+  EXPECT_EQ(r.run.metrics.messages_total, 0u);
+}
+
+TEST(Gossip, MessageSizeAccountingCountsItems) {
+  Message m = Message::bundle(MsgKind::kControl, {1, 2, 255});
+  // 2 tag bits + (1+2) + (2+2) + (8+2).
+  EXPECT_EQ(m.size_bits(), 2 + 3 + 4 + 10);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,114 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "graph/validate.h"
+
+namespace oraclesize {
+namespace {
+
+void expect_same_graph(const PortGraph& a, const PortGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.label(v), b.label(v));
+    ASSERT_EQ(a.degree(v), b.degree(v));
+    for (Port p = 0; p < a.degree(v); ++p) {
+      EXPECT_EQ(a.neighbor(v, p), b.neighbor(v, p));
+    }
+  }
+}
+
+TEST(GraphIo, RoundTripSmall) {
+  const PortGraph g = make_cycle(5);
+  expect_same_graph(g, from_text(to_text(g)));
+}
+
+TEST(GraphIo, RoundTripEveryFamily) {
+  Rng rng(61);
+  expect_same_graph(make_path(1), from_text(to_text(make_path(1))));
+  expect_same_graph(make_grid(4, 7), from_text(to_text(make_grid(4, 7))));
+  expect_same_graph(make_complete_star(9),
+                    from_text(to_text(make_complete_star(9))));
+  const PortGraph shuffled =
+      shuffle_ports(make_random_connected(30, 0.2, rng), rng);
+  expect_same_graph(shuffled, from_text(to_text(shuffled)));
+}
+
+TEST(GraphIo, RoundTripCustomLabels) {
+  PortGraph g = make_path(3);
+  g.set_label(0, 100);
+  g.set_label(2, 7);
+  const PortGraph h = from_text(to_text(g));
+  EXPECT_EQ(h.label(0), 100u);
+  EXPECT_EQ(h.label(1), 2u);
+  EXPECT_EQ(h.label(2), 7u);
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines) {
+  const std::string text =
+      "# a triangle\n"
+      "portgraph 3\n"
+      "\n"
+      "edge 0 0 1 0   # first edge\n"
+      "edge 1 1 2 0\n"
+      "edge 2 1 0 1\n";
+  const PortGraph g = from_text(text);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(validate_ports(g), "");
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  EXPECT_THROW(from_text("edge 0 0 1 0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("# nothing\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsDuplicateHeader) {
+  EXPECT_THROW(from_text("portgraph 2\nportgraph 2\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsUnknownKeyword) {
+  EXPECT_THROW(from_text("portgraph 2\nvertex 0\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsMalformedEdge) {
+  EXPECT_THROW(from_text("portgraph 2\nedge 0 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("portgraph 2\nedge 0 0 9 0\n"),
+               std::invalid_argument);
+  // Occupied port reported with the offending line.
+  EXPECT_THROW(from_text("portgraph 3\nedge 0 0 1 0\nedge 0 0 2 0\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsTrailingTokens) {
+  EXPECT_THROW(from_text("portgraph 2 extra\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("portgraph 2\nedge 0 0 1 0 junk\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsOutOfRangeLabelNode) {
+  EXPECT_THROW(from_text("portgraph 2\nlabel 5 77\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, ErrorsCarryLineNumbers) {
+  try {
+    from_text("portgraph 2\n\nedge 0 0 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, DefaultLabelsAreOmittedFromOutput) {
+  const std::string text = to_text(make_path(4));
+  EXPECT_EQ(text.find("label"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,212 @@
+// Cross-module integration tests: the paper's storyline end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/broadcast_b.h"
+#include "core/flooding.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "graph/clique_replace.h"
+#include "graph/complete_star.h"
+#include "graph/subdivision.h"
+#include "lowerbound/bounds.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(Integration, OracleSizeSeparationGrowsWithN) {
+  // The headline, measured on real constructions: the Theorem 2.1 wakeup
+  // oracle costs Theta(n log n) bits, the Theorem 3.1 broadcast oracle
+  // Theta(n); their ratio must grow with n roughly like log n.
+  double prev_ratio = 0.0;
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const PortGraph g = make_complete_star(n);
+    const auto wakeup_bits =
+        oracle_size_bits(TreeWakeupOracle().advise(g, 0));
+    const auto broadcast_bits =
+        oracle_size_bits(LightBroadcastOracle().advise(g, 0));
+    const double ratio = static_cast<double>(wakeup_bits) /
+                         static_cast<double>(broadcast_bits);
+    EXPECT_GT(ratio, prev_ratio) << "n=" << n;
+    prev_ratio = ratio;
+    // Broadcast advice is linear, wakeup advice superlinear.
+    EXPECT_LE(broadcast_bits, 10 * n);
+    EXPECT_GE(wakeup_bits, (n - 1) * static_cast<std::uint64_t>(
+                                         ceil_log2(n)));
+  }
+  EXPECT_GT(prev_ratio, 2.0);
+}
+
+TEST(Integration, BothPrimitivesSolveEveryFamilyLinearly) {
+  Rng rng(401);
+  std::vector<PortGraph> graphs;
+  graphs.push_back(make_complete_star(40));
+  graphs.push_back(make_grid(6, 8));
+  graphs.push_back(make_random_connected(64, 0.15, rng));
+  graphs.push_back(make_gns(10, 10, rng).graph);
+  graphs.push_back(make_random_gnsc(16, 4, rng).graph);
+  for (const PortGraph& g : graphs) {
+    const std::size_t n = g.num_nodes();
+    const TaskReport w =
+        run_task(g, 0, TreeWakeupOracle(), WakeupTreeAlgorithm());
+    ASSERT_TRUE(w.ok()) << g.summary();
+    EXPECT_EQ(w.run.metrics.messages_total, n - 1);
+
+    const TaskReport b =
+        run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm());
+    ASSERT_TRUE(b.ok()) << g.summary();
+    EXPECT_LE(b.run.metrics.messages_total, 3 * (n - 1));
+
+    // Both use strictly less advice+traffic than knowing the whole map.
+    const auto map_bits = oracle_size_bits(SourceMapOracle().advise(g, 0));
+    EXPECT_LT(w.oracle_bits, map_bits);
+    EXPECT_LT(b.oracle_bits, map_bits);
+  }
+}
+
+TEST(Integration, FloodingPaysQuadraticWhereSchemeBStaysLinear) {
+  // The motivation table: on dense networks, zero-advice flooding costs
+  // Theta(n^2) while 10n bits of advice buy 3n messages.
+  const std::size_t n = 128;
+  const PortGraph g = make_complete_star(n);
+  const TaskReport flood = run_task(g, 0, NullOracle(), FloodingAlgorithm());
+  const TaskReport b =
+      run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm());
+  ASSERT_TRUE(flood.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(flood.run.metrics.messages_total,
+            20 * b.run.metrics.messages_total);
+}
+
+TEST(Integration, LowerBoundFamiliesAreSolvedByTheUpperBoundOracles) {
+  // Consistency: the adversarial graphs are still just networks; with the
+  // *right-sized* oracles both tasks complete linearly on them. (The lower
+  // bounds say no *smaller* oracle can do it, not that these graphs are
+  // hard with good advice.)
+  Rng rng(402);
+  const SubdividedGraph gns = make_gns(16, 16, rng);
+  const CliqueReplacedGraph gnsc = make_random_gnsc(16, 2, rng);
+  for (const PortGraph* g : {&gns.graph, &gnsc.graph}) {
+    for (SchedulerKind kind :
+         {SchedulerKind::kSynchronous, SchedulerKind::kAsyncLifo}) {
+      RunOptions opts;
+      opts.scheduler = kind;
+      const TaskReport w =
+          run_task(*g, 0, TreeWakeupOracle(), WakeupTreeAlgorithm(), opts);
+      EXPECT_TRUE(w.ok());
+      EXPECT_EQ(w.run.metrics.messages_total, g->num_nodes() - 1);
+      const TaskReport b = run_task(*g, 0, LightBroadcastOracle(),
+                                    BroadcastBAlgorithm(), opts);
+      EXPECT_TRUE(b.ok());
+      EXPECT_LE(b.run.metrics.messages_total, 3 * (g->num_nodes() - 1));
+    }
+  }
+}
+
+TEST(Integration, MeasuredWakeupOracleSitsUnderTheFamilyEntropy) {
+  // The Theorem 2.1 oracle on the (2n)-node G_{n,S} family: its size must
+  // (of course) exceed the lower-bound machinery's requirement for linear
+  // wakeup... i.e. the bound evaluated AT the oracle's size must be small,
+  // while at half that size it is already superlinear for large n. This
+  // wires the upper and lower bound modules against each other.
+  Rng rng(403);
+  const std::size_t n = 512;
+  const SubdividedGraph sg = make_gns(n, n, rng);
+  const auto advice = TreeWakeupOracle().advise(sg.graph, 0);
+  const auto oracle_bits = oracle_size_bits(advice);
+  // At a tenth of the real oracle's size, the adversary already forces
+  // more messages than the wakeup scheme ever sends.
+  const double lb = wakeup_message_lower_bound(n, 1, oracle_bits / 10);
+  const TaskReport w =
+      run_task(sg.graph, 0, TreeWakeupOracle(), WakeupTreeAlgorithm());
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(lb, static_cast<double>(w.run.metrics.messages_total));
+}
+
+TEST(Integration, BroadcastOracleIsSublinearInWakeupThresholdBudget) {
+  // Theorem 3.1's oracle uses o(n log n) bits — far below the wakeup
+  // threshold alpha * N log N for any fixed alpha once n is large.
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    const PortGraph g = make_complete_star(n);
+    const auto bits = oracle_size_bits(LightBroadcastOracle().advise(g, 0));
+    const double budget =
+        0.25 * (2.0 * n) * std::log2(2.0 * n);  // alpha = 1/4 threshold
+    if (n >= 1024) {
+      EXPECT_LT(static_cast<double>(bits), budget) << "n=" << n;
+    }
+  }
+}
+
+TEST(Integration, PerNodeLoadAccounting) {
+  // The wakeup scheme's heaviest sender is the node with the most tree
+  // children; flooding's is the highest-degree node. Totals must equal the
+  // per-node sums.
+  const PortGraph g = make_star(20);
+  const TaskReport w =
+      run_task(g, 0, TreeWakeupOracle(), WakeupTreeAlgorithm());
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.run.max_node_sends(), 19u);  // the hub relays to every leaf
+  std::uint64_t total = 0;
+  for (std::uint64_t s : w.run.sends_by_node) total += s;
+  EXPECT_EQ(total, w.run.metrics.messages_total);
+
+  const TaskReport b =
+      run_task(g, 5, LightBroadcastOracle(), BroadcastBAlgorithm());
+  ASSERT_TRUE(b.ok());
+  total = 0;
+  for (std::uint64_t s : b.run.sends_by_node) total += s;
+  EXPECT_EQ(total, b.run.metrics.messages_total);
+}
+
+TEST(Integration, SchemeBStarvesWithoutItsAdvice) {
+  // The other face of Theorem 3.2 at the scheme level: strip scheme B's
+  // advice (null oracle) and it cannot broadcast at all — K_x stays empty,
+  // nothing is ever relayed. The bits are load-bearing.
+  const PortGraph g = make_complete_star(32);
+  const auto advice = NullOracle().advise(g, 0);
+  const RunResult r =
+      run_execution(g, 0, advice, BroadcastBAlgorithm(), RunOptions{});
+  EXPECT_TRUE(r.violation.empty());
+  EXPECT_FALSE(r.all_informed);
+  EXPECT_EQ(r.informed_count(), 1u);  // only the source
+  EXPECT_EQ(r.metrics.messages_total, 0u);
+}
+
+TEST(Integration, SchemeBPartialAdviceInformsExactlyTheReachable) {
+  // Keep only the advice of nodes 'near' the source in the light tree:
+  // scheme B must inform exactly the component of tree edges it can still
+  // discover, never a node beyond it.
+  Rng rng(405);
+  const PortGraph g = make_random_connected(40, 0.15, rng);
+  auto advice = LightBroadcastOracle().advise(g, 0);
+  // Zero out the advice of the upper half of node ids.
+  for (NodeId v = 20; v < 40; ++v) advice[v] = BitString{};
+  const RunResult r =
+      run_execution(g, 0, advice, BroadcastBAlgorithm(), RunOptions{});
+  EXPECT_TRUE(r.violation.empty());
+  // Fewer nodes informed than with full advice, but at least the source.
+  EXPECT_GE(r.informed_count(), 1u);
+  EXPECT_LE(r.informed_count(), 40u);
+  // Messages stay within the linear budget even on partial advice.
+  EXPECT_LE(r.metrics.messages_total, 3 * 39u);
+}
+
+TEST(Integration, RunnerReportsAreSelfConsistent) {
+  Rng rng(404);
+  const PortGraph g = make_random_connected(30, 0.2, rng);
+  const TaskReport r =
+      run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm());
+  EXPECT_EQ(r.oracle_name, "light-broadcast(light)");
+  EXPECT_EQ(r.algorithm_name, "broadcast-B");
+  EXPECT_LE(r.max_advice_bits, r.oracle_bits);
+  EXPECT_NE(r.summary().find("ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,113 @@
+// The executable Theorem 3.2 game: clique-silent broadcast algorithms vs
+// the lazily decided G_{n,k}.
+#include "lowerbound/lazy_broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "core/broadcast_b.h"
+#include "core/flooding.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+// A chatty scheme: every node transmits spontaneously (legal for broadcast,
+// but outside the exact lazy game's supported class).
+class Chatty final : public Algorithm {
+ public:
+  class Behavior final : public NodeBehavior {
+   public:
+    std::vector<Send> on_start(const NodeInput&) override {
+      return {Send{Message::control(1), 0}};
+    }
+    std::vector<Send> on_receive(const NodeInput&, const Message&,
+                                 Port) override {
+      return {};
+    }
+  };
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput&) const override {
+    return std::make_unique<Behavior>();
+  }
+  std::string name() const override { return "chatty"; }
+};
+
+TEST(LazyBroadcast, IsolatedCliqueProbe) {
+  EXPECT_EQ(probe_isolated_clique(4, FloodingAlgorithm()), 0u);
+  EXPECT_EQ(probe_isolated_clique(4, BroadcastBAlgorithm()), 0u);
+  EXPECT_EQ(probe_isolated_clique(4, Chatty()), 4u);  // one send per node
+}
+
+TEST(LazyBroadcast, RejectsChattySchemes) {
+  EXPECT_THROW(play_lazy_broadcast(16, 4, Chatty()), std::invalid_argument);
+}
+
+TEST(LazyBroadcast, RejectsBadShape) {
+  EXPECT_THROW(play_lazy_broadcast(10, 4, FloodingAlgorithm()),
+               std::invalid_argument);
+  EXPECT_THROW(play_lazy_broadcast(16, 1, FloodingAlgorithm()),
+               std::invalid_argument);
+}
+
+TEST(LazyBroadcast, FloodingCompletesQuadratically) {
+  for (auto [n, k] : {std::pair<std::size_t, std::size_t>{16, 2},
+                      {16, 4}, {32, 4}, {64, 4}}) {
+    const LazyBroadcastResult r = play_lazy_broadcast(n, k,
+                                                      FloodingAlgorithm());
+    EXPECT_TRUE(r.completed) << "n=" << n << " k=" << k << " " << r.violation;
+    EXPECT_EQ(r.cliques_found, n / k);
+    EXPECT_GE(static_cast<double>(r.messages), r.probe_lower_bound);
+    // Every K*_n edge must be probed before the adversary yields the last
+    // clique: quadratic messages on a (2n)-node network.
+    EXPECT_GE(r.edges_probed, n * (n - 1) / 2 - 1);
+    EXPECT_GT(r.messages, 2 * (2 * n));
+  }
+}
+
+TEST(LazyBroadcast, SchemeBWithNoAdviceNeverCompletes) {
+  // Scheme B is clique-silent with empty advice and, without its bits,
+  // relays nothing: the strongest illustration that Theorem 3.1's oracle
+  // size is load-bearing.
+  const LazyBroadcastResult r =
+      play_lazy_broadcast(16, 4, BroadcastBAlgorithm());
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.violation.empty());
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.cliques_found, 0u);
+}
+
+TEST(LazyBroadcast, QuadraticGrowth) {
+  const std::uint64_t m16 =
+      play_lazy_broadcast(16, 4, FloodingAlgorithm()).messages;
+  const std::uint64_t m32 =
+      play_lazy_broadcast(32, 4, FloodingAlgorithm()).messages;
+  const std::uint64_t m64 =
+      play_lazy_broadcast(64, 4, FloodingAlgorithm()).messages;
+  EXPECT_GT(m32, 3 * m16);
+  EXPECT_GT(m64, 3 * m32);
+}
+
+TEST(LazyBroadcast, BoundMatchesFormula) {
+  const LazyBroadcastResult r =
+      play_lazy_broadcast(16, 4, FloodingAlgorithm());
+  EXPECT_NEAR(r.probe_lower_bound, log2_choose(120, 4), 1e-9);
+}
+
+TEST(LazyBroadcast, Deterministic) {
+  const LazyBroadcastResult a =
+      play_lazy_broadcast(32, 4, FloodingAlgorithm());
+  const LazyBroadcastResult b =
+      play_lazy_broadcast(32, 4, FloodingAlgorithm());
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.edges_probed, b.edges_probed);
+}
+
+TEST(LazyBroadcast, BudgetValve) {
+  const LazyBroadcastResult r =
+      play_lazy_broadcast(32, 4, FloodingAlgorithm(), /*max_messages=*/40);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.violation.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,166 @@
+// The executable Theorem 2.2: real wakeup algorithms versus the lazily
+// decided adversarial network.
+#include "lowerbound/lazy_wakeup.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flooding.h"
+#include "graph/complete_star.h"
+#include "graph/subdivision.h"
+#include "graph/validate.h"
+#include "sim/engine.h"
+#include "util/mathx.h"
+
+namespace oraclesize {
+namespace {
+
+// A wakeup scheme that "gives up": the source sends one message and
+// everyone else stays silent. Must never complete against the adversary.
+class OneShot final : public Algorithm {
+ public:
+  class Behavior final : public NodeBehavior {
+   public:
+    std::vector<Send> on_start(const NodeInput& input) override {
+      if (!input.is_source) return {};
+      return {Send{Message::source(), 0}};
+    }
+    std::vector<Send> on_receive(const NodeInput&, const Message&,
+                                 Port) override {
+      return {};
+    }
+  };
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput&) const override {
+    return std::make_unique<Behavior>();
+  }
+  std::string name() const override { return "one-shot"; }
+  bool is_wakeup() const override { return true; }
+};
+
+// A cheater: a non-source node transmits spontaneously.
+class Cheater final : public Algorithm {
+ public:
+  class Behavior final : public NodeBehavior {
+   public:
+    std::vector<Send> on_start(const NodeInput&) override {
+      return {Send{Message::control(1), 0}};
+    }
+    std::vector<Send> on_receive(const NodeInput&, const Message&,
+                                 Port) override {
+      return {};
+    }
+  };
+  std::unique_ptr<NodeBehavior> make_behavior(
+      const NodeInput&) const override {
+    return std::make_unique<Behavior>();
+  }
+  std::string name() const override { return "cheater"; }
+};
+
+TEST(LazyWakeup, FloodingCompletesButPaysTheBound) {
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    const LazyWakeupResult r = play_lazy_wakeup(n, FloodingAlgorithm());
+    EXPECT_TRUE(r.completed) << "n=" << n << " " << r.violation;
+    EXPECT_EQ(r.hidden_found, n);
+    // Lemma 2.1 lower bound holds for the measured message count.
+    EXPECT_GE(static_cast<double>(r.messages), r.probe_lower_bound)
+        << "n=" << n;
+    // Zero advice on a dense adversarial network: quadratic, not linear.
+    // Every K*_n edge must be probed before the last hidden node appears.
+    EXPECT_GE(r.edges_probed, n * (n - 1) / 2 - 1);
+    // Above the linear budget at every n, and quadratically so as n grows
+    // (MessageCountGrowsQuadratically below).
+    EXPECT_GT(r.messages, 2 * (2 * n));
+  }
+}
+
+TEST(LazyWakeup, MessageCountGrowsQuadratically) {
+  const std::uint64_t m16 = play_lazy_wakeup(16, FloodingAlgorithm()).messages;
+  const std::uint64_t m32 = play_lazy_wakeup(32, FloodingAlgorithm()).messages;
+  const std::uint64_t m64 = play_lazy_wakeup(64, FloodingAlgorithm()).messages;
+  EXPECT_GT(m32, 3 * m16);
+  EXPECT_GT(m64, 3 * m32);
+}
+
+TEST(LazyWakeup, BoundReportedMatchesFormula) {
+  const LazyWakeupResult r = play_lazy_wakeup(10, FloodingAlgorithm());
+  EXPECT_NEAR(r.probe_lower_bound, log2_choose(45, 10), 1e-9);
+}
+
+TEST(LazyWakeup, SilentSchemeNeverCompletes) {
+  const LazyWakeupResult r = play_lazy_wakeup(12, OneShot());
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.violation.empty());
+  EXPECT_LE(r.messages, 2u);  // one source send, maybe one hidden relay
+}
+
+TEST(LazyWakeup, CheatersAreCaught) {
+  const LazyWakeupResult r = play_lazy_wakeup(12, Cheater());
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.violation.find("wakeup violation"), std::string::npos);
+}
+
+TEST(LazyWakeup, BudgetValveTriggers) {
+  const LazyWakeupResult r =
+      play_lazy_wakeup(32, FloodingAlgorithm(), /*max_messages=*/50);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.violation.find("budget"), std::string::npos);
+}
+
+TEST(LazyWakeup, Deterministic) {
+  const LazyWakeupResult a = play_lazy_wakeup(20, FloodingAlgorithm());
+  const LazyWakeupResult b = play_lazy_wakeup(20, FloodingAlgorithm());
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.edges_probed, b.edges_probed);
+}
+
+TEST(LazyWakeup, RejectsDegenerateN) {
+  EXPECT_THROW(play_lazy_wakeup(2, FloodingAlgorithm()),
+               std::invalid_argument);
+}
+
+TEST(LazyWakeup, MaterializedInstanceReplaysConsistently) {
+  // The adversary's lazily-committed instance is a real G_{n,S}. Build it
+  // explicitly and replay the same deterministic algorithm on the concrete
+  // network: the lazy game's message count (which stops at completion)
+  // must not exceed the concrete run's total, and the concrete run must of
+  // course complete the wakeup.
+  const std::size_t n = 24;
+  const LazyWakeupResult lazy = play_lazy_wakeup(n, FloodingAlgorithm());
+  ASSERT_TRUE(lazy.completed);
+  ASSERT_EQ(lazy.special_edges.size(), n);
+
+  const PortGraph base = make_complete_star(n);
+  std::vector<Edge> s;
+  for (const auto& [u, v] : lazy.special_edges) {
+    s.push_back(Edge{u, complete_star_port(n, u, v), v,
+                     complete_star_port(n, v, u)});
+  }
+  const SubdividedGraph concrete = subdivide_edges(base, s);
+  ASSERT_EQ(validate_ports(concrete.graph), "");
+
+  RunOptions opts;
+  opts.enforce_wakeup = true;
+  const RunResult replay =
+      run_execution(concrete.graph, 0,
+                    std::vector<BitString>(concrete.graph.num_nodes()),
+                    FloodingAlgorithm(), opts);
+  EXPECT_TRUE(replay.all_informed);
+  EXPECT_TRUE(replay.violation.empty());
+  EXPECT_LE(lazy.messages, replay.metrics.messages_total);
+  // Flooding's total on the concrete graph has a closed form.
+  EXPECT_EQ(replay.metrics.messages_total,
+            2 * concrete.graph.num_edges() -
+                (concrete.graph.num_nodes() - 1));
+}
+
+TEST(LazyWakeup, MinimalCase) {
+  // n = 3: every one of the C(3,2) = 3 edges is necessarily subdivided.
+  const LazyWakeupResult r = play_lazy_wakeup(3, FloodingAlgorithm());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.hidden_found, 3u);
+  EXPECT_EQ(r.edges_probed, 3u);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,133 @@
+#include "graph/light_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "graph/subdivision.h"
+#include "util/mathx.h"
+#include "util/rng.h"
+
+namespace oraclesize {
+namespace {
+
+void expect_claim31(const PortGraph& g, NodeId root) {
+  const LightTreeResult r = light_tree(g, root);
+  const std::size_t n = g.num_nodes();
+  // It is a spanning tree...
+  EXPECT_EQ(r.tree.num_nodes(), n);
+  EXPECT_EQ(r.tree.edges(g).size(), n - 1);
+  // ...whose contribution obeys Claim 3.1.
+  EXPECT_LE(r.contribution, 4 * n) << g.summary();
+  // Reported contribution matches an independent recount.
+  EXPECT_EQ(r.contribution, tree_contribution(g, r.tree));
+}
+
+TEST(LightTree, Claim31OnCompleteGraphs) {
+  for (std::size_t n : {2u, 3u, 8u, 32u, 100u, 256u}) {
+    expect_claim31(make_complete_star(n), 0);
+  }
+}
+
+TEST(LightTree, Claim31OnSparseFamilies) {
+  expect_claim31(make_path(50), 0);
+  expect_claim31(make_cycle(63), 5);
+  expect_claim31(make_grid(9, 13), 0);
+  expect_claim31(make_hypercube(7), 1);
+  expect_claim31(make_star(100), 0);
+  expect_claim31(make_lollipop(60), 59);
+  expect_claim31(make_binary_tree(127), 0);
+}
+
+TEST(LightTree, Claim31OnRandomGraphs) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t n = 20 + 15 * static_cast<std::size_t>(i);
+    expect_claim31(make_random_connected(n, 0.1, rng), 0);
+  }
+}
+
+TEST(LightTree, Claim31OnShuffledPorts) {
+  // Adversarial port numbering must not break the bound: the bound's proof
+  // only uses tree sizes, not the builder's friendly port order.
+  Rng rng(12);
+  for (int i = 0; i < 5; ++i) {
+    const PortGraph g =
+        shuffle_ports(make_random_connected(80, 0.3, rng), rng);
+    expect_claim31(g, 0);
+  }
+}
+
+TEST(LightTree, Claim31OnLowerBoundFamilies) {
+  Rng rng(13);
+  const SubdividedGraph sg = make_gns(24, 24, rng);
+  expect_claim31(sg.graph, 0);
+}
+
+TEST(LightTree, PhaseCountLogarithmic) {
+  const PortGraph g = make_complete_star(128);
+  const LightTreeResult r = light_tree(g, 0);
+  EXPECT_LE(r.phases.size(), 8u);  // ceil(log2 128) = 7, +1 slack
+  EXPECT_GE(r.phases.size(), 1u);
+}
+
+TEST(LightTree, PhaseAccountingConsistent) {
+  Rng rng(14);
+  const PortGraph g = make_random_connected(60, 0.2, rng);
+  const LightTreeResult r = light_tree(g, 0);
+  std::size_t total_added = 0;
+  std::uint64_t total_contribution = 0;
+  for (const LightTreePhase& p : r.phases) {
+    EXPECT_GT(p.trees_before, 1u);
+    EXPECT_LE(p.small_trees, p.trees_before);
+    EXPECT_LE(p.edges_added, p.small_trees);
+    total_added += p.edges_added;
+    total_contribution += p.contribution;
+  }
+  EXPECT_EQ(total_added, g.num_nodes() - 1);
+  EXPECT_EQ(total_contribution, r.contribution);
+}
+
+TEST(LightTree, PaperPerPhaseBound) {
+  // The proof's per-phase bound: C_k <= k * |T_small(k)| (each added edge in
+  // phase k contributes at most k bits).
+  const PortGraph g = make_complete_star(200);
+  const LightTreeResult r = light_tree(g, 0);
+  for (const LightTreePhase& p : r.phases) {
+    EXPECT_LE(p.contribution,
+              static_cast<std::uint64_t>(p.phase) * p.small_trees);
+  }
+}
+
+TEST(LightTree, TrivialGraphs) {
+  const LightTreeResult single = light_tree(make_path(1), 0);
+  EXPECT_EQ(single.contribution, 0u);
+  EXPECT_TRUE(single.phases.empty());
+
+  const LightTreeResult pair = light_tree(make_path(2), 0);
+  EXPECT_EQ(pair.contribution, 1u);  // one edge with weight 0: #2(0) = 1
+}
+
+TEST(LightTree, BeatsBfsOnAdversarialStar) {
+  // A star whose leaves sit on high ports at the center: BFS rooted at a
+  // leaf must still use the same edges (a star has only one spanning tree),
+  // so instead compare on the complete graph, where tree choice matters.
+  const PortGraph g = make_complete_star(128);
+  const LightTreeResult light = light_tree(g, 0);
+  const SpanningTree bfs = bfs_tree(g, 0);
+  EXPECT_LE(light.contribution, tree_contribution(g, bfs));
+}
+
+TEST(LightTree, RootChoiceDoesNotAffectContribution) {
+  // The tree is built unrooted and then oriented; any root gives the same
+  // edge set, hence the same contribution.
+  const PortGraph g = make_complete_star(32);
+  const std::uint64_t c0 = light_tree(g, 0).contribution;
+  const std::uint64_t c7 = light_tree(g, 7).contribution;
+  const std::uint64_t c31 = light_tree(g, 31).contribution;
+  EXPECT_EQ(c0, c7);
+  EXPECT_EQ(c0, c31);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,126 @@
+#include "util/mathx.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace oraclesize {
+namespace {
+
+TEST(Mathx, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(7), 2);
+  EXPECT_EQ(floor_log2(8), 3);
+  EXPECT_EQ(floor_log2((1ull << 40) - 1), 39);
+  EXPECT_EQ(floor_log2(1ull << 40), 40);
+}
+
+TEST(Mathx, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1023), 10);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Mathx, NumBitsMatchesPaperConvention) {
+  // #2(w) = 1 for w <= 1, floor(log2 w) + 1 otherwise.
+  EXPECT_EQ(num_bits(0), 1);
+  EXPECT_EQ(num_bits(1), 1);
+  EXPECT_EQ(num_bits(2), 2);
+  EXPECT_EQ(num_bits(3), 2);
+  EXPECT_EQ(num_bits(4), 3);
+  EXPECT_EQ(num_bits(255), 8);
+  EXPECT_EQ(num_bits(256), 9);
+}
+
+TEST(Mathx, Log2FactorialSmallExact) {
+  EXPECT_NEAR(log2_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log2_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log2_factorial(2), 1.0, 1e-10);
+  EXPECT_NEAR(log2_factorial(4), std::log2(24.0), 1e-10);
+  EXPECT_NEAR(log2_factorial(10), std::log2(3628800.0), 1e-9);
+}
+
+TEST(Mathx, Log2FactorialStirlingShape) {
+  // log2(n!) ~ n log2 n - n log2 e; check to 1% at n = 10^6.
+  const double n = 1e6;
+  const double stirling = n * std::log2(n) - n / std::log(2.0);
+  EXPECT_NEAR(log2_factorial(1000000) / stirling, 1.0, 0.01);
+}
+
+TEST(Mathx, Log2ChooseExactSmall) {
+  EXPECT_NEAR(log2_choose(5, 2), std::log2(10.0), 1e-10);
+  EXPECT_NEAR(log2_choose(10, 5), std::log2(252.0), 1e-10);
+  EXPECT_NEAR(log2_choose(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log2_choose(7, 7), 0.0, 1e-10);
+}
+
+TEST(Mathx, Log2ChooseOutOfRangeIsNegInfinity) {
+  EXPECT_TRUE(std::isinf(log2_choose(3, 5)));
+  EXPECT_LT(log2_choose(3, 5), 0);
+}
+
+TEST(Mathx, Log2ChooseSymmetry) {
+  for (std::uint64_t a : {10ull, 100ull, 1000ull}) {
+    for (std::uint64_t b = 0; b <= a; b += a / 5) {
+      EXPECT_NEAR(log2_choose(a, b), log2_choose(a, a - b), 1e-8);
+    }
+  }
+}
+
+TEST(Mathx, Log2ChoosePascalIdentity) {
+  // C(a,b) = C(a-1,b-1) + C(a-1,b), verified in log space.
+  for (std::uint64_t a : {20ull, 57ull, 300ull}) {
+    for (std::uint64_t b = 1; b < a; b += 7) {
+      const double lhs = log2_choose(a, b);
+      const double rhs = log2_add(log2_choose(a - 1, b - 1),
+                                  log2_choose(a - 1, b));
+      EXPECT_NEAR(lhs, rhs, 1e-8) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Mathx, Log2AddBasics) {
+  EXPECT_NEAR(log2_add(3.0, 3.0), 4.0, 1e-12);  // 8 + 8 = 16
+  EXPECT_NEAR(log2_add(0.0, 0.0), 1.0, 1e-12);  // 1 + 1 = 2
+  EXPECT_NEAR(log2_add(10.0, -std::numeric_limits<double>::infinity()), 10.0,
+              1e-12);
+  // Dominance: adding a tiny term barely moves a large one.
+  EXPECT_NEAR(log2_add(100.0, 0.0), 100.0, 1e-10);
+}
+
+TEST(Mathx, Log2SubInverseOfAdd) {
+  const double a = 12.7, b = 9.1;
+  const double sum = log2_add(a, b);
+  EXPECT_NEAR(log2_sub(sum, b), a, 1e-9);
+  EXPECT_TRUE(std::isinf(log2_sub(5.0, 5.0)));
+}
+
+TEST(Mathx, Claim21HoldsInPaperRegime) {
+  // Claim 2.1: C(a(1+b), a) <= (6b)^a for a, b large enough. The proof needs
+  // a > some A and b > some B; b >= 3 and a >= 2 already work numerically.
+  for (std::uint64_t a : {2ull, 5ull, 10ull, 100ull, 1000ull}) {
+    for (std::uint64_t b : {3ull, 4ull, 10ull, 64ull, 1000ull}) {
+      EXPECT_TRUE(claim21_holds(a, b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Mathx, Claim21Tightness) {
+  // The bound is loose but not absurdly so: the ratio
+  // a*log2(6b) - log2 C(a(1+b), a) stays positive and grows mildly.
+  const double gap = 100.0 * std::log2(6.0 * 50.0) - log2_choose(100 * 51, 100);
+  EXPECT_GT(gap, 0.0);
+  EXPECT_LT(gap, 100.0 * 3.0);  // within a constant factor per unit a
+}
+
+}  // namespace
+}  // namespace oraclesize

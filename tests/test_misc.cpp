@@ -1,0 +1,89 @@
+// Coverage for small reporting/diagnostic surfaces not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "core/flooding.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "oracle/trivial_oracles.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "sim/message.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(Misc, MsgKindNames) {
+  EXPECT_EQ(to_string(MsgKind::kSource), "source");
+  EXPECT_EQ(to_string(MsgKind::kHello), "hello");
+  EXPECT_EQ(to_string(MsgKind::kControl), "control");
+}
+
+TEST(Misc, MessageSizeAccounting) {
+  EXPECT_EQ(Message::source().size_bits(), 2);
+  EXPECT_EQ(Message::hello().size_bits(), 2);
+  EXPECT_EQ(Message::control(0).size_bits(), 2);
+  EXPECT_EQ(Message::control(1).size_bits(), 3);
+  EXPECT_EQ(Message::control(255).size_bits(), 10);
+}
+
+TEST(Misc, MessageEquality) {
+  EXPECT_EQ(Message::source(), Message::source());
+  EXPECT_NE(Message::source(), Message::hello());
+  EXPECT_NE(Message::control(1), Message::control(2));
+  EXPECT_NE(Message::bundle(MsgKind::kControl, {1}),
+            Message::bundle(MsgKind::kControl, {2}));
+}
+
+TEST(Misc, MetricsSummaryMentionsCounts) {
+  Metrics m;
+  m.count_send(Message::source());
+  m.count_send(Message::hello());
+  m.count_send(Message::control(7));
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("messages=3"), std::string::npos);
+  EXPECT_NE(s.find("source=1"), std::string::npos);
+  EXPECT_NE(s.find("hello=1"), std::string::npos);
+  EXPECT_NE(s.find("control=1"), std::string::npos);
+}
+
+TEST(Misc, TaskReportFailureSummary) {
+  // A wakeup given broadcast-less (null) advice informs nobody past the
+  // source: the report must say FAILED, not ok.
+  const PortGraph g = make_path(4);
+  const TaskReport r = run_task(g, 0, NullOracle(), WakeupTreeAlgorithm());
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.summary().find("FAILED"), std::string::npos);
+}
+
+TEST(Misc, TaskReportOkSummaryMentionsOracle) {
+  const PortGraph g = make_path(4);
+  const TaskReport r =
+      run_task(g, 0, TreeWakeupOracle(), WakeupTreeAlgorithm());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.summary().find("tree-wakeup"), std::string::npos);
+  EXPECT_NE(r.summary().find("oracle="), std::string::npos);
+}
+
+TEST(Misc, EdgeEqualityAndWeight) {
+  const Edge a{0, 1, 2, 3};
+  const Edge b{0, 1, 2, 3};
+  const Edge c{0, 1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.weight(), 1u);
+}
+
+TEST(Misc, EndpointEquality) {
+  EXPECT_EQ((Endpoint{1, 2}), (Endpoint{1, 2}));
+  EXPECT_NE((Endpoint{1, 2}), (Endpoint{1, 3}));
+  EXPECT_NE((Endpoint{1, 2}), (Endpoint{2, 2}));
+}
+
+TEST(Misc, FloodingNameAndFlags) {
+  EXPECT_EQ(FloodingAlgorithm().name(), "flooding");
+  EXPECT_TRUE(FloodingAlgorithm().is_wakeup());
+  EXPECT_EQ(WakeupTreeAlgorithm().name(), "wakeup-tree");
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,161 @@
+#include "graph/port_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/validate.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(PortGraph, DefaultLabelsArePaperStyle) {
+  const PortGraph g(4);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g.label(v), v + 1);
+}
+
+TEST(PortGraph, AddEdgeSetsBothDirections) {
+  PortGraph g(3);
+  g.add_edge(0, 0, 1, 1);
+  EXPECT_EQ(g.neighbor(0, 0), (Endpoint{1, 1}));
+  EXPECT_EQ(g.neighbor(1, 1), (Endpoint{0, 0}));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(PortGraph, AddEdgeAutoUsesDensePorts) {
+  PortGraph g(3);
+  auto [p1, q1] = g.add_edge_auto(0, 1);
+  EXPECT_EQ(p1, 0u);
+  EXPECT_EQ(q1, 0u);
+  auto [p2, q2] = g.add_edge_auto(0, 2);
+  EXPECT_EQ(p2, 1u);
+  EXPECT_EQ(q2, 0u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(PortGraph, RejectsSelfLoop) {
+  PortGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 0, 1), std::invalid_argument);
+}
+
+TEST(PortGraph, RejectsOccupiedPort) {
+  PortGraph g(3);
+  g.add_edge(0, 0, 1, 0);
+  EXPECT_THROW(g.add_edge(0, 0, 2, 0), std::invalid_argument);
+}
+
+TEST(PortGraph, RejectsOutOfRangeNode) {
+  PortGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 5, 0), std::invalid_argument);
+}
+
+TEST(PortGraph, NeighborOnVacantPortThrows) {
+  PortGraph g(2);
+  g.add_edge(0, 1, 1, 0);  // port 0 of node 0 left vacant (a hole)
+  EXPECT_THROW(g.neighbor(0, 0), std::out_of_range);
+  EXPECT_THROW(g.neighbor(0, 5), std::out_of_range);
+}
+
+TEST(PortGraph, HasPort) {
+  PortGraph g(2);
+  g.add_edge(0, 1, 1, 0);
+  EXPECT_TRUE(g.has_port(0, 1));
+  EXPECT_FALSE(g.has_port(0, 0));
+  EXPECT_FALSE(g.has_port(0, 2));
+  EXPECT_FALSE(g.has_port(9, 0));
+}
+
+TEST(PortGraph, PortTowards) {
+  PortGraph g(3);
+  g.add_edge_auto(0, 1);
+  g.add_edge_auto(0, 2);
+  EXPECT_EQ(g.port_towards(0, 2), 1u);
+  EXPECT_EQ(g.port_towards(2, 0), 0u);
+  EXPECT_EQ(g.port_towards(1, 2), kNoPort);
+}
+
+TEST(PortGraph, EdgesNormalized) {
+  PortGraph g(3);
+  g.add_edge_auto(2, 0);
+  g.add_edge_auto(1, 2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(PortGraph, EdgeWeightIsMinPort) {
+  const Edge e{0, 3, 1, 7};
+  EXPECT_EQ(e.weight(), 3u);
+  const Edge f{0, 9, 1, 2};
+  EXPECT_EQ(f.weight(), 2u);
+}
+
+TEST(PortGraph, ValidateAcceptsCleanGraph) {
+  PortGraph g(4);
+  g.add_edge_auto(0, 1);
+  g.add_edge_auto(1, 2);
+  g.add_edge_auto(2, 3);
+  EXPECT_EQ(validate_ports(g), "");
+}
+
+TEST(PortGraph, ValidateDetectsPortHole) {
+  PortGraph g(2);
+  g.add_edge(0, 1, 1, 0);  // node 0: port 0 vacant, port 1 occupied
+  EXPECT_NE(validate_ports(g), "");
+}
+
+TEST(PortGraph, ValidateDetectsDuplicateLabels) {
+  PortGraph g(2);
+  g.add_edge_auto(0, 1);
+  g.set_label(1, g.label(0));
+  EXPECT_NE(validate_ports(g), "");
+}
+
+TEST(PortGraph, ValidateDetectsParallelEdges) {
+  PortGraph g(2);
+  g.add_edge(0, 0, 1, 0);
+  g.add_edge(0, 1, 1, 1);
+  EXPECT_NE(validate_ports(g), "");
+}
+
+TEST(PortGraph, ConnectivityCheck) {
+  PortGraph g(4);
+  g.add_edge_auto(0, 1);
+  g.add_edge_auto(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge_auto(1, 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(PortGraph, BfsDistances) {
+  PortGraph g(5);
+  g.add_edge_auto(0, 1);
+  g.add_edge_auto(1, 2);
+  g.add_edge_auto(2, 3);
+  g.add_edge_auto(0, 4);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], 1u);
+}
+
+TEST(PortGraph, ToDotMentionsAllNodes) {
+  PortGraph g(3);
+  g.add_edge_auto(0, 1);
+  g.add_edge_auto(1, 2);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+}
+
+TEST(PortGraph, Summary) {
+  PortGraph g(3);
+  g.add_edge_auto(0, 1);
+  EXPECT_EQ(g.summary(), "PortGraph(n=3, m=1)");
+}
+
+}  // namespace
+}  // namespace oraclesize

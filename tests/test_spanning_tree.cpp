@@ -1,0 +1,166 @@
+#include "graph/spanning_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "util/mathx.h"
+#include "util/rng.h"
+
+namespace oraclesize {
+namespace {
+
+// A tree over g is spanning iff it has n-1 edges all in g and touches all
+// nodes; from_parents/from_edges already throw otherwise, so tests focus on
+// structural properties.
+
+void expect_spanning(const PortGraph& g, const SpanningTree& t) {
+  EXPECT_EQ(t.num_nodes(), g.num_nodes());
+  std::size_t child_edges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    child_edges += t.num_children(v);
+    if (!t.is_root(v)) {
+      // up-port really leads to the parent.
+      EXPECT_EQ(g.neighbor(v, t.port_to_parent(v)).node, t.parent(v));
+      EXPECT_EQ(t.depth(v), t.depth(t.parent(v)) + 1);
+    }
+  }
+  EXPECT_EQ(child_edges, g.num_nodes() - 1);
+  EXPECT_EQ(t.edges(g).size(), g.num_nodes() - 1);
+}
+
+TEST(SpanningTree, BfsOnPath) {
+  const PortGraph g = make_path(5);
+  const SpanningTree t = bfs_tree(g, 0);
+  expect_spanning(g, t);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.height(), 4u);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(t.parent(v), v - 1);
+}
+
+TEST(SpanningTree, BfsDepthIsGraphDistance) {
+  Rng rng(3);
+  const PortGraph g = make_random_connected(40, 0.1, rng);
+  const SpanningTree t = bfs_tree(g, 7);
+  expect_spanning(g, t);
+  // BFS tree depth == BFS distance; check via independent traversal.
+  const PortGraph& gr = g;
+  std::vector<int> dist(gr.num_nodes(), -1);
+  std::vector<NodeId> frontier{7};
+  dist[7] = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (Port p = 0; p < gr.degree(v); ++p) {
+        const NodeId u = gr.neighbor(v, p).node;
+        if (dist[u] < 0) {
+          dist[u] = dist[v] + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (NodeId v = 0; v < gr.num_nodes(); ++v) {
+    EXPECT_EQ(static_cast<int>(t.depth(v)), dist[v]);
+  }
+}
+
+TEST(SpanningTree, DfsOnCycleIsHamiltonianPath) {
+  const PortGraph g = make_cycle(8);
+  const SpanningTree t = dfs_tree(g, 0);
+  expect_spanning(g, t);
+  EXPECT_EQ(t.height(), 7u);  // DFS on a cycle walks all the way round
+}
+
+TEST(SpanningTree, ChildPortsLeadToChildren) {
+  Rng rng(4);
+  const PortGraph g = make_random_connected(30, 0.15, rng);
+  const SpanningTree t = bfs_tree(g, 0);
+  std::size_t counted = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Port p : t.child_ports(v)) {
+      const NodeId child = g.neighbor(v, p).node;
+      EXPECT_EQ(t.parent(child), v);
+      ++counted;
+    }
+  }
+  EXPECT_EQ(counted, g.num_nodes() - 1);
+}
+
+TEST(SpanningTree, FromParentsRejectsNonTree) {
+  const PortGraph g = make_cycle(4);
+  // Two roots.
+  EXPECT_THROW(
+      SpanningTree::from_parents(g, 0, {kNoNode, kNoNode, 1, 2}),
+      std::invalid_argument);
+  // Parent edge not in graph (0-2 is a chord of the 4-cycle).
+  EXPECT_THROW(SpanningTree::from_parents(g, 0, {kNoNode, 0, 0, 2}),
+               std::invalid_argument);
+}
+
+TEST(SpanningTree, FromEdgesRejectsWrongCount) {
+  const PortGraph g = make_path(4);
+  EXPECT_THROW(SpanningTree::from_edges(g, 0, {}), std::invalid_argument);
+  // n-1 edges that do not span (one edge repeated) must also fail.
+  const Edge e = g.edges()[0];
+  EXPECT_THROW(SpanningTree::from_edges(g, 0, {e, e, e}),
+               std::invalid_argument);
+}
+
+TEST(SpanningTree, FromEdgesRoundTrip) {
+  Rng rng(5);
+  const PortGraph g = make_random_connected(25, 0.2, rng);
+  const SpanningTree t = bfs_tree(g, 3);
+  const SpanningTree u = SpanningTree::from_edges(g, 3, t.edges(g));
+  expect_spanning(g, u);
+  // Same edge set regardless of orientation bookkeeping.
+  auto key = [](const Edge& e) { return std::pair{e.u, e.v}; };
+  std::set<std::pair<NodeId, NodeId>> te, ue;
+  for (const Edge& e : t.edges(g)) te.insert(key(e));
+  for (const Edge& e : u.edges(g)) ue.insert(key(e));
+  EXPECT_EQ(te, ue);
+}
+
+TEST(SpanningTree, KruskalMinimizesTotalWeight) {
+  // On K*_n, Kruskal under w(e) = min port picks globally light edges; its
+  // total weight must not exceed BFS's.
+  const PortGraph g = make_complete_star(12);
+  const SpanningTree mst = kruskal_mst(g, 0);
+  const SpanningTree bfs = bfs_tree(g, 0);
+  auto total = [&](const SpanningTree& t) {
+    std::uint64_t w = 0;
+    for (const Edge& e : t.edges(g)) w += e.weight();
+    return w;
+  };
+  expect_spanning(g, mst);
+  EXPECT_LE(total(mst), total(bfs));
+}
+
+TEST(SpanningTree, SingletonGraph) {
+  const PortGraph g = make_path(1);
+  const SpanningTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_TRUE(t.is_root(0));
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_EQ(t.edges(g).size(), 0u);
+}
+
+TEST(SpanningTree, ContributionMatchesManualSum) {
+  const PortGraph g = make_path(6);  // all ports 0/1, each edge weight 0
+  const SpanningTree t = bfs_tree(g, 0);
+  // Path edges: at interior nodes ports are 0 (to prev) and 1 (to next);
+  // weight of each edge = min(1, 0) = 0 except the first edge (0,0).
+  std::uint64_t expected = 0;
+  for (const Edge& e : t.edges(g)) {
+    expected += static_cast<std::uint64_t>(num_bits(e.weight()));
+  }
+  EXPECT_EQ(tree_contribution(g, t), expected);
+  EXPECT_EQ(tree_contribution(g, t), 5u);  // every weight is 0 or 1 -> 1 bit
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,151 @@
+#include "graph/subdivision.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builders.h"
+#include "graph/complete_star.h"
+#include "graph/validate.h"
+
+namespace oraclesize {
+namespace {
+
+TEST(Subdivision, HiddenNodesHaveDegreeTwoWithPaperPorts) {
+  Rng rng(1);
+  const SubdividedGraph sg = make_gns(8, 8, rng);
+  EXPECT_EQ(validate_ports(sg.graph), "");
+  EXPECT_TRUE(is_connected(sg.graph));
+  EXPECT_EQ(sg.graph.num_nodes(), 16u);
+  for (std::size_t i = 0; i < sg.hidden.size(); ++i) {
+    const NodeId w = sg.hidden[i];
+    EXPECT_EQ(sg.graph.degree(w), 2u);
+    // Port 0 of w_i leads to the smaller-labeled endpoint u_i, port 1 to v_i.
+    const Edge& e = sg.subdivided[i];
+    EXPECT_EQ(sg.graph.neighbor(w, 0).node, e.u);
+    EXPECT_EQ(sg.graph.neighbor(w, 1).node, e.v);
+  }
+}
+
+TEST(Subdivision, HiddenLabelsEncodeTuplePosition) {
+  // The paper: w_i (for the i-th edge of S, 1-based) gets label n + i.
+  Rng rng(2);
+  const std::size_t n = 10;
+  const SubdividedGraph sg = make_gns(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sg.graph.label(sg.hidden[i]), n + i + 1);
+  }
+}
+
+TEST(Subdivision, EndpointsKeepTheirPortNumbers) {
+  Rng rng(3);
+  const std::size_t n = 9;
+  const SubdividedGraph sg = make_gns(n, 5, rng);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Edge& e = sg.subdivided[i];
+    const NodeId w = sg.hidden[i];
+    // The endpoint's port that used to carry e now carries the edge to w.
+    EXPECT_EQ(sg.graph.neighbor(e.u, e.port_u).node, w);
+    EXPECT_EQ(sg.graph.neighbor(e.v, e.port_v).node, w);
+  }
+}
+
+TEST(Subdivision, NonSubdividedEdgesAreUntouched) {
+  Rng rng(4);
+  const std::size_t n = 8;
+  const SubdividedGraph sg = make_gns(n, 3, rng);
+  std::set<std::pair<NodeId, NodeId>> replaced;
+  for (const Edge& e : sg.subdivided) replaced.insert({e.u, e.v});
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (replaced.count({i, j})) continue;
+      const Port p = complete_star_port(n, i, j);
+      EXPECT_EQ(sg.graph.neighbor(i, p).node, j);
+    }
+  }
+}
+
+TEST(Subdivision, NodeAndEdgeCounts) {
+  Rng rng(5);
+  for (std::size_t n : {6u, 10u, 20u}) {
+    for (std::size_t t : {std::size_t{1}, n / 2, n}) {
+      const SubdividedGraph sg = make_gns(n, t, rng);
+      EXPECT_EQ(sg.graph.num_nodes(), n + t);
+      // Each subdivision replaces one edge by two.
+      EXPECT_EQ(sg.graph.num_edges(), n * (n - 1) / 2 + t);
+    }
+  }
+}
+
+TEST(Subdivision, BaseNodeDegreesUnchanged) {
+  Rng rng(6);
+  const std::size_t n = 12;
+  const SubdividedGraph sg = make_gns(n, n, rng);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(sg.graph.degree(v), n - 1);
+  }
+}
+
+TEST(Subdivision, WorksOnArbitraryBaseGraphs) {
+  Rng rng(7);
+  const PortGraph base = make_cycle(8);
+  const auto edges = base.edges();
+  const SubdividedGraph sg =
+      subdivide_edges(base, {edges[0], edges[3], edges[6]});
+  EXPECT_EQ(validate_ports(sg.graph), "");
+  EXPECT_TRUE(is_connected(sg.graph));
+  EXPECT_EQ(sg.graph.num_nodes(), 11u);
+  EXPECT_EQ(sg.graph.num_edges(), 11u);
+}
+
+TEST(Subdivision, RejectsDuplicateEdges) {
+  const PortGraph base = make_cycle(5);
+  const auto edges = base.edges();
+  EXPECT_THROW(subdivide_edges(base, {edges[0], edges[0]}),
+               std::invalid_argument);
+}
+
+TEST(Subdivision, RejectsForeignEdge) {
+  const PortGraph base = make_path(5);
+  const Edge fake{0, 3, 4, 3};  // not an edge of the path
+  EXPECT_THROW(subdivide_edges(base, {fake}), std::invalid_argument);
+}
+
+TEST(Subdivision, RandomEdgesAreDistinctAndValid) {
+  Rng rng(8);
+  const std::size_t n = 15;
+  const auto edges = random_complete_star_edges(n, 30, rng);
+  EXPECT_EQ(edges.size(), 30u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, n);
+    EXPECT_EQ(e.port_u, complete_star_port(n, e.u, e.v));
+    EXPECT_EQ(e.port_v, complete_star_port(n, e.v, e.u));
+    EXPECT_TRUE(seen.insert({e.u, e.v}).second);
+  }
+}
+
+TEST(Subdivision, RandomEdgesCanExhaustAllEdges) {
+  Rng rng(9);
+  const std::size_t n = 6;
+  const auto edges = random_complete_star_edges(n, n * (n - 1) / 2, rng);
+  EXPECT_EQ(edges.size(), 15u);
+  EXPECT_THROW(random_complete_star_edges(n, 16, rng), std::invalid_argument);
+}
+
+TEST(Subdivision, RemarkScaleCnSubdivisions) {
+  // The Remark after Theorem 2.2 subdivides c*n edges; check the family
+  // builds for c = 2, 3.
+  Rng rng(10);
+  for (std::size_t c : {2u, 3u}) {
+    const std::size_t n = 12;
+    const SubdividedGraph sg = make_gns(n, c * n, rng);
+    EXPECT_EQ(sg.graph.num_nodes(), n + c * n);
+    EXPECT_EQ(validate_ports(sg.graph), "");
+    EXPECT_TRUE(is_connected(sg.graph));
+  }
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace oraclesize {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"n", "messages", "ratio"});
+  t.row().cell(std::uint64_t{128}).cell(std::uint64_t{127}).cell(0.992, 3);
+  t.row().cell(std::uint64_t{256}).cell(std::uint64_t{255}).cell(0.996, 3);
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("messages"), std::string::npos);
+  EXPECT_NE(s.find("0.992"), std::string::npos);
+  EXPECT_NE(s.find("256"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("yyyyyy");
+  t.row().cell("xxxxxx").cell("y");
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string first;
+  std::getline(is, first);
+  std::string line;
+  // Every line has equal length in an aligned table.
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.size(), first.size());
+  }
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.row().cell(std::uint64_t{1}).cell(2.5, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2.5\n");
+}
+
+TEST(Table, NumRows) {
+  Table t({"only"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell("a");
+  t.row().cell("b");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, IntegralOverloadsCompile) {
+  Table t({"i", "u", "s"});
+  t.row().cell(-5).cell(std::uint64_t{7}).cell(std::size_t{9});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "i,u,s\n-5,7,9\n");
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -1,0 +1,470 @@
+// oraclesize_cli — command-line front end to the library.
+//
+// Subcommands:
+//   gen <family> <args...> [--seed S]
+//       Emit a network in the graph/io.h text format on stdout. Families:
+//         path N | cycle N | star N | grid R C | hypercube D | complete N |
+//         tree N | random N P | lollipop N | torus R C | bipartite A B |
+//         wheel N | caterpillar S L | regular N D | gns N T | gnsc N K
+//   run <task> [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]
+//       [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]
+//       [--advice-file F]
+//       Read a network from stdin and run a task:
+//         wakeup | broadcast | flooding | census | gossip | hybrid
+//       Prints the task report (oracle bits, messages, violations).
+//       With --advice-file the oracle step is skipped and per-node strings
+//       are loaded from F (see `advise`).
+//   advise <tree|light|partial|null> [--source S] [--tree K]
+//       [--fraction Q] [--seed S]
+//       Read a network from stdin; print the oracle's advice assignment in
+//       the oracle/advice_io.h text format.
+//   tree <bfs|dfs|kruskal|light> [--root R]
+//       Read a network from stdin; print spanning-tree statistics.
+//   stats
+//       Read a network from stdin; print size/degree/diameter statistics.
+//   bounds wakeup <n> <c> <oracle_bits>
+//   bounds broadcast <n> <k> <oracle_bits>
+//       Evaluate the exact Theorem 2.2 / 3.2 pigeonhole bounds.
+//   game <N> <m>
+//       Play the Lemma 2.1 edge-discovery game and report probes vs bound.
+//
+// Examples:
+//   oraclesize_cli gen complete 64 | oraclesize_cli run broadcast
+//   oraclesize_cli gen random 500 0.02 --seed 7 | oraclesize_cli run census
+//   oraclesize_cli bounds wakeup 1024 1 4096
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/broadcast_b.h"
+#include "core/census.h"
+#include "core/flooding.h"
+#include "core/gossip.h"
+#include "core/hybrid_wakeup.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "oracle/advice_io.h"
+#include "oracle/partial_tree_oracle.h"
+#include "graph/builders.h"
+#include "graph/clique_replace.h"
+#include "graph/complete_star.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "graph/light_tree.h"
+#include "graph/subdivision.h"
+#include "graph/validate.h"
+#include "lowerbound/bounds.h"
+#include "lowerbound/counting_adversary.h"
+#include "lowerbound/strategies.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
+
+namespace {
+
+using namespace oraclesize;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  oraclesize_cli gen <family> <args...> [--seed S]\n"
+      "  oraclesize_cli run <wakeup|broadcast|flooding|census|gossip|hybrid>\n"
+      "      [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]\n"
+      "      [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]\n"
+      "      [--advice-file F]\n"
+      "  oraclesize_cli advise <tree|light|partial|null> [--source S]\n"
+      "      [--tree K] [--fraction Q] [--seed S]\n"
+      "  oraclesize_cli tree <bfs|dfs|kruskal|light> [--root R]\n"
+      "  oraclesize_cli stats\n"
+      "  oraclesize_cli bounds wakeup <n> <c> <oracle_bits>\n"
+      "  oraclesize_cli bounds broadcast <n> <k> <oracle_bits>\n"
+      "  oraclesize_cli game <N> <m>\n";
+  std::exit(message.empty() ? 0 : 2);
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    usage("bad " + what + ": '" + s + "'");
+  }
+}
+
+double parse_double(const std::string& s, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    usage("bad " + what + ": '" + s + "'");
+  }
+}
+
+/// Pulls "--flag value" / "--flag" options out of args, returning the rest.
+struct Options {
+  std::uint64_t seed = 1;
+  NodeId source = 0;
+  NodeId root = 0;
+  SchedulerKind scheduler = SchedulerKind::kSynchronous;
+  TreeKind tree = TreeKind::kBfs;
+  bool tree_set = false;
+  bool anonymous = false;
+  double fraction = 0.5;
+  std::string advice_file;
+};
+
+std::vector<std::string> extract_options(std::vector<std::string> args,
+                                         Options& opts) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage("missing value after " + a);
+      return args[++i];
+    };
+    if (a == "--seed") {
+      opts.seed = parse_u64(next(), "--seed");
+    } else if (a == "--source") {
+      opts.source = static_cast<NodeId>(parse_u64(next(), "--source"));
+    } else if (a == "--root") {
+      opts.root = static_cast<NodeId>(parse_u64(next(), "--root"));
+    } else if (a == "--anonymous") {
+      opts.anonymous = true;
+    } else if (a == "--fraction") {
+      opts.fraction = parse_double(next(), "--fraction");
+    } else if (a == "--advice-file") {
+      opts.advice_file = next();
+    } else if (a == "--scheduler") {
+      const std::string v = next();
+      if (v == "sync") {
+        opts.scheduler = SchedulerKind::kSynchronous;
+      } else if (v == "random") {
+        opts.scheduler = SchedulerKind::kAsyncRandom;
+      } else if (v == "fifo") {
+        opts.scheduler = SchedulerKind::kAsyncFifo;
+      } else if (v == "lifo") {
+        opts.scheduler = SchedulerKind::kAsyncLifo;
+      } else if (v == "linkfifo") {
+        opts.scheduler = SchedulerKind::kAsyncLinkFifo;
+      } else {
+        usage("unknown scheduler '" + v + "'");
+      }
+    } else if (a == "--tree") {
+      const std::string v = next();
+      opts.tree_set = true;
+      if (v == "bfs") {
+        opts.tree = TreeKind::kBfs;
+      } else if (v == "dfs") {
+        opts.tree = TreeKind::kDfs;
+      } else if (v == "kruskal") {
+        opts.tree = TreeKind::kKruskal;
+      } else if (v == "light") {
+        opts.tree = TreeKind::kLight;
+      } else {
+        usage("unknown tree '" + v + "'");
+      }
+    } else if (a.rfind("--", 0) == 0) {
+      usage("unknown option '" + a + "'");
+    } else {
+      rest.push_back(a);
+    }
+  }
+  return rest;
+}
+
+int cmd_gen(const std::vector<std::string>& args, const Options& opts) {
+  if (args.empty()) usage("gen: missing family");
+  Rng rng(opts.seed);
+  const std::string& family = args[0];
+  auto need = [&](std::size_t k) {
+    if (args.size() != k + 1) usage("gen " + family + ": wrong arity");
+  };
+  PortGraph g;
+  if (family == "path") {
+    need(1);
+    g = make_path(parse_u64(args[1], "n"));
+  } else if (family == "cycle") {
+    need(1);
+    g = make_cycle(parse_u64(args[1], "n"));
+  } else if (family == "star") {
+    need(1);
+    g = make_star(parse_u64(args[1], "n"));
+  } else if (family == "grid") {
+    need(2);
+    g = make_grid(parse_u64(args[1], "rows"), parse_u64(args[2], "cols"));
+  } else if (family == "hypercube") {
+    need(1);
+    g = make_hypercube(static_cast<int>(parse_u64(args[1], "d")));
+  } else if (family == "complete") {
+    need(1);
+    g = make_complete_star(parse_u64(args[1], "n"));
+  } else if (family == "tree") {
+    need(1);
+    g = make_random_tree(parse_u64(args[1], "n"), rng);
+  } else if (family == "random") {
+    need(2);
+    g = make_random_connected(parse_u64(args[1], "n"),
+                              parse_double(args[2], "p"), rng);
+  } else if (family == "lollipop") {
+    need(1);
+    g = make_lollipop(parse_u64(args[1], "n"));
+  } else if (family == "torus") {
+    need(2);
+    g = make_torus(parse_u64(args[1], "rows"), parse_u64(args[2], "cols"));
+  } else if (family == "bipartite") {
+    need(2);
+    g = make_complete_bipartite(parse_u64(args[1], "a"),
+                                parse_u64(args[2], "b"));
+  } else if (family == "wheel") {
+    need(1);
+    g = make_wheel(parse_u64(args[1], "n"));
+  } else if (family == "caterpillar") {
+    need(2);
+    g = make_caterpillar(parse_u64(args[1], "spine"),
+                         parse_u64(args[2], "legs"));
+  } else if (family == "regular") {
+    need(2);
+    g = make_random_regular(parse_u64(args[1], "n"),
+                            parse_u64(args[2], "d"), rng);
+  } else if (family == "gns") {
+    need(2);
+    g = make_gns(parse_u64(args[1], "n"), parse_u64(args[2], "t"), rng)
+            .graph;
+  } else if (family == "gnsc") {
+    need(2);
+    g = make_random_gnsc(parse_u64(args[1], "n"), parse_u64(args[2], "k"),
+                         rng)
+            .graph;
+  } else {
+    usage("unknown family '" + family + "'");
+  }
+  write_port_graph(std::cout, g);
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args, const Options& opts) {
+  if (args.size() != 1) usage("run: expected exactly one task");
+  const PortGraph g = read_port_graph(std::cin);
+  const std::string err = validate_ports(g);
+  if (!err.empty()) {
+    std::cerr << "invalid network: " << err << "\n";
+    return 1;
+  }
+  if (opts.source >= g.num_nodes()) usage("run: --source out of range");
+
+  RunOptions run_opts;
+  run_opts.scheduler = opts.scheduler;
+  run_opts.seed = opts.seed;
+  run_opts.anonymous = opts.anonymous;
+
+  const std::string& task = args[0];
+  const Algorithm* algorithm = nullptr;
+  const WakeupTreeAlgorithm wakeup;
+  const CensusAlgorithm census;
+  const BroadcastBAlgorithm broadcast;
+  const FloodingAlgorithm flooding;
+  const GossipTreeAlgorithm gossip;
+  const HybridWakeupAlgorithm hybrid;
+  std::unique_ptr<Oracle> oracle;
+  if (task == "wakeup") {
+    algorithm = &wakeup;
+    oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
+  } else if (task == "census") {
+    algorithm = &census;
+    oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
+  } else if (task == "gossip") {
+    algorithm = &gossip;
+    oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
+  } else if (task == "broadcast") {
+    algorithm = &broadcast;
+    oracle = std::make_unique<LightBroadcastOracle>(
+        opts.tree_set ? opts.tree : TreeKind::kLight);
+  } else if (task == "flooding") {
+    algorithm = &flooding;
+    oracle = std::make_unique<NullOracle>();
+  } else if (task == "hybrid") {
+    algorithm = &hybrid;
+    oracle = std::make_unique<PartialTreeOracle>(opts.fraction, opts.seed,
+                                                 opts.tree);
+  } else {
+    usage("unknown task '" + task + "'");
+  }
+
+  TaskReport report;
+  if (opts.advice_file.empty()) {
+    report = run_task(g, opts.source, *oracle, *algorithm, run_opts);
+  } else {
+    std::ifstream in(opts.advice_file);
+    if (!in) usage("cannot open advice file '" + opts.advice_file + "'");
+    const std::vector<BitString> advice = read_advice(in);
+    if (advice.size() != g.num_nodes()) {
+      usage("advice file node count does not match the network");
+    }
+    report.oracle_name = "file:" + opts.advice_file;
+    report.algorithm_name = algorithm->name();
+    report.oracle_bits = oracle_size_bits(advice);
+    report.max_advice_bits = max_advice_bits(advice);
+    if (algorithm->is_wakeup()) run_opts.enforce_wakeup = true;
+    report.run = run_execution(g, opts.source, advice, *algorithm, run_opts);
+  }
+
+  std::cout << g.summary() << ", source " << opts.source << ", scheduler "
+            << to_string(opts.scheduler) << "\n"
+            << report.summary() << "\n";
+  if ((task == "census" || task == "gossip") && report.ok()) {
+    std::cout << task << " output at source: "
+              << report.run.outputs[opts.source] << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_advise(const std::vector<std::string>& args, const Options& opts) {
+  if (args.size() != 1) usage("advise: expected exactly one oracle");
+  const PortGraph g = read_port_graph(std::cin);
+  const std::string err = validate_ports(g);
+  if (!err.empty()) {
+    std::cerr << "invalid network: " << err << "\n";
+    return 1;
+  }
+  if (opts.source >= g.num_nodes()) usage("advise: --source out of range");
+  std::unique_ptr<Oracle> oracle;
+  if (args[0] == "tree") {
+    oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
+  } else if (args[0] == "light") {
+    oracle = std::make_unique<LightBroadcastOracle>(
+        opts.tree_set ? opts.tree : TreeKind::kLight);
+  } else if (args[0] == "partial") {
+    oracle = std::make_unique<PartialTreeOracle>(opts.fraction, opts.seed,
+                                                 opts.tree);
+  } else if (args[0] == "null") {
+    oracle = std::make_unique<NullOracle>();
+  } else {
+    usage("unknown oracle '" + args[0] + "'");
+  }
+  const auto advice = oracle->advise(g, opts.source);
+  std::cout << "# " << oracle->name() << " on " << g.summary() << ", source "
+            << opts.source << ": " << oracle_size_bits(advice)
+            << " bits total\n";
+  write_advice(std::cout, advice);
+  return 0;
+}
+
+int cmd_tree(const std::vector<std::string>& args, const Options& opts) {
+  if (args.size() != 1) usage("tree: expected exactly one kind");
+  TreeKind kind;
+  if (args[0] == "bfs") {
+    kind = TreeKind::kBfs;
+  } else if (args[0] == "dfs") {
+    kind = TreeKind::kDfs;
+  } else if (args[0] == "kruskal") {
+    kind = TreeKind::kKruskal;
+  } else if (args[0] == "light") {
+    kind = TreeKind::kLight;
+  } else {
+    usage("unknown tree kind '" + args[0] + "'");
+  }
+  const PortGraph g = read_port_graph(std::cin);
+  if (opts.root >= g.num_nodes()) usage("tree: --root out of range");
+  const SpanningTree t = build_tree(g, opts.root, kind);
+  std::cout << g.summary() << "\n"
+            << "tree: " << args[0] << ", root " << opts.root << ", height "
+            << t.height() << ", contribution sum #2(w) = "
+            << tree_contribution(g, t) << " (4n = " << 4 * g.num_nodes()
+            << ")\n";
+  return 0;
+}
+
+int cmd_stats() {
+  const PortGraph g = read_port_graph(std::cin);
+  const std::string err = validate_ports(g);
+  if (!err.empty()) {
+    std::cerr << "invalid network: " << err << "\n";
+    return 1;
+  }
+  const GraphStats s = compute_stats(g);
+  std::cout << g.summary() << "\n"
+            << "degree: min " << s.min_degree << ", max " << s.max_degree
+            << ", avg " << s.avg_degree << "\n"
+            << "diameter " << s.diameter << ", eccentricity of node 0: "
+            << s.source_eccentricity << "\n";
+  return 0;
+}
+
+int cmd_bounds(const std::vector<std::string>& args) {
+  if (args.size() != 4) usage("bounds: wrong arity");
+  const std::uint64_t bits = parse_u64(args[3], "oracle_bits");
+  if (args[0] == "wakeup") {
+    const std::size_t n = parse_u64(args[1], "n");
+    const std::size_t c = parse_u64(args[2], "c");
+    std::cout << "G_{n,S} family: n = " << n << ", " << c
+              << "n subdivided edges, network size " << (1 + c) * n << "\n"
+              << "log2 |family|     = " << log2_wakeup_family(n, c) << "\n"
+              << "log2 |Q(" << bits
+              << " bits)| = " << log2_oracle_outputs(bits, (1 + c) * n)
+              << "\n"
+              << "guaranteed wakeup messages >= "
+              << wakeup_message_lower_bound(n, c, bits) << "\n";
+  } else if (args[0] == "broadcast") {
+    const std::size_t n = parse_u64(args[1], "n");
+    const std::size_t k = parse_u64(args[2], "k");
+    std::cout << "G_{n,k} family: n = " << n << ", k = " << k
+              << ", network size " << 2 * n << "\n"
+              << "log2 |family|     = " << log2_broadcast_family(n, k)
+              << "\n"
+              << "log2 |Q(" << bits
+              << " bits)| = " << log2_oracle_outputs(bits, 2 * n) << "\n"
+              << "guaranteed broadcast messages >= "
+              << broadcast_message_lower_bound(n, k, bits) << "\n";
+  } else {
+    usage("bounds: expected 'wakeup' or 'broadcast'");
+  }
+  return 0;
+}
+
+int cmd_game(const std::vector<std::string>& args) {
+  if (args.size() != 2) usage("game: wrong arity");
+  const EdgeDiscoveryProblem p{parse_u64(args[0], "N"),
+                               parse_u64(args[1], "m")};
+  if (p.num_special > p.num_candidates) usage("game: m > N");
+  SequentialStrategy strategy;
+  CountingAdversary adversary(p);
+  const GameResult r = play_edge_discovery(p, strategy, adversary);
+  std::cout << "edge discovery: N = " << p.num_candidates
+            << ", m = " << p.num_special << "\n"
+            << "measured probes   = " << r.probes << "\n"
+            << "Lemma 2.1 bound   = " << r.probe_lower_bound << "\n"
+            << "specials revealed = " << r.specials_found << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") usage();
+  const std::string command = args[0];
+  args.erase(args.begin());
+  Options opts;
+  args = extract_options(std::move(args), opts);
+  try {
+    if (command == "gen") return cmd_gen(args, opts);
+    if (command == "run") return cmd_run(args, opts);
+    if (command == "advise") return cmd_advise(args, opts);
+    if (command == "tree") return cmd_tree(args, opts);
+    if (command == "stats") return cmd_stats();
+    if (command == "bounds") return cmd_bounds(args);
+    if (command == "game") return cmd_game(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command '" + command + "'");
+}
