@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_tradeoff.dir/bench_e10_tradeoff.cpp.o"
+  "CMakeFiles/bench_e10_tradeoff.dir/bench_e10_tradeoff.cpp.o.d"
+  "bench_e10_tradeoff"
+  "bench_e10_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

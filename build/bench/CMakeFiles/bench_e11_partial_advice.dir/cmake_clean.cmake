@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_partial_advice.dir/bench_e11_partial_advice.cpp.o"
+  "CMakeFiles/bench_e11_partial_advice.dir/bench_e11_partial_advice.cpp.o.d"
+  "bench_e11_partial_advice"
+  "bench_e11_partial_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_partial_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

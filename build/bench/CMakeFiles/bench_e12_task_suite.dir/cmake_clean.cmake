@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_task_suite.dir/bench_e12_task_suite.cpp.o"
+  "CMakeFiles/bench_e12_task_suite.dir/bench_e12_task_suite.cpp.o.d"
+  "bench_e12_task_suite"
+  "bench_e12_task_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_task_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

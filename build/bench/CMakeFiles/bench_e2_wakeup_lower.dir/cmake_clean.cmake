@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_wakeup_lower.dir/bench_e2_wakeup_lower.cpp.o"
+  "CMakeFiles/bench_e2_wakeup_lower.dir/bench_e2_wakeup_lower.cpp.o.d"
+  "bench_e2_wakeup_lower"
+  "bench_e2_wakeup_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_wakeup_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

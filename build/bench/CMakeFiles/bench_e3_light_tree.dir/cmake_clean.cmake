@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_light_tree.dir/bench_e3_light_tree.cpp.o"
+  "CMakeFiles/bench_e3_light_tree.dir/bench_e3_light_tree.cpp.o.d"
+  "bench_e3_light_tree"
+  "bench_e3_light_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_light_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

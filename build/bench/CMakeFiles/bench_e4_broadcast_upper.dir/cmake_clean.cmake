@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_broadcast_upper.dir/bench_e4_broadcast_upper.cpp.o"
+  "CMakeFiles/bench_e4_broadcast_upper.dir/bench_e4_broadcast_upper.cpp.o.d"
+  "bench_e4_broadcast_upper"
+  "bench_e4_broadcast_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_broadcast_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

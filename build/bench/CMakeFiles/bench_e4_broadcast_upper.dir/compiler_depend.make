@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e4_broadcast_upper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_separation.dir/bench_e6_separation.cpp.o"
+  "CMakeFiles/bench_e6_separation.dir/bench_e6_separation.cpp.o.d"
+  "bench_e6_separation"
+  "bench_e6_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

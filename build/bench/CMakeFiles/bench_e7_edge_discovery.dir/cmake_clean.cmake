@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_edge_discovery.dir/bench_e7_edge_discovery.cpp.o"
+  "CMakeFiles/bench_e7_edge_discovery.dir/bench_e7_edge_discovery.cpp.o.d"
+  "bench_e7_edge_discovery"
+  "bench_e7_edge_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_edge_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_threshold.dir/bench_e8_threshold.cpp.o"
+  "CMakeFiles/bench_e8_threshold.dir/bench_e8_threshold.cpp.o.d"
+  "bench_e8_threshold"
+  "bench_e8_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

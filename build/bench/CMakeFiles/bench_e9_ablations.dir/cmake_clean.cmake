@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_ablations.dir/bench_e9_ablations.cpp.o"
+  "CMakeFiles/bench_e9_ablations.dir/bench_e9_ablations.cpp.o.d"
+  "bench_e9_ablations"
+  "bench_e9_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

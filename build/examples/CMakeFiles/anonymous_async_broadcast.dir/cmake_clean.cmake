@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_async_broadcast.dir/anonymous_async_broadcast.cpp.o"
+  "CMakeFiles/anonymous_async_broadcast.dir/anonymous_async_broadcast.cpp.o.d"
+  "anonymous_async_broadcast"
+  "anonymous_async_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_async_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

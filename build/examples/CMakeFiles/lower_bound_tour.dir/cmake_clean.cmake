@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_tour.dir/lower_bound_tour.cpp.o"
+  "CMakeFiles/lower_bound_tour.dir/lower_bound_tour.cpp.o.d"
+  "lower_bound_tour"
+  "lower_bound_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_advice.dir/partial_advice.cpp.o"
+  "CMakeFiles/partial_advice.dir/partial_advice.cpp.o.d"
+  "partial_advice"
+  "partial_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

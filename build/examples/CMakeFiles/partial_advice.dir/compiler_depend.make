@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for partial_advice.
+# This may be replaced when dependencies are built.

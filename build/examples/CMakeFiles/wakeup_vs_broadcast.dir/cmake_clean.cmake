@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wakeup_vs_broadcast.dir/wakeup_vs_broadcast.cpp.o"
+  "CMakeFiles/wakeup_vs_broadcast.dir/wakeup_vs_broadcast.cpp.o.d"
+  "wakeup_vs_broadcast"
+  "wakeup_vs_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wakeup_vs_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

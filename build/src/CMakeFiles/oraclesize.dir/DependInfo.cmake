@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitio/bitstring.cpp" "src/CMakeFiles/oraclesize.dir/bitio/bitstring.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/bitio/bitstring.cpp.o.d"
+  "/root/repo/src/bitio/codecs.cpp" "src/CMakeFiles/oraclesize.dir/bitio/codecs.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/bitio/codecs.cpp.o.d"
+  "/root/repo/src/core/broadcast_b.cpp" "src/CMakeFiles/oraclesize.dir/core/broadcast_b.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/core/broadcast_b.cpp.o.d"
+  "/root/repo/src/core/census.cpp" "src/CMakeFiles/oraclesize.dir/core/census.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/core/census.cpp.o.d"
+  "/root/repo/src/core/flooding.cpp" "src/CMakeFiles/oraclesize.dir/core/flooding.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/core/flooding.cpp.o.d"
+  "/root/repo/src/core/gossip.cpp" "src/CMakeFiles/oraclesize.dir/core/gossip.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/core/gossip.cpp.o.d"
+  "/root/repo/src/core/hybrid_wakeup.cpp" "src/CMakeFiles/oraclesize.dir/core/hybrid_wakeup.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/core/hybrid_wakeup.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/oraclesize.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/wakeup.cpp" "src/CMakeFiles/oraclesize.dir/core/wakeup.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/core/wakeup.cpp.o.d"
+  "/root/repo/src/graph/builders.cpp" "src/CMakeFiles/oraclesize.dir/graph/builders.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/builders.cpp.o.d"
+  "/root/repo/src/graph/clique_replace.cpp" "src/CMakeFiles/oraclesize.dir/graph/clique_replace.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/clique_replace.cpp.o.d"
+  "/root/repo/src/graph/complete_star.cpp" "src/CMakeFiles/oraclesize.dir/graph/complete_star.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/complete_star.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/oraclesize.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/light_tree.cpp" "src/CMakeFiles/oraclesize.dir/graph/light_tree.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/light_tree.cpp.o.d"
+  "/root/repo/src/graph/port_graph.cpp" "src/CMakeFiles/oraclesize.dir/graph/port_graph.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/port_graph.cpp.o.d"
+  "/root/repo/src/graph/spanning_tree.cpp" "src/CMakeFiles/oraclesize.dir/graph/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/spanning_tree.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/oraclesize.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/graph/subdivision.cpp" "src/CMakeFiles/oraclesize.dir/graph/subdivision.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/subdivision.cpp.o.d"
+  "/root/repo/src/graph/validate.cpp" "src/CMakeFiles/oraclesize.dir/graph/validate.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/graph/validate.cpp.o.d"
+  "/root/repo/src/lowerbound/bounds.cpp" "src/CMakeFiles/oraclesize.dir/lowerbound/bounds.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/lowerbound/bounds.cpp.o.d"
+  "/root/repo/src/lowerbound/counting_adversary.cpp" "src/CMakeFiles/oraclesize.dir/lowerbound/counting_adversary.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/lowerbound/counting_adversary.cpp.o.d"
+  "/root/repo/src/lowerbound/edge_discovery.cpp" "src/CMakeFiles/oraclesize.dir/lowerbound/edge_discovery.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/lowerbound/edge_discovery.cpp.o.d"
+  "/root/repo/src/lowerbound/exact_adversary.cpp" "src/CMakeFiles/oraclesize.dir/lowerbound/exact_adversary.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/lowerbound/exact_adversary.cpp.o.d"
+  "/root/repo/src/lowerbound/lazy_broadcast.cpp" "src/CMakeFiles/oraclesize.dir/lowerbound/lazy_broadcast.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/lowerbound/lazy_broadcast.cpp.o.d"
+  "/root/repo/src/lowerbound/lazy_wakeup.cpp" "src/CMakeFiles/oraclesize.dir/lowerbound/lazy_wakeup.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/lowerbound/lazy_wakeup.cpp.o.d"
+  "/root/repo/src/lowerbound/strategies.cpp" "src/CMakeFiles/oraclesize.dir/lowerbound/strategies.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/lowerbound/strategies.cpp.o.d"
+  "/root/repo/src/oracle/advice_io.cpp" "src/CMakeFiles/oraclesize.dir/oracle/advice_io.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/advice_io.cpp.o.d"
+  "/root/repo/src/oracle/composite_oracle.cpp" "src/CMakeFiles/oraclesize.dir/oracle/composite_oracle.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/composite_oracle.cpp.o.d"
+  "/root/repo/src/oracle/light_broadcast_oracle.cpp" "src/CMakeFiles/oraclesize.dir/oracle/light_broadcast_oracle.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/light_broadcast_oracle.cpp.o.d"
+  "/root/repo/src/oracle/neighborhood_oracle.cpp" "src/CMakeFiles/oraclesize.dir/oracle/neighborhood_oracle.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/neighborhood_oracle.cpp.o.d"
+  "/root/repo/src/oracle/oracle.cpp" "src/CMakeFiles/oraclesize.dir/oracle/oracle.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/oracle.cpp.o.d"
+  "/root/repo/src/oracle/partial_tree_oracle.cpp" "src/CMakeFiles/oraclesize.dir/oracle/partial_tree_oracle.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/partial_tree_oracle.cpp.o.d"
+  "/root/repo/src/oracle/tree_wakeup_oracle.cpp" "src/CMakeFiles/oraclesize.dir/oracle/tree_wakeup_oracle.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/tree_wakeup_oracle.cpp.o.d"
+  "/root/repo/src/oracle/trivial_oracles.cpp" "src/CMakeFiles/oraclesize.dir/oracle/trivial_oracles.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/oracle/trivial_oracles.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/oraclesize.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/history.cpp" "src/CMakeFiles/oraclesize.dir/sim/history.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/sim/history.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/oraclesize.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/oraclesize.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/oraclesize.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace_analysis.cpp" "src/CMakeFiles/oraclesize.dir/sim/trace_analysis.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/sim/trace_analysis.cpp.o.d"
+  "/root/repo/src/util/bigint.cpp" "src/CMakeFiles/oraclesize.dir/util/bigint.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/util/bigint.cpp.o.d"
+  "/root/repo/src/util/mathx.cpp" "src/CMakeFiles/oraclesize.dir/util/mathx.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/util/mathx.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/oraclesize.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/oraclesize.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/oraclesize.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

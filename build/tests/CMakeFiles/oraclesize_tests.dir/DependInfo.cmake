@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_advice_io.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_advice_io.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_advice_io.cpp.o.d"
+  "/root/repo/tests/test_bigint.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_bigint.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_bigint.cpp.o.d"
+  "/root/repo/tests/test_bitstring.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_bitstring.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_bitstring.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_broadcast_b.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_broadcast_b.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_broadcast_b.cpp.o.d"
+  "/root/repo/tests/test_builders.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_builders.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_builders.cpp.o.d"
+  "/root/repo/tests/test_builders_extra.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_builders_extra.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_builders_extra.cpp.o.d"
+  "/root/repo/tests/test_census.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_census.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_census.cpp.o.d"
+  "/root/repo/tests/test_clique_replace.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_clique_replace.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_clique_replace.cpp.o.d"
+  "/root/repo/tests/test_codecs.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_codecs.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_codecs.cpp.o.d"
+  "/root/repo/tests/test_complete_star.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_complete_star.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_complete_star.cpp.o.d"
+  "/root/repo/tests/test_composite_oracle.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_composite_oracle.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_composite_oracle.cpp.o.d"
+  "/root/repo/tests/test_edge_discovery.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_edge_discovery.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_edge_discovery.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_flooding.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_flooding.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_flooding.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_goldens.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_goldens.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_goldens.cpp.o.d"
+  "/root/repo/tests/test_gossip.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_gossip.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_gossip.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_history.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_history.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_history.cpp.o.d"
+  "/root/repo/tests/test_hybrid_wakeup.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_hybrid_wakeup.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_hybrid_wakeup.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lazy_broadcast.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_lazy_broadcast.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_lazy_broadcast.cpp.o.d"
+  "/root/repo/tests/test_lazy_wakeup.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_lazy_wakeup.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_lazy_wakeup.cpp.o.d"
+  "/root/repo/tests/test_light_tree.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_light_tree.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_light_tree.cpp.o.d"
+  "/root/repo/tests/test_mathx.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_mathx.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_mathx.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_oracles.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_oracles.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_oracles.cpp.o.d"
+  "/root/repo/tests/test_port_graph.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_port_graph.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_port_graph.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_spanning_tree.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_spanning_tree.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_spanning_tree.cpp.o.d"
+  "/root/repo/tests/test_stats_and_traces.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_stats_and_traces.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_stats_and_traces.cpp.o.d"
+  "/root/repo/tests/test_subdivision.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_subdivision.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_subdivision.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_wakeup.cpp" "tests/CMakeFiles/oraclesize_tests.dir/test_wakeup.cpp.o" "gcc" "tests/CMakeFiles/oraclesize_tests.dir/test_wakeup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oraclesize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

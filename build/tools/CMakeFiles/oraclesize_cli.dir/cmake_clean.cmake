@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oraclesize_cli.dir/oraclesize_cli.cpp.o"
+  "CMakeFiles/oraclesize_cli.dir/oraclesize_cli.cpp.o.d"
+  "oraclesize_cli"
+  "oraclesize_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oraclesize_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
