@@ -1,14 +1,29 @@
-// Shared workload definitions for the experiment harness (E1..E9).
+// Shared workload definitions and harness plumbing for the experiment
+// binaries (E1..E12 + perf).
 //
 // Each bench binary prints the table(s) reproducing one theorem/claim of the
 // paper; EXPERIMENTS.md records the expected shapes. Keep the sweeps here
 // moderate so the full harness runs in seconds, not hours.
+//
+// Every binary drives its executions through core/batch_runner.h (parallel
+// across trials, deterministic in spec order) and emits a machine-readable
+// JSON record per trial alongside the human tables, so BENCH_*.json
+// trajectories can be tracked across PRs. Common flags, parsed by Harness:
+//
+//   --jobs N      worker threads for the batch runner (default: hardware)
+//   --json FILE   where to write the JSON records (default BENCH_<id>.json)
+//   --no-json     skip the JSON file entirely
 #pragma once
 
+#include <chrono>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/batch_runner.h"
 #include "graph/builders.h"
 #include "graph/complete_star.h"
 #include "graph/port_graph.h"
@@ -57,5 +72,120 @@ inline std::vector<Workload> standard_workloads() {
   out.push_back({"caterpillar", 1024, make_caterpillar(128, 7)});
   return out;
 }
+
+/// One executed trial, as tracked across PRs in BENCH_*.json.
+struct TrialRecord {
+  std::string family;
+  std::size_t n = 0;
+  std::string scheduler;
+  std::uint64_t oracle_bits = 0;
+  std::uint64_t messages_total = 0;
+  std::int64_t completion_key = 0;
+  std::uint64_t wall_ns = 0;
+  bool ok = true;
+};
+
+inline TrialRecord make_record(std::string family, std::size_t n,
+                               SchedulerKind sched, const TaskReport& r) {
+  return TrialRecord{std::move(family),
+                     n,
+                     to_string(sched),
+                     r.oracle_bits,
+                     r.run.metrics.messages_total,
+                     r.run.metrics.completion_key,
+                     r.wall_ns,
+                     r.ok()};
+}
+
+/// Flag parsing + batch runner + JSON emission for one bench binary.
+/// Construct it first thing in main; records added via record() are
+/// written as BENCH_<id>.json when the harness is destroyed.
+class Harness {
+ public:
+  Harness(std::string id, int argc, char** argv)
+      : id_(std::move(id)), started_(std::chrono::steady_clock::now()) {
+    std::size_t jobs = 0;  // hardware concurrency
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << "error: missing value after " << a << "\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (a == "--jobs") {
+        jobs = static_cast<std::size_t>(std::stoull(next()));
+      } else if (a == "--json") {
+        json_path_ = next();
+      } else if (a == "--no-json") {
+        json_path_.clear();
+        json_enabled_ = false;
+      } else {
+        std::cerr << "error: unknown option '" << a
+                  << "' (supported: --jobs N, --json FILE, --no-json)\n";
+        std::exit(2);
+      }
+    }
+    if (json_enabled_ && json_path_.empty()) {
+      json_path_ = "BENCH_" + id_ + ".json";
+    }
+    runner_ = BatchRunner(jobs);
+  }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  ~Harness() { write_json(); }
+
+  const BatchRunner& runner() const { return runner_; }
+  std::size_t jobs() const { return runner_.jobs(); }
+
+  /// Runs a batch of specs and returns reports in spec order.
+  std::vector<TaskReport> run(const std::vector<TrialSpec>& specs) const {
+    return runner_.run(specs);
+  }
+
+  void record(TrialRecord r) { records_.push_back(std::move(r)); }
+
+ private:
+  void write_json() const {
+    if (!json_enabled_) return;
+    const auto total_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count();
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::cerr << "warning: cannot write " << json_path_ << "\n";
+      return;
+    }
+    out << "{\n  \"bench\": \"" << id_ << "\",\n"
+        << "  \"jobs\": " << runner_.jobs() << ",\n"
+        << "  \"total_wall_ns\": " << total_ns << ",\n"
+        << "  \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const TrialRecord& r = records_[i];
+      out << (i == 0 ? "\n" : ",\n")
+          << "    {\"family\": \"" << r.family << "\", \"n\": " << r.n
+          << ", \"scheduler\": \"" << r.scheduler << "\""
+          << ", \"oracle_bits\": " << r.oracle_bits
+          << ", \"messages_total\": " << r.messages_total
+          << ", \"completion_key\": " << r.completion_key
+          << ", \"wall_ns\": " << r.wall_ns << ", \"ok\": "
+          << (r.ok ? "true" : "false") << "}";
+    }
+    out << (records_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    std::cerr << "[bench] wrote " << records_.size() << " records to "
+              << json_path_ << " (jobs=" << runner_.jobs() << ")\n";
+  }
+
+  std::string id_;
+  std::chrono::steady_clock::time_point started_;
+  std::string json_path_;
+  bool json_enabled_ = true;
+  BatchRunner runner_{1};
+  std::vector<TrialRecord> records_;
+};
 
 }  // namespace oraclesize::bench

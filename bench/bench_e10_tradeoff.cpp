@@ -21,7 +21,6 @@
 
 #include "bench_common.h"
 #include "core/broadcast_b.h"
-#include "core/runner.h"
 #include "core/wakeup.h"
 #include "graph/light_tree.h"
 #include "oracle/light_broadcast_oracle.h"
@@ -30,7 +29,9 @@
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("e10_tradeoff", argc, argv);
+  const TreeKind kinds[] = {TreeKind::kLight, TreeKind::kBfs};
   {
     Table t({"graph", "n", "tree", "oracle bits", "bits/n", "tree height",
              "bcast rounds", "bcast msgs"});
@@ -44,11 +45,24 @@ int main() {
                        make_random_connected(n, 8.0 / n, rng)});
     }
     loads.push_back({"grid", 1024, make_grid(32, 32)});
+    const BroadcastBAlgorithm broadcast;
+    std::vector<LightBroadcastOracle> oracles;
+    for (TreeKind kind : kinds) oracles.emplace_back(kind);
+    std::vector<TrialSpec> specs;
     for (const bench::Workload& w : loads) {
-      for (TreeKind kind : {TreeKind::kLight, TreeKind::kBfs}) {
-        RunOptions opts;  // synchronous: completion_key == rounds
-        const TaskReport r = run_task(w.graph, 0, LightBroadcastOracle(kind),
-                                      BroadcastBAlgorithm(), opts);
+      for (const LightBroadcastOracle& o : oracles) {
+        // Synchronous default options: completion_key == rounds.
+        specs.push_back({&w.graph, 0, &o, &broadcast, RunOptions{}});
+      }
+    }
+    const std::vector<TaskReport> reports = harness.run(specs);
+    std::size_t i = 0;
+    for (const bench::Workload& w : loads) {
+      for (TreeKind kind : kinds) {
+        const TaskReport& r = reports[i++];
+        harness.record(bench::make_record(
+            w.family + "/bcast/" + to_string(kind), w.n,
+            SchedulerKind::kSynchronous, r));
         const SpanningTree tree = build_tree(w.graph, 0, kind);
         t.row()
             .cell(w.family)
@@ -73,13 +87,28 @@ int main() {
     // follows tree height while bits follow encoded port magnitudes.
     Table t({"n (K*_n)", "tree", "oracle bits", "wakeup rounds",
              "wakeup msgs"});
-    for (std::size_t n : {256u, 1024u}) {
-      const PortGraph g = make_complete_star(n);
-      for (TreeKind kind : {TreeKind::kLight, TreeKind::kBfs}) {
-        const TaskReport r = run_task(g, 0, TreeWakeupOracle(kind),
-                                      WakeupTreeAlgorithm());
+    const std::size_t sizes[] = {256, 1024};
+    const WakeupTreeAlgorithm wakeup;
+    std::vector<PortGraph> graphs;
+    for (std::size_t n : sizes) graphs.push_back(make_complete_star(n));
+    std::vector<TreeWakeupOracle> oracles;
+    for (TreeKind kind : kinds) oracles.emplace_back(kind);
+    std::vector<TrialSpec> specs;
+    for (const PortGraph& g : graphs) {
+      for (const TreeWakeupOracle& o : oracles) {
+        specs.push_back({&g, 0, &o, &wakeup, RunOptions{}});
+      }
+    }
+    const std::vector<TaskReport> reports = harness.run(specs);
+    std::size_t i = 0;
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      for (TreeKind kind : kinds) {
+        const TaskReport& r = reports[i++];
+        harness.record(bench::make_record(
+            std::string("K*_n/wakeup/") + to_string(kind), sizes[gi],
+            SchedulerKind::kSynchronous, r));
         t.row()
-            .cell(n)
+            .cell(sizes[gi])
             .cell(to_string(kind))
             .cell(r.oracle_bits)
             .cell(r.run.metrics.completion_key)

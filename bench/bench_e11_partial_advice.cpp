@@ -19,11 +19,10 @@
 //    matters as much as how many there are, which is exactly why the
 //    paper's oracle-size measure sums over all nodes.
 #include <iostream>
+#include <memory>
 
+#include "bench_common.h"
 #include "core/hybrid_wakeup.h"
-#include "core/runner.h"
-#include "graph/builders.h"
-#include "graph/complete_star.h"
 #include "lowerbound/bounds.h"
 #include "oracle/partial_tree_oracle.h"
 #include "util/table.h"
@@ -32,22 +31,38 @@ using namespace oraclesize;
 
 namespace {
 
-void sweep(const std::string& family, const PortGraph& g, Table& t) {
+constexpr double kFractions[] = {0.0, 0.25, 0.5, 0.75, 0.9, 1.0};
+constexpr int kReps = 3;  // average over a few advice draws per point
+
+void sweep(bench::Harness& harness, const std::string& family,
+           const PortGraph& g, Table& t) {
   const std::size_t n = g.num_nodes();
-  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    // Average over a few advice draws for a stable curve.
+  const HybridWakeupAlgorithm algorithm;
+  std::vector<std::unique_ptr<PartialTreeOracle>> oracles;
+  std::vector<TrialSpec> specs;
+  for (double q : kFractions) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      oracles.push_back(
+          std::make_unique<PartialTreeOracle>(q, 1000 + rep));
+      specs.push_back({&g, 0, oracles.back().get(), &algorithm,
+                       RunOptions{}});
+    }
+  }
+  const std::vector<TaskReport> reports = harness.run(specs);
+  std::size_t i = 0;
+  for (double q : kFractions) {
     std::uint64_t bits_sum = 0, msgs_sum = 0;
     bool ok = true;
-    const int reps = 3;
-    for (int rep = 0; rep < reps; ++rep) {
-      const PartialTreeOracle oracle(q, 1000 + rep);
-      const TaskReport r = run_task(g, 0, oracle, HybridWakeupAlgorithm());
+    for (int rep = 0; rep < kReps; ++rep) {
+      const TaskReport& r = reports[i++];
+      harness.record(bench::make_record(family + "/q=" + std::to_string(q),
+                                        n, SchedulerKind::kSynchronous, r));
       ok = ok && r.ok();
       bits_sum += r.oracle_bits;
       msgs_sum += r.run.metrics.messages_total;
     }
-    const std::uint64_t bits = bits_sum / reps;
-    const std::uint64_t msgs = msgs_sum / reps;
+    const std::uint64_t bits = bits_sum / kReps;
+    const std::uint64_t msgs = msgs_sum / kReps;
     // The hard family of comparable network size: base n/2 -> n nodes.
     const double lb = wakeup_message_lower_bound(n / 2, 1, bits);
     t.row()
@@ -64,15 +79,17 @@ void sweep(const std::string& family, const PortGraph& g, Table& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("e11_partial_advice", argc, argv);
   Table t({"family", "n", "advice fraction q", "oracle bits", "wakeup msgs",
            "msgs/(n-1)", "LB at this budget (hard family)", "ok"});
   Rng rng(424242);
   for (std::size_t n : {256u, 1024u}) {
-    sweep("random(p=8/n)", make_random_connected(n, 8.0 / n, rng), t);
+    sweep(harness, "random(p=8/n)", make_random_connected(n, 8.0 / n, rng),
+          t);
   }
   for (std::size_t n : {256u, 1024u}) {
-    sweep("complete", make_complete_star(n), t);
+    sweep(harness, "complete", make_complete_star(n), t);
   }
   t.print(std::cout,
           "E11: measured bits/messages tradeoff (hybrid wakeup) vs the "

@@ -19,7 +19,6 @@
 #include "core/census.h"
 #include "core/flooding.h"
 #include "core/gossip.h"
-#include "core/runner.h"
 #include "core/wakeup.h"
 #include "oracle/composite_oracle.h"
 #include "oracle/light_broadcast_oracle.h"
@@ -29,7 +28,8 @@
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("e12_task_suite", argc, argv);
   Table t({"graph", "n", "task", "oracle", "advice bits", "messages",
            "traffic bits", "ok"});
   Rng rng(31337);
@@ -61,10 +61,20 @@ int main() {
       {"flooding", &null_oracle, &flooding},
   };
 
+  std::vector<TrialSpec> specs;
   for (const bench::Workload& w : loads) {
     for (const RowSpec& spec : rows) {
-      const TaskReport r = run_task(w.graph, 0, *spec.oracle,
-                                    *spec.algorithm);
+      specs.push_back({&w.graph, 0, spec.oracle, spec.algorithm,
+                       RunOptions{}});
+    }
+  }
+  const std::vector<TaskReport> reports = harness.run(specs);
+  std::size_t i = 0;
+  for (const bench::Workload& w : loads) {
+    for (const RowSpec& spec : rows) {
+      const TaskReport& r = reports[i++];
+      harness.record(bench::make_record(w.family + "/" + spec.task, w.n,
+                                        SchedulerKind::kSynchronous, r));
       t.row()
           .cell(w.family)
           .cell(w.n)

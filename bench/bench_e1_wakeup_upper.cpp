@@ -10,7 +10,6 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/runner.h"
 #include "core/wakeup.h"
 #include "oracle/tree_wakeup_oracle.h"
 #include "util/mathx.h"
@@ -18,18 +17,33 @@
 
 using namespace oraclesize;
 
-int main() {
-  Table table({"family", "n", "m", "oracle_bits", "bits/(n log n)",
-               "messages", "msgs/(n-1)", "sched", "ok"});
-  for (const bench::Workload& w : bench::standard_workloads()) {
-    for (SchedulerKind sched :
-         {SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom}) {
+int main(int argc, char** argv) {
+  bench::Harness harness("e1_wakeup_upper", argc, argv);
+  const std::vector<bench::Workload> loads = bench::standard_workloads();
+  const TreeWakeupOracle oracle;
+  const WakeupTreeAlgorithm algorithm;
+  const SchedulerKind scheds[] = {SchedulerKind::kSynchronous,
+                                  SchedulerKind::kAsyncRandom};
+
+  std::vector<TrialSpec> specs;
+  for (const bench::Workload& w : loads) {
+    for (SchedulerKind sched : scheds) {
       RunOptions opts;
       opts.scheduler = sched;
       opts.seed = 42;
       opts.anonymous = true;  // the upper bound holds for anonymous nodes
-      const TaskReport report = run_task(w.graph, 0, TreeWakeupOracle(),
-                                         WakeupTreeAlgorithm(), opts);
+      specs.push_back({&w.graph, 0, &oracle, &algorithm, opts});
+    }
+  }
+  const std::vector<TaskReport> reports = harness.run(specs);
+
+  Table table({"family", "n", "m", "oracle_bits", "bits/(n log n)",
+               "messages", "msgs/(n-1)", "sched", "ok"});
+  std::size_t i = 0;
+  for (const bench::Workload& w : loads) {
+    for (SchedulerKind sched : scheds) {
+      const TaskReport& report = reports[i++];
+      harness.record(bench::make_record(w.family, w.n, sched, report));
       const double nlogn = static_cast<double>(w.n) *
                            ceil_log2(static_cast<std::uint64_t>(w.n));
       table.row()

@@ -22,11 +22,16 @@
 #include "lowerbound/counting_adversary.h"
 #include "lowerbound/lazy_wakeup.h"
 #include "lowerbound/strategies.h"
+#include "bench_common.h"
 #include "util/table.h"
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  // Bounds/game-only experiment: no engine trials, so the JSON file
+  // carries just the envelope (bench id, jobs, total_wall_ns).
+  bench::Harness harness("e2_wakeup_lower", argc, argv);
+  (void)harness;
   {
     Table t({"n", "network N", "alpha", "oracle_bits", "log2 P", "log2 Q",
              "guaranteed msgs", "msgs / N"});

@@ -17,7 +17,11 @@
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  // Bounds/game-only experiment: no engine trials, so the JSON file
+  // carries just the envelope (bench id, jobs, total_wall_ns).
+  bench::Harness harness("e3_light_tree", argc, argv);
+  (void)harness;
   {
     Table t({"family", "n", "light contrib", "contrib/n", "<=4n?", "phases",
              "bfs contrib", "dfs contrib", "kruskal contrib"});

@@ -13,28 +13,47 @@
 #include "bench_common.h"
 #include "core/broadcast_b.h"
 #include "core/flooding.h"
-#include "core/runner.h"
 #include "oracle/light_broadcast_oracle.h"
 #include "oracle/trivial_oracles.h"
 #include "util/table.h"
 
 using namespace oraclesize;
 
-int main() {
-  Table t({"family", "n", "sched", "oracle_bits", "bits/n", "M msgs",
-           "hello msgs", "total msgs", "msgs/(n-1)", "flooding msgs", "ok"});
-  for (const bench::Workload& w : bench::standard_workloads()) {
-    const TaskReport flood =
-        run_task(w.graph, 0, NullOracle(), FloodingAlgorithm());
-    for (SchedulerKind sched :
-         {SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom,
-          SchedulerKind::kAsyncLifo}) {
+int main(int argc, char** argv) {
+  bench::Harness harness("e4_broadcast_upper", argc, argv);
+  const std::vector<bench::Workload> loads = bench::standard_workloads();
+  const NullOracle null_oracle;
+  const FloodingAlgorithm flooding;
+  const LightBroadcastOracle light_oracle;
+  const BroadcastBAlgorithm broadcast;
+  const SchedulerKind scheds[] = {SchedulerKind::kSynchronous,
+                                  SchedulerKind::kAsyncRandom,
+                                  SchedulerKind::kAsyncLifo};
+
+  // One flooding baseline plus one Scheme-B run per scheduler, per workload.
+  std::vector<TrialSpec> specs;
+  for (const bench::Workload& w : loads) {
+    specs.push_back({&w.graph, 0, &null_oracle, &flooding, RunOptions{}});
+    for (SchedulerKind sched : scheds) {
       RunOptions opts;
       opts.scheduler = sched;
       opts.seed = 17;
       opts.anonymous = true;
-      const TaskReport report = run_task(w.graph, 0, LightBroadcastOracle(),
-                                         BroadcastBAlgorithm(), opts);
+      specs.push_back({&w.graph, 0, &light_oracle, &broadcast, opts});
+    }
+  }
+  const std::vector<TaskReport> reports = harness.run(specs);
+
+  Table t({"family", "n", "sched", "oracle_bits", "bits/n", "M msgs",
+           "hello msgs", "total msgs", "msgs/(n-1)", "flooding msgs", "ok"});
+  std::size_t i = 0;
+  for (const bench::Workload& w : loads) {
+    const TaskReport& flood = reports[i++];
+    harness.record(bench::make_record(w.family + "(flooding)", w.n,
+                                      SchedulerKind::kSynchronous, flood));
+    for (SchedulerKind sched : scheds) {
+      const TaskReport& report = reports[i++];
+      harness.record(bench::make_record(w.family, w.n, sched, report));
       t.row()
           .cell(w.family)
           .cell(w.n)

@@ -18,9 +18,9 @@
 #include <functional>
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/broadcast_b.h"
 #include "core/flooding.h"
-#include "core/runner.h"
 #include "graph/clique_replace.h"
 #include "lowerbound/bounds.h"
 #include "lowerbound/counting_adversary.h"
@@ -32,7 +32,8 @@
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("e5_broadcast_lower", argc, argv);
   {
     Table t({"n", "k", "k<=sqrt(log n)?", "oracle bits n/2k", "log2 P'",
              "log2 Q", "bound", "budget n(k-1)/8", "bound > budget?"});
@@ -147,16 +148,33 @@ int main() {
     struct Case {
       std::size_t n, k;
     };
-    for (const Case c : {Case{64, 4}, Case{128, 4}, Case{256, 8}}) {
-      const CliqueReplacedGraph g = make_random_gnsc(c.n, c.k, rng);
-      const TaskReport b = run_task(g.graph, 0, LightBroadcastOracle(),
-                                    BroadcastBAlgorithm());
-      const TaskReport f =
-          run_task(g.graph, 0, NullOracle(), FloodingAlgorithm());
+    const Case cases[] = {Case{64, 4}, Case{128, 4}, Case{256, 8}};
+    const LightBroadcastOracle light_oracle;
+    const BroadcastBAlgorithm broadcast;
+    const NullOracle null_oracle;
+    const FloodingAlgorithm flooding;
+    std::vector<CliqueReplacedGraph> graphs;
+    for (const Case c : cases) {
+      graphs.push_back(make_random_gnsc(c.n, c.k, rng));
+    }
+    std::vector<TrialSpec> specs;
+    for (const CliqueReplacedGraph& g : graphs) {
+      specs.push_back({&g.graph, 0, &light_oracle, &broadcast, RunOptions{}});
+      specs.push_back({&g.graph, 0, &null_oracle, &flooding, RunOptions{}});
+    }
+    const std::vector<TaskReport> reports = harness.run(specs);
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      const Case c = cases[i];
+      const TaskReport& b = reports[2 * i];
+      const TaskReport& f = reports[2 * i + 1];
+      harness.record(bench::make_record("G(n,k) scheme-B", 2 * c.n,
+                                        SchedulerKind::kSynchronous, b));
+      harness.record(bench::make_record("G(n,k) flooding", 2 * c.n,
+                                        SchedulerKind::kSynchronous, f));
       t.row()
           .cell(c.n)
           .cell(c.k)
-          .cell(g.graph.num_nodes())
+          .cell(graphs[i].graph.num_nodes())
           .cell(b.ok() ? b.oracle_bits : 0)
           .cell(b.run.metrics.messages_total)
           .cell(f.run.metrics.messages_total);

@@ -18,7 +18,6 @@
 #include "bench_common.h"
 #include "core/broadcast_b.h"
 #include "core/flooding.h"
-#include "core/runner.h"
 #include "core/wakeup.h"
 #include "lowerbound/bounds.h"
 #include "oracle/light_broadcast_oracle.h"
@@ -28,18 +27,40 @@
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("e6_separation", argc, argv);
   {
     Table t({"n (K*_n)", "wakeup bits", "bcast bits", "bits ratio",
              "wakeup msgs", "bcast msgs", "flood msgs",
              "srcmap bits", "fullmap bits"});
-    for (std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-      const PortGraph g = make_complete_star(n);
-      const TaskReport w =
-          run_task(g, 0, TreeWakeupOracle(), WakeupTreeAlgorithm());
-      const TaskReport b =
-          run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm());
-      const TaskReport f = run_task(g, 0, NullOracle(), FloodingAlgorithm());
+    const std::size_t sizes[] = {64, 128, 256, 512, 1024, 2048};
+    const TreeWakeupOracle tree_oracle;
+    const WakeupTreeAlgorithm wakeup;
+    const LightBroadcastOracle light_oracle;
+    const BroadcastBAlgorithm broadcast;
+    const NullOracle null_oracle;
+    const FloodingAlgorithm flooding;
+    std::vector<PortGraph> graphs;
+    for (std::size_t n : sizes) graphs.push_back(make_complete_star(n));
+    std::vector<TrialSpec> specs;
+    for (const PortGraph& g : graphs) {
+      specs.push_back({&g, 0, &tree_oracle, &wakeup, RunOptions{}});
+      specs.push_back({&g, 0, &light_oracle, &broadcast, RunOptions{}});
+      specs.push_back({&g, 0, &null_oracle, &flooding, RunOptions{}});
+    }
+    const std::vector<TaskReport> reports = harness.run(specs);
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      const std::size_t n = sizes[i];
+      const PortGraph& g = graphs[i];
+      const TaskReport& w = reports[3 * i];
+      const TaskReport& b = reports[3 * i + 1];
+      const TaskReport& f = reports[3 * i + 2];
+      harness.record(bench::make_record("K*_n wakeup", n,
+                                        SchedulerKind::kSynchronous, w));
+      harness.record(bench::make_record("K*_n broadcast", n,
+                                        SchedulerKind::kSynchronous, b));
+      harness.record(bench::make_record("K*_n flooding", n,
+                                        SchedulerKind::kSynchronous, f));
       const auto srcmap = oracle_size_bits(SourceMapOracle().advise(g, 0));
       // Full-map size without materializing n copies of the map.
       const std::uint64_t fullmap =

@@ -17,11 +17,16 @@
 #include "lowerbound/counting_adversary.h"
 #include "lowerbound/exact_adversary.h"
 #include "lowerbound/strategies.h"
+#include "bench_common.h"
 #include "util/table.h"
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  // Bounds/game-only experiment: no engine trials, so the JSON file
+  // carries just the envelope (bench id, jobs, total_wall_ns).
+  bench::Harness harness("e7_edge_discovery", argc, argv);
+  (void)harness;
   {
     Table t({"N", "m", "strategy", "probes", "bound log2 C(N,m)", "N - m",
              "ok"});

@@ -14,11 +14,16 @@
 #include <iostream>
 
 #include "lowerbound/bounds.h"
+#include "bench_common.h"
 #include "util/table.h"
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  // Bounds/game-only experiment: no engine trials, so the JSON file
+  // carries just the envelope (bench id, jobs, total_wall_ns).
+  bench::Harness harness("e8_threshold", argc, argv);
+  (void)harness;
   Table t({"n", "c", "network (1+c)n", "alpha* (empirical)",
            "asymptote c/(c+1)"});
   for (std::size_t n : {128u, 512u, 2048u}) {

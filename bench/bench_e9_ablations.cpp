@@ -19,7 +19,6 @@
 #include "bench_common.h"
 #include "bitio/codecs.h"
 #include "core/broadcast_b.h"
-#include "core/runner.h"
 #include "core/wakeup.h"
 #include "oracle/light_broadcast_oracle.h"
 #include "oracle/tree_wakeup_oracle.h"
@@ -28,7 +27,8 @@
 
 using namespace oraclesize;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("e9_ablations", argc, argv);
   {
     Table t({"n (K*_n)", "doubled bits", "gamma bits", "delta bits",
              "fixed-width bits", "fixed/doubled"});
@@ -63,12 +63,29 @@ int main() {
   {
     Table t({"n (K*_n)", "tree", "bcast oracle bits", "bits/n", "bcast msgs",
              "ok"});
-    for (std::size_t n : {128u, 512u, 2048u}) {
-      const PortGraph g = make_complete_star(n);
-      for (TreeKind kind : {TreeKind::kLight, TreeKind::kKruskal,
-                            TreeKind::kBfs, TreeKind::kDfs}) {
-        const TaskReport r = run_task(g, 0, LightBroadcastOracle(kind),
-                                      BroadcastBAlgorithm());
+    const std::size_t sizes[] = {128, 512, 2048};
+    const TreeKind kinds[] = {TreeKind::kLight, TreeKind::kKruskal,
+                              TreeKind::kBfs, TreeKind::kDfs};
+    const BroadcastBAlgorithm broadcast;
+    std::vector<PortGraph> graphs;
+    for (std::size_t n : sizes) graphs.push_back(make_complete_star(n));
+    std::vector<LightBroadcastOracle> oracles;
+    for (TreeKind kind : kinds) oracles.emplace_back(kind);
+    std::vector<TrialSpec> specs;
+    for (const PortGraph& g : graphs) {
+      for (const LightBroadcastOracle& o : oracles) {
+        specs.push_back({&g, 0, &o, &broadcast, RunOptions{}});
+      }
+    }
+    const std::vector<TaskReport> reports = harness.run(specs);
+    std::size_t i = 0;
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const std::size_t n = sizes[gi];
+      for (TreeKind kind : kinds) {
+        const TaskReport& r = reports[i++];
+        harness.record(bench::make_record(
+            std::string("bcast/") + to_string(kind), n,
+            SchedulerKind::kSynchronous, r));
         t.row()
             .cell(n)
             .cell(to_string(kind))
@@ -95,11 +112,26 @@ int main() {
       const char* name;
       const PortGraph* graph;
     };
-    for (const Row row : {Row{"random", &g}, Row{"complete", &k}}) {
-      for (TreeKind kind : {TreeKind::kBfs, TreeKind::kDfs,
-                            TreeKind::kKruskal, TreeKind::kLight}) {
-        const TaskReport r = run_task(*row.graph, 0, TreeWakeupOracle(kind),
-                                      WakeupTreeAlgorithm());
+    const TreeKind kinds[] = {TreeKind::kBfs, TreeKind::kDfs,
+                              TreeKind::kKruskal, TreeKind::kLight};
+    const WakeupTreeAlgorithm wakeup;
+    std::vector<TreeWakeupOracle> oracles;
+    for (TreeKind kind : kinds) oracles.emplace_back(kind);
+    const Row rows[] = {Row{"random", &g}, Row{"complete", &k}};
+    std::vector<TrialSpec> specs;
+    for (const Row& row : rows) {
+      for (const TreeWakeupOracle& o : oracles) {
+        specs.push_back({row.graph, 0, &o, &wakeup, RunOptions{}});
+      }
+    }
+    const std::vector<TaskReport> reports = harness.run(specs);
+    std::size_t i = 0;
+    for (const Row& row : rows) {
+      for (TreeKind kind : kinds) {
+        const TaskReport& r = reports[i++];
+        harness.record(bench::make_record(
+            std::string("wakeup/") + row.name + "/" + to_string(kind),
+            row.graph->num_nodes(), SchedulerKind::kSynchronous, r));
         t.row()
             .cell(row.name)
             .cell(row.graph->num_nodes())

@@ -2,17 +2,24 @@
 // the light-tree construction, oracle generation, and the execution engine.
 // These are throughput sanity checks, not paper results — the paper's
 // quantities are message counts and bit counts (bench_e1..e9).
+//
+// Two modes:
+//   bench_perf [google-benchmark flags]        microbenchmark suite
+//   bench_perf --sweep [--jobs N] [--json F]   batched E1-style sweep via
+//                                              BatchRunner, wall-clock timed
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.h"
 #include "core/broadcast_b.h"
-#include "core/runner.h"
 #include "core/wakeup.h"
-#include "graph/builders.h"
-#include "graph/complete_star.h"
 #include "graph/light_tree.h"
 #include "oracle/light_broadcast_oracle.h"
 #include "oracle/tree_wakeup_oracle.h"
-#include "util/rng.h"
+#include "util/table.h"
 
 namespace {
 
@@ -94,6 +101,84 @@ void BM_EngineBroadcastB(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBroadcastB)->Arg(1024)->Arg(8192);
 
+// The batch sweep: every standard workload under wakeup and broadcast,
+// executed through BatchRunner so --jobs parallelism (and its determinism)
+// can be measured end to end. Prints per-trial wall times and total
+// wall-clock; records go to BENCH_perf.json by default.
+int run_sweep(int argc, char** argv) {
+  bench::Harness harness("perf", argc, argv);
+  const std::vector<bench::Workload> loads = bench::standard_workloads();
+  const TreeWakeupOracle tree_oracle;
+  const WakeupTreeAlgorithm wakeup;
+  const LightBroadcastOracle light_oracle;
+  const BroadcastBAlgorithm broadcast;
+
+  std::vector<TrialSpec> specs;
+  for (const bench::Workload& w : loads) {
+    RunOptions wake_opts;
+    wake_opts.enforce_wakeup = true;
+    specs.push_back({&w.graph, 0, &tree_oracle, &wakeup, wake_opts});
+    RunOptions bcast_opts;
+    bcast_opts.scheduler = SchedulerKind::kAsyncRandom;
+    bcast_opts.seed = 9;
+    specs.push_back({&w.graph, 0, &light_oracle, &broadcast, bcast_opts});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<TaskReport> reports = harness.run(specs);
+  const auto batch_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  Table t({"family", "n", "task", "messages", "wall_ms", "ok"});
+  std::uint64_t cpu_ns = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const bench::Workload& w = loads[i / 2];
+    const bool is_wakeup = (i % 2) == 0;
+    const TaskReport& r = reports[i];
+    harness.record(bench::make_record(
+        w.family + (is_wakeup ? "/wakeup" : "/broadcast"), w.n,
+        is_wakeup ? SchedulerKind::kSynchronous
+                  : SchedulerKind::kAsyncRandom,
+        r));
+    cpu_ns += r.wall_ns;
+    t.row()
+        .cell(w.family)
+        .cell(w.n)
+        .cell(is_wakeup ? "wakeup" : "broadcast")
+        .cell(r.run.metrics.messages_total)
+        .cell(static_cast<double>(r.wall_ns) / 1e6, 3)
+        .cell(r.ok() ? "yes" : "NO");
+  }
+  t.print(std::cout, "perf sweep: standard workloads through BatchRunner");
+  std::cout << "jobs=" << harness.jobs() << "  trials=" << reports.size()
+            << "  batch wall = " << static_cast<double>(batch_ns) / 1e6
+            << " ms  (sum of per-trial cpu = "
+            << static_cast<double>(cpu_ns) / 1e6 << " ms)\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --sweep; everything else goes to the harness (sweep mode) or
+  // google-benchmark (default mode).
+  std::vector<char*> rest;
+  bool sweep = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  if (sweep) return run_sweep(rest_argc, rest.data());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

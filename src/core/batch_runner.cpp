@@ -1,0 +1,94 @@
+#include "core/batch_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/execution_context.h"
+
+namespace oraclesize {
+
+namespace {
+
+TaskReport run_trial(const TrialSpec& spec, ExecutionContext& context) {
+  const auto started = std::chrono::steady_clock::now();
+  TaskReport report;
+  report.oracle_name = spec.oracle->name();
+  report.algorithm_name = spec.algorithm->name();
+  const std::vector<BitString> advice =
+      spec.oracle->advise(*spec.graph, spec.source);
+  report.oracle_bits = oracle_size_bits(advice);
+  report.max_advice_bits = max_advice_bits(advice);
+  RunOptions options = spec.options;
+  if (spec.algorithm->is_wakeup()) options.enforce_wakeup = true;
+  report.run =
+      context.run(*spec.graph, spec.source, advice, *spec.algorithm, options);
+  report.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  return report;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(std::size_t jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw == 0 ? 1 : hw;
+  }
+}
+
+std::vector<TaskReport> BatchRunner::run(
+    const std::vector<TrialSpec>& specs) const {
+  for (const TrialSpec& spec : specs) {
+    if (spec.graph == nullptr || spec.oracle == nullptr ||
+        spec.algorithm == nullptr) {
+      throw std::invalid_argument(
+          "BatchRunner: spec with null graph/oracle/algorithm");
+    }
+  }
+
+  std::vector<TaskReport> results(specs.size());
+  const std::size_t workers =
+      specs.size() < jobs_ ? (specs.empty() ? 1 : specs.size()) : jobs_;
+
+  if (workers <= 1) {
+    ExecutionContext context;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i] = run_trial(specs[i], context);
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic counter: trial i's RESULT slot is fixed by i,
+  // so results are in spec order no matter which worker claims which trial.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(specs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      ExecutionContext context;
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) break;
+        try {
+          results[i] = run_trial(specs[i], context);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,55 @@
+// Batched, parallel trial execution: the experiment-scale entry point.
+//
+// A TrialSpec names everything one execution needs — network, source,
+// oracle, algorithm, run options — without owning any of it. BatchRunner
+// takes a vector of specs and plays them on a pool of worker threads, one
+// reusable ExecutionContext per worker (sim/execution_context.h), so a
+// sweep of thousands of trials performs no per-trial setup allocation
+// beyond what the trials themselves demand.
+//
+// Determinism contract: every trial is an independent, deterministic
+// function of its spec, and results are returned IN SPEC ORDER. The
+// RunResult for a given spec is bit-identical to what the single-trial
+// path (run_task / run_execution) produces, regardless of the worker
+// count — only wall_ns, the measured per-trial wall time, varies between
+// runs. tests/test_batch_runner.cpp enforces this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace oraclesize {
+
+/// One trial: run `algorithm` with `oracle`'s advice on `graph` from
+/// `source` under `options`. Pointers are non-owning and must outlive the
+/// BatchRunner::run call. As in run_task, wakeup enforcement is switched
+/// on automatically when the algorithm reports is_wakeup().
+struct TrialSpec {
+  const PortGraph* graph = nullptr;
+  NodeId source = 0;
+  const Oracle* oracle = nullptr;
+  const Algorithm* algorithm = nullptr;
+  RunOptions options;
+};
+
+class BatchRunner {
+ public:
+  /// `jobs` = number of worker threads; 0 picks the hardware concurrency.
+  explicit BatchRunner(std::size_t jobs = 0);
+
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Executes every spec and returns one TaskReport per spec, in spec
+  /// order. Throws std::invalid_argument on a null graph/oracle/algorithm
+  /// before any trial runs. If a trial itself throws (e.g. an out-of-range
+  /// source), the lowest-index trial's exception is rethrown after all
+  /// workers have drained — deterministically, independent of jobs().
+  std::vector<TaskReport> run(const std::vector<TrialSpec>& specs) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace oraclesize

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/batch_runner.h"
+
 namespace oraclesize {
 
 std::string TaskReport::summary() const {
@@ -15,15 +17,10 @@ std::string TaskReport::summary() const {
 
 TaskReport run_task(const PortGraph& g, NodeId source, const Oracle& oracle,
                     const Algorithm& algorithm, RunOptions options) {
-  TaskReport report;
-  report.oracle_name = oracle.name();
-  report.algorithm_name = algorithm.name();
-  const std::vector<BitString> advice = oracle.advise(g, source);
-  report.oracle_bits = oracle_size_bits(advice);
-  report.max_advice_bits = max_advice_bits(advice);
-  if (algorithm.is_wakeup()) options.enforce_wakeup = true;
-  report.run = run_execution(g, source, advice, algorithm, options);
-  return report;
+  const BatchRunner runner(1);
+  std::vector<TaskReport> reports =
+      runner.run({TrialSpec{&g, source, &oracle, &algorithm, options}});
+  return std::move(reports.front());
 }
 
 }  // namespace oraclesize

@@ -17,6 +17,7 @@ struct TaskReport {
   std::string algorithm_name;
   std::uint64_t oracle_bits = 0;   ///< the paper's oracle size on this G
   std::uint64_t max_advice_bits = 0;
+  std::uint64_t wall_ns = 0;  ///< measured wall time (advise + execution)
   RunResult run;
 
   bool ok() const { return run.all_informed && run.violation.empty(); }
@@ -26,6 +27,8 @@ struct TaskReport {
 /// Runs `algorithm` using `oracle` on network g from `source`.
 /// When the algorithm reports is_wakeup(), the wakeup constraint is
 /// enforced automatically (a violation fails the report).
+/// A thin single-trial wrapper over BatchRunner (core/batch_runner.h);
+/// experiment sweeps should build TrialSpecs and batch them instead.
 TaskReport run_task(const PortGraph& g, NodeId source, const Oracle& oracle,
                     const Algorithm& algorithm,
                     RunOptions options = RunOptions{});

@@ -1,33 +1,10 @@
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <queue>
-#include <sstream>
-#include <stdexcept>
+
+#include "sim/execution_context.h"
 
 namespace oraclesize {
-
-namespace {
-
-struct Event {
-  std::int64_t key = 0;  ///< delivery priority (lower first)
-  std::uint64_t seq = 0;
-  NodeId to = kNoNode;
-  Port at_port = kNoPort;
-  Message msg;
-  bool sender_informed = false;
-  NodeId from = kNoNode;
-  Port from_port = kNoPort;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const noexcept {
-    if (a.key != b.key) return a.key > b.key;
-    return a.seq > b.seq;
-  }
-};
-
-}  // namespace
 
 std::uint64_t RunResult::max_node_sends() const {
   std::uint64_t best = 0;
@@ -45,105 +22,8 @@ RunResult run_execution(const PortGraph& g, NodeId source,
                         const std::vector<BitString>& advice,
                         const Algorithm& algorithm,
                         const RunOptions& options) {
-  const std::size_t n = g.num_nodes();
-  if (advice.size() != n) {
-    throw std::invalid_argument("run_execution: advice size != num nodes");
-  }
-  if (source >= n) throw std::invalid_argument("run_execution: bad source");
-
-  RunResult result;
-  result.informed.assign(n, false);
-  result.informed[source] = true;
-  result.sends_by_node.assign(n, 0);
-  result.informed_at.assign(n, RunResult::kNeverInformed);
-  result.informed_at[source] = 0;
-
-  std::vector<NodeInput> inputs(n);
-  std::vector<std::unique_ptr<NodeBehavior>> behaviors(n);
-  for (NodeId v = 0; v < n; ++v) {
-    inputs[v] = NodeInput{advice[v], v == source,
-                          options.anonymous ? Label{0} : g.label(v),
-                          g.degree(v)};
-    behaviors[v] = algorithm.make_behavior(inputs[v]);
-  }
-
-  Scheduler scheduler(options.scheduler, options.seed, options.max_delay);
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
-  std::uint64_t seq = 0;
-
-  auto fail = [&](const std::string& what) {
-    if (result.violation.empty()) result.violation = what;
-  };
-
-  // Validates and enqueues one batch of sends from node v, triggered while
-  // processing an event with key `now`.
-  auto submit = [&](NodeId v, const std::vector<Send>& sends,
-                    std::int64_t now) {
-    if (!sends.empty() && options.enforce_wakeup && !result.informed[v]) {
-      std::ostringstream os;
-      os << "wakeup violation: uninformed node " << v << " transmitted";
-      fail(os.str());
-      return;
-    }
-    for (const Send& s : sends) {
-      if (s.port >= g.degree(v)) {
-        std::ostringstream os;
-        os << "invalid send: node " << v << " port " << s.port << " (degree "
-           << g.degree(v) << ")";
-        fail(os.str());
-        return;
-      }
-      const Endpoint dst = g.neighbor(v, s.port);
-      result.metrics.count_send(s.msg);
-      ++result.sends_by_node[v];
-      if (result.metrics.messages_total > options.max_messages) {
-        fail("message budget exceeded");
-        return;
-      }
-      if (options.trace) {
-        result.trace.push_back(SentRecord{v, s.port, dst.node, s.msg.kind,
-                                          result.informed[v], now});
-      }
-      const std::uint64_t link =
-          (static_cast<std::uint64_t>(v) << 32) | s.port;
-      queue.push(Event{scheduler.delivery_key(now, seq, link), seq, dst.node,
-                       dst.port, s.msg, result.informed[v], v, s.port});
-      ++seq;
-    }
-  };
-
-  // Empty-history activations. Node order is irrelevant to correctness
-  // (deliveries all happen strictly later) but kept deterministic.
-  for (NodeId v = 0; v < n && result.violation.empty(); ++v) {
-    submit(v, behaviors[v]->on_start(inputs[v]), 0);
-  }
-
-  while (!queue.empty() && result.violation.empty()) {
-    const Event ev = queue.top();
-    queue.pop();
-    ++result.metrics.deliveries;
-    if (ev.key > result.metrics.completion_key) {
-      result.metrics.completion_key = ev.key;
-    }
-    // The paper's informing rule: any message from an informed sender
-    // informs the receiver (M can ride along on it).
-    if (ev.sender_informed && !result.informed[ev.to]) {
-      result.informed[ev.to] = true;
-      result.informed_at[ev.to] = ev.key;
-    }
-    submit(ev.to, behaviors[ev.to]->on_receive(inputs[ev.to], ev.msg,
-                                               ev.at_port),
-           ev.key);
-  }
-
-  result.terminated.resize(n);
-  result.outputs.resize(n);
-  for (NodeId v = 0; v < n; ++v) {
-    result.terminated[v] = behaviors[v]->terminated();
-    result.outputs[v] = behaviors[v]->output();
-  }
-  result.all_informed = (result.informed_count() == n);
-  return result;
+  ExecutionContext context;
+  return context.run(g, source, advice, algorithm, options);
 }
 
 }  // namespace oraclesize

@@ -55,6 +55,10 @@ struct RunResult {
   std::uint64_t max_node_sends() const;
 
   std::size_t informed_count() const;
+
+  /// Field-by-field equality: the batch runtime's determinism contract
+  /// ("bit-identical results regardless of --jobs") is checked with this.
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
 /// Executes `algorithm` on `g` from `source` with the given advice strings

@@ -1,0 +1,175 @@
+#include "sim/execution_context.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace oraclesize {
+
+std::size_t ExecutionContext::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  pool_.emplace_back();
+  return pool_.size() - 1;
+}
+
+void ExecutionContext::heap_push(HeapEntry e) {
+  // Hole insertion: bubble the hole up, write the entry once at the end.
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!entry_before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+ExecutionContext::HeapEntry ExecutionContext::heap_pop() {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t size = heap_.size();
+  if (size > 0) {
+    // Sift the hole down from the root, then drop `last` into it.
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= size) break;
+      const std::size_t right = left + 1;
+      std::size_t best = left;
+      if (right < size && entry_before(heap_[right], heap_[left])) {
+        best = right;
+      }
+      if (!entry_before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
+                                const std::vector<BitString>& advice,
+                                const Algorithm& algorithm,
+                                const RunOptions& options) {
+  const std::size_t n = g.num_nodes();
+  if (advice.size() != n) {
+    throw std::invalid_argument("run_execution: advice size != num nodes");
+  }
+  if (source >= n) throw std::invalid_argument("run_execution: bad source");
+
+  RunResult result;
+  result.informed.assign(n, false);
+  result.informed[source] = true;
+  result.sends_by_node.assign(n, 0);
+  result.informed_at.assign(n, RunResult::kNeverInformed);
+  result.informed_at[source] = 0;
+
+  inputs_.resize(n);
+  behaviors_.resize(n);
+  link_offset_.resize(n + 1);
+  link_offset_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    inputs_[v] = NodeInput{advice[v], v == source,
+                           options.anonymous ? Label{0} : g.label(v),
+                           g.degree(v)};
+    behaviors_[v] = algorithm.make_behavior(inputs_[v]);
+    link_offset_[v + 1] = link_offset_[v] + g.degree(v);
+  }
+
+  scheduler_.reset(options.scheduler, options.seed, options.max_delay,
+                   link_offset_[n]);
+  pool_.clear();
+  heap_.clear();
+  free_slots_.clear();
+  std::uint64_t seq = 0;
+
+  auto fail = [&](const std::string& what) {
+    if (result.violation.empty()) result.violation = what;
+  };
+
+  // Validates and enqueues one batch of sends from node v, triggered while
+  // processing an event with key `now`.
+  auto submit = [&](NodeId v, const std::vector<Send>& sends,
+                    std::int64_t now) {
+    if (!sends.empty() && options.enforce_wakeup && !result.informed[v]) {
+      std::ostringstream os;
+      os << "wakeup violation: uninformed node " << v << " transmitted";
+      fail(os.str());
+      return;
+    }
+    for (const Send& s : sends) {
+      if (s.port >= g.degree(v)) {
+        std::ostringstream os;
+        os << "invalid send: node " << v << " port " << s.port << " (degree "
+           << g.degree(v) << ")";
+        fail(os.str());
+        return;
+      }
+      // Budget check BEFORE counting: a run never reports more messages
+      // than it was allowed to send (metrics.messages_total <= max_messages
+      // is an invariant even on violating runs).
+      if (result.metrics.messages_total >= options.max_messages) {
+        fail("message budget exceeded");
+        return;
+      }
+      const Endpoint dst = g.neighbor(v, s.port);
+      result.metrics.count_send(s.msg);
+      ++result.sends_by_node[v];
+      if (options.trace) {
+        result.trace.push_back(SentRecord{v, s.port, dst.node, s.msg.kind,
+                                          result.informed[v], now});
+      }
+      const std::uint64_t link = link_offset_[v] + s.port;
+      const std::size_t slot = acquire_slot();
+      pool_[slot] = Event{dst.node, dst.port, s.msg, result.informed[v]};
+      heap_push(
+          HeapEntry{scheduler_.delivery_key(now, seq, link), seq, slot});
+      ++seq;
+    }
+  };
+
+  // Empty-history activations. Node order is irrelevant to correctness
+  // (deliveries all happen strictly later) but kept deterministic.
+  for (NodeId v = 0; v < n && result.violation.empty(); ++v) {
+    submit(v, behaviors_[v]->on_start(inputs_[v]), 0);
+  }
+
+  while (!heap_.empty() && result.violation.empty()) {
+    const HeapEntry top = heap_pop();
+    // Move the event out before recycling its slot: submit() below may
+    // acquire slots and grow the pool, invalidating references into it.
+    Event ev = std::move(pool_[top.slot]);
+    free_slots_.push_back(top.slot);
+    ++result.metrics.deliveries;
+    if (top.key > result.metrics.completion_key) {
+      result.metrics.completion_key = top.key;
+    }
+    // The paper's informing rule: any message from an informed sender
+    // informs the receiver (M can ride along on it).
+    if (ev.sender_informed && !result.informed[ev.to]) {
+      result.informed[ev.to] = true;
+      result.informed_at[ev.to] = top.key;
+    }
+    submit(ev.to, behaviors_[ev.to]->on_receive(inputs_[ev.to], ev.msg,
+                                                ev.at_port),
+           top.key);
+  }
+
+  result.terminated.resize(n);
+  result.outputs.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.terminated[v] = behaviors_[v]->terminated();
+    result.outputs[v] = behaviors_[v]->output();
+  }
+  result.all_informed = (result.informed_count() == n);
+  return result;
+}
+
+}  // namespace oraclesize

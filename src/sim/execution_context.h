@@ -1,0 +1,82 @@
+// A reusable execution engine: one ExecutionContext plays many runs.
+//
+// `run_execution` (sim/engine.h) is a convenience that builds a fresh
+// context per call. For experiment sweeps — thousands of trials over the
+// same or similar networks — that means re-heap-allocating the behavior
+// table, the input table, and the event queue on every trial, and the
+// `std::priority_queue<Event>` sifts full `Message`-carrying structs on
+// every push/pop. ExecutionContext keeps all of that storage alive across
+// runs:
+//
+//  * per-node tables (`NodeInput`, behavior slots) are resized, not
+//    reallocated;
+//  * pending events live in a flat pool with a free list; the priority
+//    queue is an index heap over the pool, so heap sifts move 8-byte
+//    indices instead of events;
+//  * the scheduler's per-link FIFO clock is a flat vector indexed by the
+//    graph's prefix-summed (node, port) offsets, reset (not rebuilt) per
+//    run.
+//
+// The contract: for a fixed (graph, source, advice, algorithm, options),
+// ExecutionContext::run returns a RunResult bit-identical to
+// run_execution's, regardless of how many runs the context played before —
+// see tests/test_execution_context.cpp. A context is NOT thread-safe; use
+// one per worker (core/batch_runner.h does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace oraclesize {
+
+class ExecutionContext {
+ public:
+  ExecutionContext() : scheduler_(SchedulerKind::kSynchronous, 0, 1) {}
+
+  /// Plays one execution. Identical semantics to run_execution; see
+  /// sim/engine.h for the meaning of each argument and of the result.
+  RunResult run(const PortGraph& g, NodeId source,
+                const std::vector<BitString>& advice,
+                const Algorithm& algorithm, const RunOptions& options);
+
+ private:
+  /// One in-flight message's payload, parked in the pool until delivery.
+  struct Event {
+    NodeId to = kNoNode;
+    Port at_port = kNoPort;
+    Message msg;
+    bool sender_informed = false;
+  };
+
+  /// Heap entries carry the ordering fields inline so sifting never
+  /// dereferences the pool: `key` is the delivery priority (lower first)
+  /// and `seq` the global send number — the tie-breaker that makes
+  /// delivery order a total order. `slot` indexes pool_.
+  struct HeapEntry {
+    std::int64_t key;
+    std::uint64_t seq;
+    std::size_t slot;
+  };
+
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  }
+
+  std::size_t acquire_slot();
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+
+  Scheduler scheduler_;
+  std::vector<NodeInput> inputs_;
+  std::vector<std::unique_ptr<NodeBehavior>> behaviors_;
+  std::vector<Event> pool_;              ///< event storage (slots)
+  std::vector<HeapEntry> heap_;          ///< binary min-heap over the pool
+  std::vector<std::size_t> free_slots_;  ///< recycled pool slots
+  std::vector<std::uint64_t> link_offset_;  ///< prefix sums of degrees
+};
+
+}  // namespace oraclesize

@@ -35,9 +35,14 @@ struct Message {
 
   /// Accounting size: 2 tag bits, the scalar payload's binary length, and
   /// a self-delimiting charge of #2(x)+2 bits per item (doubled-bit rate).
-  int size_bits() const noexcept {
-    int bits = 2 + (payload == 0 ? 0 : num_bits(payload));
-    for (std::uint64_t x : items) bits += num_bits(x) + 2;
+  /// 64-bit: a large item list must not overflow the bit accounting (an
+  /// `int` here could go negative past ~32M items and corrupt Metrics).
+  std::uint64_t size_bits() const noexcept {
+    std::uint64_t bits =
+        2 + (payload == 0 ? 0u : static_cast<unsigned>(num_bits(payload)));
+    for (std::uint64_t x : items) {
+      bits += static_cast<std::uint64_t>(num_bits(x)) + 2;
+    }
     return bits;
   }
 

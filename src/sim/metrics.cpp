@@ -17,7 +17,7 @@ void Metrics::count_send(const Message& msg) noexcept {
       ++messages_control;
       break;
   }
-  bits_sent += static_cast<std::uint64_t>(msg.size_bits());
+  bits_sent += msg.size_bits();
 }
 
 std::string Metrics::summary() const {

@@ -18,6 +18,8 @@ struct SentRecord {
   MsgKind kind = MsgKind::kControl;
   bool sender_informed = false;  ///< was the sender informed when it sent?
   std::int64_t sent_at = 0;      ///< scheduler key of the triggering event
+
+  friend bool operator==(const SentRecord&, const SentRecord&) = default;
 };
 
 struct Metrics {
@@ -31,6 +33,8 @@ struct Metrics {
 
   void count_send(const Message& msg) noexcept;
   std::string summary() const;
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 }  // namespace oraclesize

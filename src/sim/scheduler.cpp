@@ -22,6 +22,15 @@ Scheduler::Scheduler(SchedulerKind kind, std::uint64_t seed,
                      std::uint32_t max_delay)
     : kind_(kind), rng_(seed), max_delay_(max_delay == 0 ? 1 : max_delay) {}
 
+void Scheduler::reset(SchedulerKind kind, std::uint64_t seed,
+                      std::uint32_t max_delay, std::size_t num_links) {
+  kind_ = kind;
+  rng_ = Rng(seed);
+  max_delay_ = max_delay == 0 ? 1 : max_delay;
+  link_clock_.assign(kind == SchedulerKind::kAsyncLinkFifo ? num_links : 0,
+                     0);
+}
+
 std::int64_t Scheduler::delivery_key(std::int64_t now, std::uint64_t seq,
                                      std::uint64_t link) {
   switch (kind_) {
@@ -38,6 +47,7 @@ std::int64_t Scheduler::delivery_key(std::int64_t now, std::uint64_t seq,
       // send order (FIFO channel), while distinct links race freely.
       const std::int64_t candidate =
           now + 1 + static_cast<std::int64_t>(rng_.below(max_delay_));
+      if (link >= link_clock_.size()) link_clock_.resize(link + 1, 0);
       std::int64_t& clock = link_clock_[link];
       clock = (candidate > clock) ? candidate : clock + 1;
       return clock;

@@ -19,7 +19,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -41,10 +41,18 @@ class Scheduler {
  public:
   Scheduler(SchedulerKind kind, std::uint64_t seed, std::uint32_t max_delay);
 
+  /// Re-arms the scheduler for a fresh run without releasing the link-clock
+  /// storage. `num_links` sizes the per-link clock table up front (pass the
+  /// number of directed (node, port) slots); clocks for links beyond it are
+  /// grown on demand, so 0 is always safe.
+  void reset(SchedulerKind kind, std::uint64_t seed, std::uint32_t max_delay,
+             std::size_t num_links = 0);
+
   /// Key for a message sent with sequence number `seq` while the engine was
   /// processing an event with key `now` (0 for on_start sends). `link`
-  /// identifies the directed channel (sender, sender-port); only
-  /// kAsyncLinkFifo consults it.
+  /// identifies the directed channel as a dense index (the engine uses the
+  /// graph's prefix-summed (node, port) offset); only kAsyncLinkFifo
+  /// consults it.
   std::int64_t delivery_key(std::int64_t now, std::uint64_t seq,
                             std::uint64_t link);
 
@@ -54,7 +62,10 @@ class Scheduler {
   SchedulerKind kind_;
   Rng rng_;
   std::uint32_t max_delay_;
-  std::unordered_map<std::uint64_t, std::int64_t> link_clock_;
+  /// Flat per-link FIFO clock, indexed by the dense link id. Zero means
+  /// "nothing delivered yet" — identical to the map-based default the
+  /// original implementation relied on.
+  std::vector<std::int64_t> link_clock_;
 };
 
 }  // namespace oraclesize

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/builders.h"
+#include "graph/complete_star.h"
 #include "graph/validate.h"
 
 namespace oraclesize {
@@ -209,7 +210,26 @@ TEST(Engine, MessageBudgetStopsRunaways) {
   const RunResult r =
       run_execution(g, 0, no_advice(g), PingPong(), opts);
   EXPECT_NE(r.violation.find("message budget"), std::string::npos);
-  EXPECT_LE(r.metrics.messages_total, 101u);
+  // Invariant: the budget is checked BEFORE a send is counted, so a run
+  // never reports more messages than it was allowed — even the violating
+  // send stays out of the metrics.
+  EXPECT_EQ(r.metrics.messages_total, opts.max_messages);
+  std::uint64_t sends = 0;
+  for (std::uint64_t s : r.sends_by_node) sends += s;
+  EXPECT_EQ(sends, r.metrics.messages_total);
+}
+
+TEST(Engine, MessageBudgetNeverOvershoots) {
+  // Sweep budgets: metrics.messages_total <= max_messages must hold for
+  // every budget, including ones that cut the run off mid-flood.
+  const PortGraph g = make_complete_star(16);
+  for (std::uint64_t budget : {1u, 7u, 50u, 1000u}) {
+    RunOptions opts;
+    opts.max_messages = budget;
+    const RunResult r =
+        run_execution(g, 0, no_advice(g), TestFlood(), opts);
+    EXPECT_LE(r.metrics.messages_total, budget) << "budget " << budget;
+  }
 }
 
 TEST(Engine, AnonymousModeHidesIds) {

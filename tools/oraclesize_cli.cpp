@@ -8,12 +8,15 @@
 //         wheel N | caterpillar S L | regular N D | gns N T | gnsc N K
 //   run <task> [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]
 //       [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]
-//       [--advice-file F]
+//       [--advice-file F] [--all-sources] [--jobs N] [--json]
 //       Read a network from stdin and run a task:
 //         wakeup | broadcast | flooding | census | gossip | hybrid
 //       Prints the task report (oracle bits, messages, violations).
 //       With --advice-file the oracle step is skipped and per-node strings
 //       are loaded from F (see `advise`).
+//       --all-sources runs the task once per source node through the batch
+//       runner; --jobs N sets its worker-thread count (0 = hardware);
+//       --json prints per-trial records as JSON instead of text.
 //   advise <tree|light|partial|null> [--source S] [--tree K]
 //       [--fraction Q] [--seed S]
 //       Read a network from stdin; print the oracle's advice assignment in
@@ -39,6 +42,7 @@
 
 #include <fstream>
 
+#include "core/batch_runner.h"
 #include "core/broadcast_b.h"
 #include "core/census.h"
 #include "core/flooding.h"
@@ -75,7 +79,7 @@ using namespace oraclesize;
       "  oraclesize_cli run <wakeup|broadcast|flooding|census|gossip|hybrid>\n"
       "      [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]\n"
       "      [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]\n"
-      "      [--advice-file F]\n"
+      "      [--advice-file F] [--all-sources] [--jobs N] [--json]\n"
       "  oraclesize_cli advise <tree|light|partial|null> [--source S]\n"
       "      [--tree K] [--fraction Q] [--seed S]\n"
       "  oraclesize_cli tree <bfs|dfs|kruskal|light> [--root R]\n"
@@ -119,6 +123,9 @@ struct Options {
   bool anonymous = false;
   double fraction = 0.5;
   std::string advice_file;
+  std::size_t jobs = 1;
+  bool json = false;
+  bool all_sources = false;
 };
 
 std::vector<std::string> extract_options(std::vector<std::string> args,
@@ -142,6 +149,12 @@ std::vector<std::string> extract_options(std::vector<std::string> args,
       opts.fraction = parse_double(next(), "--fraction");
     } else if (a == "--advice-file") {
       opts.advice_file = next();
+    } else if (a == "--jobs") {
+      opts.jobs = static_cast<std::size_t>(parse_u64(next(), "--jobs"));
+    } else if (a == "--json") {
+      opts.json = true;
+    } else if (a == "--all-sources") {
+      opts.all_sources = true;
     } else if (a == "--scheduler") {
       const std::string v = next();
       if (v == "sync") {
@@ -298,9 +311,23 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
     usage("unknown task '" + task + "'");
   }
 
-  TaskReport report;
+  std::vector<NodeId> sources;
+  if (opts.all_sources) {
+    if (!opts.advice_file.empty()) {
+      usage("run: --all-sources cannot be combined with --advice-file");
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) sources.push_back(v);
+  } else {
+    sources.push_back(opts.source);
+  }
+
+  std::vector<TaskReport> reports;
   if (opts.advice_file.empty()) {
-    report = run_task(g, opts.source, *oracle, *algorithm, run_opts);
+    std::vector<TrialSpec> specs;
+    for (NodeId v : sources) {
+      specs.push_back({&g, v, oracle.get(), algorithm, run_opts});
+    }
+    reports = BatchRunner(opts.jobs).run(specs);
   } else {
     std::ifstream in(opts.advice_file);
     if (!in) usage("cannot open advice file '" + opts.advice_file + "'");
@@ -308,22 +335,50 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
     if (advice.size() != g.num_nodes()) {
       usage("advice file node count does not match the network");
     }
+    TaskReport report;
     report.oracle_name = "file:" + opts.advice_file;
     report.algorithm_name = algorithm->name();
     report.oracle_bits = oracle_size_bits(advice);
     report.max_advice_bits = max_advice_bits(advice);
     if (algorithm->is_wakeup()) run_opts.enforce_wakeup = true;
     report.run = run_execution(g, opts.source, advice, *algorithm, run_opts);
+    reports.push_back(std::move(report));
   }
 
-  std::cout << g.summary() << ", source " << opts.source << ", scheduler "
-            << to_string(opts.scheduler) << "\n"
-            << report.summary() << "\n";
-  if ((task == "census" || task == "gossip") && report.ok()) {
-    std::cout << task << " output at source: "
-              << report.run.outputs[opts.source] << "\n";
+  bool all_ok = true;
+  if (opts.json) {
+    std::cout << "{\n  \"task\": \"" << task << "\", \"scheduler\": \""
+              << to_string(opts.scheduler) << "\", \"nodes\": "
+              << g.num_nodes() << ", \"jobs\": "
+              << BatchRunner(opts.jobs).jobs() << ",\n  \"trials\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const TaskReport& r = reports[i];
+      all_ok = all_ok && r.ok();
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "    {\"source\": " << sources[i]
+                << ", \"oracle_bits\": " << r.oracle_bits
+                << ", \"messages_total\": " << r.run.metrics.messages_total
+                << ", \"bits_sent\": " << r.run.metrics.bits_sent
+                << ", \"completion_key\": " << r.run.metrics.completion_key
+                << ", \"wall_ns\": " << r.wall_ns << ", \"ok\": "
+                << (r.ok() ? "true" : "false") << "}";
+    }
+    std::cout << (reports.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  } else {
+    std::cout << g.summary() << ", scheduler " << to_string(opts.scheduler)
+              << "\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const TaskReport& report = reports[i];
+      all_ok = all_ok && report.ok();
+      std::cout << "source " << sources[i] << ": " << report.summary()
+                << "\n";
+      if ((task == "census" || task == "gossip") && report.ok()) {
+        std::cout << task << " output at source: "
+                  << report.run.outputs[sources[i]] << "\n";
+      }
+    }
   }
-  return report.ok() ? 0 : 1;
+  return all_ok ? 0 : 1;
 }
 
 int cmd_advise(const std::vector<std::string>& args, const Options& opts) {
