@@ -10,9 +10,13 @@
 // JSON record per trial alongside the human tables, so BENCH_*.json
 // trajectories can be tracked across PRs. Common flags, parsed by Harness:
 //
-//   --jobs N      worker threads for the batch runner (default: hardware)
-//   --json FILE   where to write the JSON records (default BENCH_<id>.json)
-//   --no-json     skip the JSON file entirely
+//   --jobs N            worker threads for the batch runner (default:
+//                       hardware)
+//   --json FILE         where to write the JSON records (default
+//                       BENCH_<id>.json)
+//   --no-json           skip the JSON file entirely
+//   --no-advice-cache   disable the batch advice-memoization pre-pass
+//                       (the measurement baseline; see core/advice_cache.h)
 #pragma once
 
 #include <chrono>
@@ -81,7 +85,10 @@ struct TrialRecord {
   std::uint64_t oracle_bits = 0;
   std::uint64_t messages_total = 0;
   std::int64_t completion_key = 0;
-  std::uint64_t wall_ns = 0;
+  std::uint64_t wall_ns = 0;    ///< advise_ns + run_ns
+  std::uint64_t advise_ns = 0;  ///< oracle advise() share (0 when cached)
+  std::uint64_t run_ns = 0;     ///< execution-engine share
+  bool advice_cached = false;   ///< advice served precomputed
   bool ok = true;
 };
 
@@ -94,6 +101,9 @@ inline TrialRecord make_record(std::string family, std::size_t n,
                      r.run.metrics.messages_total,
                      r.run.metrics.completion_key,
                      r.wall_ns,
+                     r.advise_ns,
+                     r.run_ns,
+                     r.advice_cached,
                      r.ok()};
 }
 
@@ -121,16 +131,19 @@ class Harness {
       } else if (a == "--no-json") {
         json_path_.clear();
         json_enabled_ = false;
+      } else if (a == "--no-advice-cache") {
+        advice_cache_ = false;
       } else {
         std::cerr << "error: unknown option '" << a
-                  << "' (supported: --jobs N, --json FILE, --no-json)\n";
+                  << "' (supported: --jobs N, --json FILE, --no-json, "
+                     "--no-advice-cache)\n";
         std::exit(2);
       }
     }
     if (json_enabled_ && json_path_.empty()) {
       json_path_ = "BENCH_" + id_ + ".json";
     }
-    runner_ = BatchRunner(jobs);
+    runner_ = BatchRunner(jobs, advice_cache_);
   }
 
   Harness(const Harness&) = delete;
@@ -140,10 +153,14 @@ class Harness {
 
   const BatchRunner& runner() const { return runner_; }
   std::size_t jobs() const { return runner_.jobs(); }
+  bool advice_cache() const { return advice_cache_; }
+  bool json_enabled() const { return json_enabled_; }
 
-  /// Runs a batch of specs and returns reports in spec order.
-  std::vector<TaskReport> run(const std::vector<TrialSpec>& specs) const {
-    return runner_.run(specs);
+  /// Runs a batch of specs and returns reports in spec order. Pass `stats`
+  /// to receive the batch's advice-cache accounting.
+  std::vector<TaskReport> run(const std::vector<TrialSpec>& specs,
+                              BatchStats* stats = nullptr) const {
+    return runner_.run(specs, stats);
   }
 
   void record(TrialRecord r) { records_.push_back(std::move(r)); }
@@ -172,7 +189,10 @@ class Harness {
           << ", \"oracle_bits\": " << r.oracle_bits
           << ", \"messages_total\": " << r.messages_total
           << ", \"completion_key\": " << r.completion_key
-          << ", \"wall_ns\": " << r.wall_ns << ", \"ok\": "
+          << ", \"wall_ns\": " << r.wall_ns
+          << ", \"advise_ns\": " << r.advise_ns
+          << ", \"run_ns\": " << r.run_ns << ", \"advice_cached\": "
+          << (r.advice_cached ? "true" : "false") << ", \"ok\": "
           << (r.ok ? "true" : "false") << "}";
     }
     out << (records_.empty() ? "]\n" : "\n  ]\n") << "}\n";
@@ -184,6 +204,7 @@ class Harness {
   std::chrono::steady_clock::time_point started_;
   std::string json_path_;
   bool json_enabled_ = true;
+  bool advice_cache_ = true;
   BatchRunner runner_{1};
   std::vector<TrialRecord> records_;
 };

@@ -34,6 +34,14 @@ class BitString {
   /// Appends another bit string.
   void append(const BitString& other);
 
+  /// Empties the string, retaining the word buffer's capacity — the
+  /// building block for reusing one BitString as a scratch encoder across
+  /// many events without reallocating.
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
   /// Bit at index i (0-based). Requires i < size().
   bool bit(std::size_t i) const;
 

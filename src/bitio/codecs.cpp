@@ -97,7 +97,14 @@ BitString encode_port_list(const std::vector<std::uint64_t>& ports,
 
 std::vector<std::uint64_t> decode_port_list(const BitString& bits) {
   std::vector<std::uint64_t> ports;
-  if (bits.empty()) return ports;
+  decode_port_list_into(bits, ports);
+  return ports;
+}
+
+void decode_port_list_into(const BitString& bits,
+                           std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (bits.empty()) return;
   BitReader in(bits);
   const std::uint64_t width = read_doubled(in);
   if (width == 0 || width > 64) {
@@ -107,9 +114,8 @@ std::vector<std::uint64_t> decode_port_list(const BitString& bits) {
     throw std::invalid_argument("decode_port_list: bad payload length");
   }
   while (!in.exhausted()) {
-    ports.push_back(in.read_uint(static_cast<int>(width)));
+    out.push_back(in.read_uint(static_cast<int>(width)));
   }
-  return ports;
 }
 
 BitString encode_weight_list(const std::vector<std::uint64_t>& weights) {
@@ -120,9 +126,15 @@ BitString encode_weight_list(const std::vector<std::uint64_t>& weights) {
 
 std::vector<std::uint64_t> decode_weight_list(const BitString& bits) {
   std::vector<std::uint64_t> weights;
-  BitReader in(bits);
-  while (!in.exhausted()) weights.push_back(read_doubled(in));
+  decode_weight_list_into(bits, weights);
   return weights;
+}
+
+void decode_weight_list_into(const BitString& bits,
+                             std::vector<std::uint64_t>& out) {
+  out.clear();
+  BitReader in(bits);
+  while (!in.exhausted()) out.push_back(read_doubled(in));
 }
 
 }  // namespace oraclesize

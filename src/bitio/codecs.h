@@ -66,6 +66,11 @@ BitString encode_port_list(const std::vector<std::uint64_t>& ports, int width);
 /// leftover or missing bits raise std::invalid_argument.
 std::vector<std::uint64_t> decode_port_list(const BitString& bits);
 
+/// Sink form of decode_port_list: clears `out` and decodes into it, reusing
+/// its capacity. Hot-path variant for behaviors that decode per run.
+void decode_port_list_into(const BitString& bits,
+                           std::vector<std::uint64_t>& out);
+
 /// Theorem 3.1 oracle payload: the multiset of tree-edge weights assigned to
 /// one node, each weight encoded with the doubled-bit code
 /// (2*#2(w)+2 bits per weight; deviation #3 in DESIGN.md).
@@ -73,5 +78,9 @@ BitString encode_weight_list(const std::vector<std::uint64_t>& weights);
 
 /// Inverse of encode_weight_list: decodes until the string is exhausted.
 std::vector<std::uint64_t> decode_weight_list(const BitString& bits);
+
+/// Sink form of decode_weight_list: clears `out` and decodes into it.
+void decode_weight_list_into(const BitString& bits,
+                             std::vector<std::uint64_t>& out);
 
 }  // namespace oraclesize

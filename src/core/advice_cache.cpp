@@ -1,0 +1,66 @@
+#include "core/advice_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace oraclesize {
+
+AdviceCache::Lookup AdviceCache::lookup(const PortGraph& g,
+                                        const Oracle& oracle, NodeId source) {
+  Key key{&g, oracle.name(), source};
+  std::promise<Computed> promise;
+  std::shared_future<Computed> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      owner = true;
+      ++misses_;
+      future = promise.get_future().share();
+      entries_.emplace(std::move(key), future);
+    } else {
+      ++hits_;
+      future = it->second;
+    }
+  }
+
+  if (owner) {
+    // Compute outside the lock so concurrent lookups of other keys proceed
+    // and same-key lookups block on the future, not the mutex.
+    try {
+      const auto started = std::chrono::steady_clock::now();
+      auto advice = std::make_shared<const std::vector<BitString>>(
+          oracle.advise(g, source));
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        advise_ns_ += ns;
+      }
+      promise.set_value(Computed{std::move(advice), ns});
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+
+  const Computed& computed = future.get();  // rethrows an advise() failure
+  return Lookup{computed.advice, owner ? computed.advise_ns : 0, !owner};
+}
+
+AdviceCache::Stats AdviceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{entries_.size(), hits_, misses_, advise_ns_};
+}
+
+void AdviceCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  advise_ns_ = 0;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,88 @@
+// Memoized oracle advice: compute each distinct advice vector once.
+//
+// Experiment sweeps repeat trials over the same (graph, oracle, source)
+// triple — repeats for timing, scheduler ablations, seed sweeps — and the
+// oracle's advise() is the expensive part (light-tree construction is
+// O(m log n); on dense graphs it dwarfs the execution itself). AdviceCache
+// is a thread-safe memo table over
+//
+//     key = (graph identity, oracle name, source)
+//
+// mapping to a shared immutable advice vector. Graph identity is the
+// PortGraph's address — the cache deliberately does NOT hash graph
+// contents; callers must keep a graph alive (and unmodified) while any
+// cache referencing it is in use, the same lifetime rule TrialSpec already
+// imposes. Oracle identity is Oracle::name(), which every oracle in this
+// repo makes parameter-complete (tree kind, fraction, seed, radius, ...)
+// precisely so equal names imply equal advice.
+//
+// Concurrency: any number of threads may call lookup() concurrently, with
+// arbitrary key overlap. Exactly one caller computes a given key (it gets
+// hit == false and the measured advise_ns); everyone else blocks on the
+// shared future and gets hit == true. If advise() throws, the exception is
+// propagated to every waiter of that key and the entry stays poisoned
+// (repeat lookups rethrow, matching the determinism of the uncached path).
+//
+// core/batch_runner.h uses one AdviceCache per run() call as a pre-pass;
+// the class is public so harnesses with longer-lived reuse (e.g. a CLI
+// loop over schedulers) can hold one across batches.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "oracle/oracle.h"
+
+namespace oraclesize {
+
+/// Shared immutable advice vector, one BitString per node.
+using AdvicePtr = std::shared_ptr<const std::vector<BitString>>;
+
+class AdviceCache {
+ public:
+  struct Lookup {
+    AdvicePtr advice;
+    /// Nanoseconds spent inside oracle.advise() — 0 on a hit (the cost was
+    /// paid, and is reported, by the computing lookup).
+    std::uint64_t advise_ns = 0;
+    /// True when the advice was served from an existing entry.
+    bool hit = false;
+  };
+
+  struct Stats {
+    std::size_t entries = 0;  ///< distinct keys computed (or computing)
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::uint64_t advise_ns = 0;  ///< total time spent in advise() calls
+  };
+
+  /// Returns the advice for (g, oracle, source), computing it on this
+  /// thread if absent. Blocks if another thread is computing the same key.
+  Lookup lookup(const PortGraph& g, const Oracle& oracle, NodeId source);
+
+  Stats stats() const;
+
+  /// Drops all entries. Not safe concurrently with lookup().
+  void clear();
+
+ private:
+  struct Computed {
+    AdvicePtr advice;
+    std::uint64_t advise_ns = 0;
+  };
+  using Key = std::tuple<const PortGraph*, std::string, NodeId>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_future<Computed>> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::uint64_t advise_ns_ = 0;
+};
+
+}  // namespace oraclesize

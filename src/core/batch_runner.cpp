@@ -3,8 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
+#include <utility>
 
 #include "sim/execution_context.h"
 
@@ -12,37 +15,62 @@ namespace oraclesize {
 
 namespace {
 
-TaskReport run_trial(const TrialSpec& spec, ExecutionContext& context) {
-  const auto started = std::chrono::steady_clock::now();
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Per-spec advice resolved by the pre-pass (or carried by the spec).
+/// A null pointer means "advise inside the trial" (cache off).
+struct PreparedAdvice {
+  AdvicePtr advice;
+  std::uint64_t advise_ns = 0;
+  bool cached = false;
+};
+
+TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
+                     ExecutionContext& context) {
   TaskReport report;
   report.oracle_name = spec.oracle->name();
   report.algorithm_name = spec.algorithm->name();
-  const std::vector<BitString> advice =
-      spec.oracle->advise(*spec.graph, spec.source);
-  report.oracle_bits = oracle_size_bits(advice);
-  report.max_advice_bits = max_advice_bits(advice);
+
+  AdvicePtr advice = prep.advice;
+  if (advice) {
+    report.advise_ns = prep.advise_ns;
+    report.advice_cached = prep.cached;
+  } else {
+    const auto started = std::chrono::steady_clock::now();
+    advice = std::make_shared<const std::vector<BitString>>(
+        spec.oracle->advise(*spec.graph, spec.source));
+    report.advise_ns = elapsed_ns(started);
+  }
+  report.oracle_bits = oracle_size_bits(*advice);
+  report.max_advice_bits = max_advice_bits(*advice);
+
   RunOptions options = spec.options;
   if (spec.algorithm->is_wakeup()) options.enforce_wakeup = true;
+  const auto started = std::chrono::steady_clock::now();
   report.run =
-      context.run(*spec.graph, spec.source, advice, *spec.algorithm, options);
-  report.wall_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - started)
-          .count());
+      context.run(*spec.graph, spec.source, *advice, *spec.algorithm, options);
+  report.run_ns = elapsed_ns(started);
+  report.wall_ns = report.advise_ns + report.run_ns;
   return report;
 }
 
 }  // namespace
 
-BatchRunner::BatchRunner(std::size_t jobs) : jobs_(jobs) {
+BatchRunner::BatchRunner(std::size_t jobs, bool advice_cache)
+    : jobs_(jobs), advice_cache_(advice_cache) {
   if (jobs_ == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs_ = hw == 0 ? 1 : hw;
   }
 }
 
-std::vector<TaskReport> BatchRunner::run(
-    const std::vector<TrialSpec>& specs) const {
+std::vector<TaskReport> BatchRunner::run(const std::vector<TrialSpec>& specs,
+                                         BatchStats* stats) const {
   for (const TrialSpec& spec : specs) {
     if (spec.graph == nullptr || spec.oracle == nullptr ||
         spec.algorithm == nullptr) {
@@ -52,42 +80,141 @@ std::vector<TaskReport> BatchRunner::run(
   }
 
   std::vector<TaskReport> results(specs.size());
+  std::vector<PreparedAdvice> prepared(specs.size());
+  std::vector<std::exception_ptr> errors(specs.size());
+  BatchStats batch_stats;
   const std::size_t workers =
       specs.size() < jobs_ ? (specs.empty() ? 1 : specs.size()) : jobs_;
 
-  if (workers <= 1) {
-    ExecutionContext context;
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      results[i] = run_trial(specs[i], context);
+  // Specs carrying their own advice never hit the oracle.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].advice) {
+      prepared[i] = PreparedAdvice{specs[i].advice, 0, true};
+      ++batch_stats.cache_hits;
     }
-    return results;
   }
 
-  // Work-stealing by atomic counter: trial i's RESULT slot is fixed by i,
-  // so results are in spec order no matter which worker claims which trial.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(specs.size());
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&]() {
-      ExecutionContext context;
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= specs.size()) break;
-        try {
-          results[i] = run_trial(specs[i], context);
-        } catch (...) {
-          errors[i] = std::current_exception();
+  if (advice_cache_) {
+    // Pre-pass: dedupe by (graph, oracle name, source) — insertion into a
+    // std::map keyed this way makes the owner (the lowest spec index of
+    // each group, the one that reports the advise cost) deterministic.
+    using Key = std::tuple<const PortGraph*, std::string, NodeId>;
+    std::map<Key, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].advice) continue;
+      groups[Key{specs[i].graph, specs[i].oracle->name(), specs[i].source}]
+          .push_back(i);
+    }
+    std::vector<const std::vector<std::size_t>*> work;
+    work.reserve(groups.size());
+    for (const auto& [key, indices] : groups) work.push_back(&indices);
+
+    AdviceCache cache;
+    auto compute_group = [&](const std::vector<std::size_t>& indices) {
+      const std::size_t owner = indices.front();
+      const TrialSpec& spec = specs[owner];
+      try {
+        const AdviceCache::Lookup looked =
+            cache.lookup(*spec.graph, *spec.oracle, spec.source);
+        prepared[owner] =
+            PreparedAdvice{looked.advice, looked.advise_ns, false};
+        for (std::size_t j = 1; j < indices.size(); ++j) {
+          prepared[indices[j]] = PreparedAdvice{looked.advice, 0, true};
+        }
+      } catch (...) {
+        // The uncached path would have thrown in every one of these
+        // trials; record the failure for each so rethrow order (lowest
+        // spec index) is unchanged.
+        for (std::size_t idx : indices) {
+          errors[idx] = std::current_exception();
         }
       }
-    });
+    };
+
+    if (workers <= 1 || work.size() <= 1) {
+      for (const auto* indices : work) compute_group(*indices);
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(workers < work.size() ? workers : work.size());
+      for (std::size_t w = 0;
+           w < (workers < work.size() ? workers : work.size()); ++w) {
+        pool.emplace_back([&]() {
+          while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= work.size()) break;
+            compute_group(*work[i]);
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+    }
+
+    const AdviceCache::Stats cache_stats = cache.stats();
+    batch_stats.unique_advice = cache_stats.misses;
+    batch_stats.advise_ns = cache_stats.advise_ns;
+    for (const auto& [key, indices] : groups) {
+      batch_stats.cache_hits += indices.size() - 1;
+    }
   }
-  for (std::thread& t : pool) t.join();
+
+  auto run_one = [&](std::size_t i, ExecutionContext& context) {
+    if (errors[i]) return;  // advise() already failed for this spec
+    try {
+      results[i] = run_trial(specs[i], prepared[i], context);
+      if (!advice_cache_ && !specs[i].advice) {
+        // Per-trial advise: fold its cost into the batch accounting so
+        // cache on/off totals stay comparable.
+        batch_stats.advise_ns += results[i].advise_ns;
+        ++batch_stats.unique_advice;
+      }
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (workers <= 1) {
+    ExecutionContext context;
+    for (std::size_t i = 0; i < specs.size(); ++i) run_one(i, context);
+  } else {
+    // Work-stealing by atomic counter: trial i's RESULT slot is fixed by
+    // i, so results are in spec order no matter which worker claims which
+    // trial.
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> uncached_advise_ns{0};
+    std::atomic<std::size_t> uncached_advises{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        ExecutionContext context;
+        while (true) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= specs.size()) break;
+          if (errors[i]) continue;
+          try {
+            results[i] = run_trial(specs[i], prepared[i], context);
+            if (!advice_cache_ && !specs[i].advice) {
+              uncached_advise_ns.fetch_add(results[i].advise_ns,
+                                           std::memory_order_relaxed);
+              uncached_advises.fetch_add(1, std::memory_order_relaxed);
+            }
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    batch_stats.advise_ns += uncached_advise_ns.load();
+    batch_stats.unique_advice += uncached_advises.load();
+  }
 
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  if (stats != nullptr) *stats = batch_stats;
   return results;
 }
 

@@ -7,17 +7,31 @@
 // sweep of thousands of trials performs no per-trial setup allocation
 // beyond what the trials themselves demand.
 //
+// Advice memoization: before any trial runs, BatchRunner dedupes the batch
+// by (graph, oracle name, source) and computes each distinct advice vector
+// ONCE, in parallel, via core/advice_cache.h. Trials then share immutable
+// `shared_ptr<const vector<BitString>>` advice. Repeat-heavy sweeps thus
+// pay each advise() exactly once instead of once per trial. Pass
+// `advice_cache = false` to restore per-trial advise() (the measurement
+// baseline for bench_perf --no-advice-cache).
+//
 // Determinism contract: every trial is an independent, deterministic
 // function of its spec, and results are returned IN SPEC ORDER. The
 // RunResult for a given spec is bit-identical to what the single-trial
 // path (run_task / run_execution) produces, regardless of the worker
-// count — only wall_ns, the measured per-trial wall time, varies between
-// runs. tests/test_batch_runner.cpp enforces this.
+// count and of whether the advice cache is on — only the timing fields
+// (wall_ns, advise_ns, run_ns) vary between runs. Advice-cache
+// attribution is deterministic too: the FIRST spec (lowest index) with a
+// given key reports the advise cost; later duplicates report
+// advice_cached = true. tests/test_batch_runner.cpp and
+// tests/test_advice_cache.cpp enforce all of this.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "core/advice_cache.h"
 #include "core/runner.h"
 
 namespace oraclesize {
@@ -27,29 +41,57 @@ namespace oraclesize {
 /// BatchRunner::run call. As in run_task, wakeup enforcement is switched
 /// on automatically when the algorithm reports is_wakeup().
 struct TrialSpec {
+  TrialSpec() = default;
+  TrialSpec(const PortGraph* graph_in, NodeId source_in,
+            const Oracle* oracle_in, const Algorithm* algorithm_in,
+            RunOptions options_in = {}, AdvicePtr advice_in = nullptr)
+      : graph(graph_in),
+        source(source_in),
+        oracle(oracle_in),
+        algorithm(algorithm_in),
+        options(std::move(options_in)),
+        advice(std::move(advice_in)) {}
+
   const PortGraph* graph = nullptr;
   NodeId source = 0;
   const Oracle* oracle = nullptr;
   const Algorithm* algorithm = nullptr;
   RunOptions options;
+  /// Optional precomputed advice (one BitString per node). When set, the
+  /// oracle is never asked to advise for this trial — it still names the
+  /// report and prices the oracle_bits fields. Size must match the graph.
+  AdvicePtr advice;
+};
+
+/// Aggregate accounting of one BatchRunner::run call.
+struct BatchStats {
+  std::size_t unique_advice = 0;  ///< distinct advice vectors computed
+  /// Specs served precomputed advice (batch duplicates + TrialSpec::advice).
+  std::size_t cache_hits = 0;
+  std::uint64_t advise_ns = 0;  ///< total time inside advise() calls
 };
 
 class BatchRunner {
  public:
   /// `jobs` = number of worker threads; 0 picks the hardware concurrency.
-  explicit BatchRunner(std::size_t jobs = 0);
+  /// `advice_cache` toggles the batch-wide advice memoization pre-pass.
+  explicit BatchRunner(std::size_t jobs = 0, bool advice_cache = true);
 
   std::size_t jobs() const noexcept { return jobs_; }
+  bool advice_cache() const noexcept { return advice_cache_; }
 
   /// Executes every spec and returns one TaskReport per spec, in spec
   /// order. Throws std::invalid_argument on a null graph/oracle/algorithm
-  /// before any trial runs. If a trial itself throws (e.g. an out-of-range
-  /// source), the lowest-index trial's exception is rethrown after all
-  /// workers have drained — deterministically, independent of jobs().
-  std::vector<TaskReport> run(const std::vector<TrialSpec>& specs) const;
+  /// before any trial runs. If a trial (or its advise() pre-pass) throws,
+  /// the lowest-index trial's exception is rethrown after all workers have
+  /// drained — deterministically, independent of jobs(). When `stats` is
+  /// non-null it receives the batch's advice-cache accounting.
+  std::vector<TaskReport> run(const std::vector<TrialSpec>& specs,
+                              BatchStats* stats = nullptr) const;
 
  private:
   std::size_t jobs_;
+  bool advice_cache_;
 };
 
 }  // namespace oraclesize

@@ -1,56 +1,62 @@
 #include "core/broadcast_b.h"
 
-#include <set>
-
 #include "bitio/codecs.h"
+#include "util/flat_set.h"
 
 namespace oraclesize {
 
 namespace {
 
+// K_x/H_x/S_x are sorted flat vectors (util/flat_set.h): same ascending
+// iteration order as the std::set formulation — so the send order, and with
+// it every RunResult, is bit-identical — but the storage survives reset().
 class BroadcastBBehavior final : public NodeBehavior {
  public:
-  std::vector<Send> on_start(const NodeInput& input) override {
-    for (std::uint64_t w : decode_weight_list(input.advice)) {
-      known_.insert(static_cast<Port>(w));
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
+    decode_weight_list_into(*input.advice, weights_);
+    for (std::uint64_t w : weights_) {
+      insert_sorted(known_, static_cast<Port>(w));
     }
     hello_owed_ = known_;
-    std::vector<Send> sends;
     if (input.is_source) {
       informed_ = true;
-      relay(sends);  // send M on K\S, fold into S
+      relay(out);  // send M on K\S, fold into S
     }
-    flush_hellos(sends);
-    return sends;
+    flush_hellos(out);
   }
 
-  std::vector<Send> on_receive(const NodeInput& /*input*/, const Message& msg,
-                               Port from_port) override {
-    std::vector<Send> sends;
+  void on_receive(const NodeInput& /*input*/, const Message& msg,
+                  Port from_port, std::vector<Send>& out) override {
     switch (msg.kind) {
       case MsgKind::kSource:
-        known_.insert(from_port);
-        transited_.insert(from_port);
+        insert_sorted(known_, from_port);
+        insert_sorted(transited_, from_port);
         informed_ = true;
-        relay(sends);
-        flush_hellos(sends);
+        relay(out);
+        flush_hellos(out);
         break;
       case MsgKind::kHello:
-        if (known_.insert(from_port).second && informed_) {
-          relay(sends);  // the hello revealed a tree edge M still owes
+        if (insert_sorted(known_, from_port) && informed_) {
+          relay(out);  // the hello revealed a tree edge M still owes
         }
         break;
       case MsgKind::kControl:
         break;  // scheme B never sends these; ignore defensively
     }
-    return sends;
+  }
+
+  void reset(const NodeInput& /*input*/) override {
+    known_.clear();
+    hello_owed_.clear();
+    transited_.clear();
+    informed_ = false;
   }
 
  private:
   // "send M on all ports of K\S; S <- K"
   void relay(std::vector<Send>& sends) {
     for (Port p : known_) {
-      if (!transited_.count(p)) {
+      if (!contains_sorted(transited_, p)) {
         sends.push_back(Send{Message::source(), p});
       }
     }
@@ -60,16 +66,17 @@ class BroadcastBBehavior final : public NodeBehavior {
   // "H <- H\S; if H nonempty, send hello on all ports of H; H <- empty"
   void flush_hellos(std::vector<Send>& sends) {
     for (Port p : hello_owed_) {
-      if (!transited_.count(p)) {
+      if (!contains_sorted(transited_, p)) {
         sends.push_back(Send{Message::hello(), p});
       }
     }
     hello_owed_.clear();
   }
 
-  std::set<Port> known_;       // K_x
-  std::set<Port> hello_owed_;  // H_x
-  std::set<Port> transited_;   // S_x
+  std::vector<Port> known_;       // K_x
+  std::vector<Port> hello_owed_;  // H_x
+  std::vector<Port> transited_;   // S_x
+  std::vector<std::uint64_t> weights_;  // decode scratch
   bool informed_ = false;
 };
 

@@ -34,6 +34,7 @@ class BroadcastBAlgorithm final : public Algorithm {
   std::unique_ptr<NodeBehavior> make_behavior(
       const NodeInput& input) const override;
   std::string name() const override { return "broadcast-B"; }
+  bool reusable() const override { return true; }
 };
 
 }  // namespace oraclesize

@@ -1,8 +1,7 @@
 #include "core/census.h"
 
-#include <set>
-
 #include "bitio/codecs.h"
+#include "util/flat_set.h"
 
 namespace oraclesize {
 
@@ -10,59 +9,66 @@ namespace {
 
 class CensusBehavior final : public NodeBehavior {
  public:
-  std::vector<Send> on_start(const NodeInput& input) override {
-    if (!input.is_source) return {};
-    return begin_subtree(input, kNoPort);
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
+    if (!input.is_source) return;
+    begin_subtree(input, kNoPort, out);
   }
 
-  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
-                               Port from_port) override {
+  void on_receive(const NodeInput& input, const Message& msg, Port from_port,
+                  std::vector<Send>& out) override {
     switch (msg.kind) {
       case MsgKind::kSource:
-        if (started_) return {};  // duplicate M (cannot happen on a tree)
-        return begin_subtree(input, from_port);
-      case MsgKind::kControl: {  // a child's subtree count
-        if (!pending_children_.erase(from_port)) return {};  // not a child
+        if (started_) return;  // duplicate M (cannot happen on a tree)
+        begin_subtree(input, from_port, out);
+        return;
+      case MsgKind::kControl:  // a child's subtree count
+        if (!erase_sorted(pending_children_, from_port)) return;  // not a child
         count_ += msg.payload;
-        return maybe_report();
-      }
+        maybe_report(out);
+        return;
       case MsgKind::kHello:
-        return {};
+        return;
     }
-    return {};
+  }
+
+  void reset(const NodeInput& /*input*/) override {
+    started_ = false;
+    done_ = false;
+    parent_port_ = kNoPort;
+    count_ = 0;
+    pending_children_.clear();
   }
 
   bool terminated() const override { return done_; }
   std::uint64_t output() const override { return done_ ? count_ : 0; }
 
  private:
-  std::vector<Send> begin_subtree(const NodeInput& input, Port parent) {
+  void begin_subtree(const NodeInput& input, Port parent,
+                     std::vector<Send>& out) {
     started_ = true;
     parent_port_ = parent;
     count_ = 1;  // this node
-    std::vector<Send> sends;
-    for (std::uint64_t p : decode_port_list(input.advice)) {
-      pending_children_.insert(static_cast<Port>(p));
-      sends.push_back(Send{Message::source(), static_cast<Port>(p)});
+    decode_port_list_into(*input.advice, ports_);
+    for (std::uint64_t p : ports_) {
+      insert_sorted(pending_children_, static_cast<Port>(p));
+      out.push_back(Send{Message::source(), static_cast<Port>(p)});
     }
-    // Leaves echo immediately.
-    auto echo = maybe_report();
-    sends.insert(sends.end(), echo.begin(), echo.end());
-    return sends;
+    maybe_report(out);  // leaves echo immediately
   }
 
-  std::vector<Send> maybe_report() {
-    if (!pending_children_.empty() || done_) return {};
+  void maybe_report(std::vector<Send>& out) {
+    if (!pending_children_.empty() || done_) return;
     done_ = true;
-    if (parent_port_ == kNoPort) return {};  // the source: output is ready
-    return {Send{Message::control(count_), parent_port_}};
+    if (parent_port_ == kNoPort) return;  // the source: output is ready
+    out.push_back(Send{Message::control(count_), parent_port_});
   }
 
   bool started_ = false;
   bool done_ = false;
   Port parent_port_ = kNoPort;
   std::uint64_t count_ = 0;
-  std::set<Port> pending_children_;
+  std::vector<Port> pending_children_;  // sorted (util/flat_set.h)
+  std::vector<std::uint64_t> ports_;    // decode scratch
 };
 
 }  // namespace

@@ -30,6 +30,7 @@ class CensusAlgorithm final : public Algorithm {
       const NodeInput& input) const override;
   std::string name() const override { return "census-echo"; }
   bool is_wakeup() const override { return true; }
+  bool reusable() const override { return true; }
 };
 
 }  // namespace oraclesize

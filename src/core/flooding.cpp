@@ -6,26 +6,25 @@ namespace {
 
 class FloodingBehavior final : public NodeBehavior {
  public:
-  std::vector<Send> on_start(const NodeInput& input) override {
-    if (!input.is_source) return {};
-    return relay_all(input, kNoPort);
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
+    if (!input.is_source) return;
+    relay_all(input, kNoPort, out);
   }
 
-  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
-                               Port from_port) override {
-    if (msg.kind != MsgKind::kSource || done_) return {};
-    return relay_all(input, from_port);
+  void on_receive(const NodeInput& input, const Message& msg, Port from_port,
+                  std::vector<Send>& out) override {
+    if (msg.kind != MsgKind::kSource || done_) return;
+    relay_all(input, from_port, out);
   }
+
+  void reset(const NodeInput& /*input*/) override { done_ = false; }
 
  private:
-  std::vector<Send> relay_all(const NodeInput& input, Port except) {
+  void relay_all(const NodeInput& input, Port except, std::vector<Send>& out) {
     done_ = true;
-    std::vector<Send> sends;
-    sends.reserve(input.degree);
     for (Port p = 0; p < input.degree; ++p) {
-      if (p != except) sends.push_back(Send{Message::source(), p});
+      if (p != except) out.push_back(Send{Message::source(), p});
     }
-    return sends;
   }
 
   bool done_ = false;

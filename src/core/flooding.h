@@ -18,6 +18,7 @@ class FloodingAlgorithm final : public Algorithm {
       const NodeInput& input) const override;
   std::string name() const override { return "flooding"; }
   bool is_wakeup() const override { return true; }
+  bool reusable() const override { return true; }
 };
 
 }  // namespace oraclesize

@@ -1,9 +1,9 @@
 #include "core/gossip.h"
 
 #include <algorithm>
-#include <set>
 
 #include "bitio/codecs.h"
+#include "util/flat_set.h"
 
 namespace oraclesize {
 
@@ -11,29 +11,39 @@ namespace {
 
 class GossipBehavior final : public NodeBehavior {
  public:
-  std::vector<Send> on_start(const NodeInput& input) override {
-    if (!input.is_source) return {};
-    return begin_subtree(input, kNoPort);
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
+    if (!input.is_source) return;
+    begin_subtree(input, kNoPort, out);
   }
 
-  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
-                               Port from_port) override {
+  void on_receive(const NodeInput& input, const Message& msg, Port from_port,
+                  std::vector<Send>& out) override {
     switch (msg.kind) {
       case MsgKind::kSource:
-        if (started_) return {};
-        return begin_subtree(input, from_port);
-      case MsgKind::kControl: {  // a child's rumor bundle (phase 2)
-        if (!pending_children_.erase(from_port)) return {};
+        if (started_) return;
+        begin_subtree(input, from_port, out);
+        return;
+      case MsgKind::kControl:  // a child's rumor bundle (phase 2)
+        if (!erase_sorted(pending_children_, from_port)) return;
         rumors_.insert(rumors_.end(), msg.items.begin(), msg.items.end());
-        return maybe_advance();
-      }
-      case MsgKind::kHello: {  // the full rumor set (phase 3)
-        if (done_) return {};
+        maybe_advance(out);
+        return;
+      case MsgKind::kHello:  // the full rumor set (phase 3)
+        if (done_) return;
         rumors_ = msg.items;
-        return finish();
-      }
+        finish(out);
+        return;
     }
-    return {};
+  }
+
+  void reset(const NodeInput& /*input*/) override {
+    started_ = false;
+    reported_ = false;
+    done_ = false;
+    parent_port_ = kNoPort;
+    rumors_.clear();
+    child_ports_.clear();
+    pending_children_.clear();
   }
 
   bool terminated() const override { return done_; }
@@ -45,42 +55,41 @@ class GossipBehavior final : public NodeBehavior {
   }
 
  private:
-  std::vector<Send> begin_subtree(const NodeInput& input, Port parent) {
+  void begin_subtree(const NodeInput& input, Port parent,
+                     std::vector<Send>& out) {
     started_ = true;
     parent_port_ = parent;
     rumors_.push_back(input.id);  // this node's rumor
-    std::vector<Send> sends;
-    for (std::uint64_t p : decode_port_list(input.advice)) {
+    decode_port_list_into(*input.advice, decoded_ports_);
+    for (std::uint64_t p : decoded_ports_) {
       const Port port = static_cast<Port>(p);
-      pending_children_.insert(port);
+      insert_sorted(pending_children_, port);
       child_ports_.push_back(port);
-      sends.push_back(Send{Message::source(), port});
+      out.push_back(Send{Message::source(), port});
     }
-    auto next = maybe_advance();
-    sends.insert(sends.end(), next.begin(), next.end());
-    return sends;
+    maybe_advance(out);
   }
 
   // Phase 2 step: once all children reported, pass the subtree bundle up —
   // or, at the root, start phase 3.
-  std::vector<Send> maybe_advance() {
-    if (!pending_children_.empty() || done_ || reported_) return {};
+  void maybe_advance(std::vector<Send>& out) {
+    if (!pending_children_.empty() || done_ || reported_) return;
     if (parent_port_ != kNoPort) {
       reported_ = true;
-      return {Send{Message::bundle(MsgKind::kControl, rumors_), parent_port_}};
+      out.push_back(
+          Send{Message::bundle(MsgKind::kControl, rumors_), parent_port_});
+      return;
     }
-    return finish();  // the root has everything
+    finish(out);  // the root has everything
   }
 
   // Phase 3: distribute the complete set to the subtree and terminate.
-  std::vector<Send> finish() {
+  void finish(std::vector<Send>& out) {
     done_ = true;
     std::sort(rumors_.begin(), rumors_.end());
-    std::vector<Send> sends;
     for (Port p : child_ports_) {
-      sends.push_back(Send{Message::bundle(MsgKind::kHello, rumors_), p});
+      out.push_back(Send{Message::bundle(MsgKind::kHello, rumors_), p});
     }
-    return sends;
   }
 
   bool started_ = false;
@@ -89,7 +98,8 @@ class GossipBehavior final : public NodeBehavior {
   Port parent_port_ = kNoPort;
   std::vector<std::uint64_t> rumors_;
   std::vector<Port> child_ports_;
-  std::set<Port> pending_children_;
+  std::vector<Port> pending_children_;        // sorted (util/flat_set.h)
+  std::vector<std::uint64_t> decoded_ports_;  // decode scratch
 };
 
 }  // namespace

@@ -37,6 +37,7 @@ class GossipTreeAlgorithm final : public Algorithm {
       const NodeInput& input) const override;
   std::string name() const override { return "gossip-tree"; }
   bool is_wakeup() const override { return true; }
+  bool reusable() const override { return true; }
 };
 
 }  // namespace oraclesize

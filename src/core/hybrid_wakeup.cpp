@@ -8,40 +8,44 @@ namespace {
 
 class HybridBehavior final : public NodeBehavior {
  public:
-  std::vector<Send> on_start(const NodeInput& input) override {
-    if (!input.is_source) return {};
-    return relay(input, kNoPort);
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
+    if (!input.is_source) return;
+    relay(input, kNoPort, out);
   }
 
-  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
-                               Port from_port) override {
-    if (msg.kind != MsgKind::kSource || done_) return {};
-    return relay(input, from_port);
+  void on_receive(const NodeInput& input, const Message& msg, Port from_port,
+                  std::vector<Send>& out) override {
+    if (msg.kind != MsgKind::kSource || done_) return;
+    relay(input, from_port, out);
   }
+
+  void reset(const NodeInput& /*input*/) override { done_ = false; }
 
  private:
-  std::vector<Send> relay(const NodeInput& input, Port arrived_on) {
+  void relay(const NodeInput& input, Port arrived_on, std::vector<Send>& out) {
     done_ = true;
-    std::vector<Send> sends;
-    if (!input.advice.empty()) {
+    const BitString& advice = *input.advice;
+    if (!advice.empty()) {
       // Advised: strip the flag bit, relay along tree child ports only.
-      BitString ports_only;
-      for (std::size_t i = 1; i < input.advice.size(); ++i) {
-        ports_only.append_bit(input.advice.bit(i));
+      ports_only_.clear();
+      for (std::size_t i = 1; i < advice.size(); ++i) {
+        ports_only_.append_bit(advice.bit(i));
       }
-      for (std::uint64_t p : decode_port_list(ports_only)) {
-        sends.push_back(Send{Message::source(), static_cast<Port>(p)});
+      decode_port_list_into(ports_only_, decoded_ports_);
+      for (std::uint64_t p : decoded_ports_) {
+        out.push_back(Send{Message::source(), static_cast<Port>(p)});
       }
     } else {
       // Unadvised: flood.
       for (Port p = 0; p < input.degree; ++p) {
-        if (p != arrived_on) sends.push_back(Send{Message::source(), p});
+        if (p != arrived_on) out.push_back(Send{Message::source(), p});
       }
     }
-    return sends;
   }
 
   bool done_ = false;
+  BitString ports_only_;                      // re-encode scratch
+  std::vector<std::uint64_t> decoded_ports_;  // decode scratch
 };
 
 }  // namespace

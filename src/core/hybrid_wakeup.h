@@ -20,6 +20,7 @@ class HybridWakeupAlgorithm final : public Algorithm {
       const NodeInput& input) const override;
   std::string name() const override { return "hybrid-wakeup"; }
   bool is_wakeup() const override { return true; }
+  bool reusable() const override { return true; }
 };
 
 }  // namespace oraclesize

@@ -17,7 +17,18 @@ struct TaskReport {
   std::string algorithm_name;
   std::uint64_t oracle_bits = 0;   ///< the paper's oracle size on this G
   std::uint64_t max_advice_bits = 0;
-  std::uint64_t wall_ns = 0;  ///< measured wall time (advise + execution)
+  /// Total measured wall time of the trial: advise_ns + run_ns. Kept for
+  /// continuity with earlier reports that lumped the two phases.
+  std::uint64_t wall_ns = 0;
+  /// Time spent computing oracle advice for THIS trial. 0 when the advice
+  /// came precomputed (advice cache hit or TrialSpec::advice) — the cost
+  /// was paid once and is reported by the trial that computed it.
+  std::uint64_t advise_ns = 0;
+  /// Time spent inside the execution engine (ExecutionContext::run).
+  std::uint64_t run_ns = 0;
+  /// True when this trial's advice was served precomputed rather than via
+  /// a fresh advise() call.
+  bool advice_cached = false;
   RunResult run;
 
   bool ok() const { return run.all_informed && run.violation.empty(); }

@@ -8,28 +8,30 @@ namespace {
 
 class WakeupTreeBehavior final : public NodeBehavior {
  public:
-  std::vector<Send> on_start(const NodeInput& input) override {
-    if (!input.is_source) return {};  // the wakeup constraint
-    return forward(input);
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
+    if (!input.is_source) return;  // the wakeup constraint
+    forward(input, out);
   }
 
-  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
-                               Port /*from_port*/) override {
-    if (msg.kind != MsgKind::kSource || done_) return {};
-    return forward(input);
+  void on_receive(const NodeInput& input, const Message& msg,
+                  Port /*from_port*/, std::vector<Send>& out) override {
+    if (msg.kind != MsgKind::kSource || done_) return;
+    forward(input, out);
   }
+
+  void reset(const NodeInput& /*input*/) override { done_ = false; }
 
  private:
-  std::vector<Send> forward(const NodeInput& input) {
+  void forward(const NodeInput& input, std::vector<Send>& out) {
     done_ = true;
-    std::vector<Send> sends;
-    for (std::uint64_t p : decode_port_list(input.advice)) {
-      sends.push_back(Send{Message::source(), static_cast<Port>(p)});
+    decode_port_list_into(*input.advice, ports_);
+    for (std::uint64_t p : ports_) {
+      out.push_back(Send{Message::source(), static_cast<Port>(p)});
     }
-    return sends;
   }
 
   bool done_ = false;
+  std::vector<std::uint64_t> ports_;  // decode scratch, capacity recycled
 };
 
 }  // namespace

@@ -18,6 +18,7 @@ class WakeupTreeAlgorithm final : public Algorithm {
       const NodeInput& input) const override;
   std::string name() const override { return "wakeup-tree"; }
   bool is_wakeup() const override { return true; }
+  bool reusable() const override { return true; }
 };
 
 }  // namespace oraclesize

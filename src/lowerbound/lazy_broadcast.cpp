@@ -19,10 +19,13 @@ std::uint64_t probe_isolated_clique(std::size_t k, const Algorithm& algorithm,
   // stays silent forever (nothing is ever received), so counting on_start
   // sends decides clique-silence exactly.
   std::uint64_t sends = 0;
+  std::vector<Send> out;
   for (std::size_t a = 1; a <= k; ++a) {
-    const NodeInput input{BitString{}, false, static_cast<Label>(a), k - 1};
+    const NodeInput input{&kNoAdvice, false, static_cast<Label>(a), k - 1};
     auto behavior = algorithm.make_behavior(input);
-    sends += behavior->on_start(input).size();
+    out.clear();
+    behavior->on_start(input, out);
+    sends += out.size();
   }
   return sends;
 }
@@ -166,16 +169,18 @@ LazyBroadcastResult play_lazy_broadcast(std::size_t n, std::size_t k,
   std::priority_queue<PendingMessage, std::vector<PendingMessage>, Later>
       queue;
   std::uint64_t seq = 0;
+  std::vector<Send> sends;  // per-event sink, capacity recycled
 
   auto ensure_behavior = [&](NodeId v, std::int64_t round) {
     if (behaviors[v]) return;
-    inputs[v] = NodeInput{BitString{}, v == 0, static_cast<Label>(v) + 1,
+    inputs[v] = NodeInput{&kNoAdvice, v == 0, static_cast<Label>(v) + 1,
                           instance.is_clique_node(v) ? k - 1 : n - 1};
     behaviors[v] = algorithm.make_behavior(inputs[v]);
     // Clique-silence guarantees this returns no sends, but the scheme is
     // entitled to its empty-history activation; run it when the node
     // materializes.
-    const auto sends = behaviors[v]->on_start(inputs[v]);
+    sends.clear();
+    behaviors[v]->on_start(inputs[v], sends);
     if (!sends.empty()) {
       result.violation = "clique-silence violated at materialization";
     }
@@ -201,10 +206,12 @@ LazyBroadcastResult play_lazy_broadcast(std::size_t n, std::size_t k,
   };
 
   for (NodeId v = 0; v < n && result.violation.empty(); ++v) {
-    inputs[v] = NodeInput{BitString{}, v == 0, static_cast<Label>(v) + 1,
+    inputs[v] = NodeInput{&kNoAdvice, v == 0, static_cast<Label>(v) + 1,
                           n - 1};
     behaviors[v] = algorithm.make_behavior(inputs[v]);
-    submit(v, behaviors[v]->on_start(inputs[v]), 0);
+    sends.clear();
+    behaviors[v]->on_start(inputs[v], sends);
+    submit(v, sends, 0);
   }
 
   auto completed = [&]() {
@@ -221,9 +228,9 @@ LazyBroadcastResult play_lazy_broadcast(std::size_t n, std::size_t k,
     ensure_behavior(pm.to, pm.round);
     if (!result.violation.empty()) break;
     if (pm.sender_informed) informed[pm.to] = true;
-    submit(pm.to, behaviors[pm.to]->on_receive(inputs[pm.to], pm.msg,
-                                               pm.at_port),
-           pm.round);
+    sends.clear();
+    behaviors[pm.to]->on_receive(inputs[pm.to], pm.msg, pm.at_port, sends);
+    submit(pm.to, sends, pm.round);
   }
 
   result.cliques_found = instance.cliques_found();

@@ -145,7 +145,7 @@ LazyWakeupResult play_lazy_wakeup(std::size_t n, const Algorithm& algorithm,
 
   auto ensure_behavior = [&](NodeId v) {
     if (behaviors[v]) return;
-    inputs[v] = NodeInput{BitString{}, v == 0, static_cast<Label>(v) + 1,
+    inputs[v] = NodeInput{&kNoAdvice, v == 0, static_cast<Label>(v) + 1,
                           v < n ? n - 1 : 2};
     behaviors[v] = algorithm.make_behavior(inputs[v]);
   };
@@ -153,6 +153,7 @@ LazyWakeupResult play_lazy_wakeup(std::size_t n, const Algorithm& algorithm,
   std::priority_queue<PendingMessage, std::vector<PendingMessage>, Later>
       queue;
   std::uint64_t seq = 0;
+  std::vector<Send> sends;  // per-event sink, capacity recycled
 
   auto submit = [&](NodeId v, const std::vector<Send>& sends,
                     std::int64_t round) {
@@ -181,7 +182,9 @@ LazyWakeupResult play_lazy_wakeup(std::size_t n, const Algorithm& algorithm,
 
   for (NodeId v = 0; v < n && result.violation.empty(); ++v) {
     ensure_behavior(v);
-    submit(v, behaviors[v]->on_start(inputs[v]), 0);
+    sends.clear();
+    behaviors[v]->on_start(inputs[v], sends);
+    submit(v, sends, 0);
   }
 
   auto completed = [&]() {
@@ -197,9 +200,9 @@ LazyWakeupResult play_lazy_wakeup(std::size_t n, const Algorithm& algorithm,
     queue.pop();
     ensure_behavior(pm.to);
     if (pm.sender_informed) informed[pm.to] = true;
-    submit(pm.to, behaviors[pm.to]->on_receive(inputs[pm.to], pm.msg,
-                                               pm.at_port),
-           pm.round);
+    sends.clear();
+    behaviors[pm.to]->on_receive(inputs[pm.to], pm.msg, pm.at_port, sends);
+    submit(pm.to, sends, pm.round);
   }
 
   result.hidden_found = instance.hidden_count();

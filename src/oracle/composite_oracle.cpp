@@ -62,23 +62,33 @@ std::string CompositeOracle::name() const {
 
 namespace {
 
+// Owns its slice of the composite advice string: NodeInput carries a
+// pointer to the advice, so the projected string must live as long as the
+// behavior that reads it.
 class ProjectedBehavior final : public NodeBehavior {
  public:
-  ProjectedBehavior(NodeInput projected, std::unique_ptr<NodeBehavior> inner)
-      : projected_(std::move(projected)), inner_(std::move(inner)) {}
-
-  std::vector<Send> on_start(const NodeInput& /*composite*/) override {
-    return inner_->on_start(projected_);
+  ProjectedBehavior(const NodeInput& composite, BitString advice,
+                    const Algorithm& inner_algorithm)
+      : advice_(std::move(advice)) {
+    projected_ = composite;
+    projected_.advice = &advice_;
+    inner_ = inner_algorithm.make_behavior(projected_);
   }
-  std::vector<Send> on_receive(const NodeInput& /*composite*/,
-                               const Message& msg, Port from_port) override {
-    return inner_->on_receive(projected_, msg, from_port);
+
+  void on_start(const NodeInput& /*composite*/,
+                std::vector<Send>& out) override {
+    inner_->on_start(projected_, out);
+  }
+  void on_receive(const NodeInput& /*composite*/, const Message& msg,
+                  Port from_port, std::vector<Send>& out) override {
+    inner_->on_receive(projected_, msg, from_port, out);
   }
   bool terminated() const override { return inner_->terminated(); }
   std::uint64_t output() const override { return inner_->output(); }
 
  private:
-  NodeInput projected_;
+  BitString advice_;      // the projected slice, owned
+  NodeInput projected_;   // composite input with advice -> &advice_
   std::unique_ptr<NodeBehavior> inner_;
 };
 
@@ -86,11 +96,9 @@ class ProjectedBehavior final : public NodeBehavior {
 
 std::unique_ptr<NodeBehavior> AdviceProjection::make_behavior(
     const NodeInput& input) const {
-  NodeInput projected = input;
-  projected.advice = split_composite_advice(input.advice, parts_).at(index_);
-  auto inner = inner_.make_behavior(projected);
-  return std::make_unique<ProjectedBehavior>(std::move(projected),
-                                             std::move(inner));
+  BitString slice =
+      split_composite_advice(*input.advice, parts_).at(index_);
+  return std::make_unique<ProjectedBehavior>(input, std::move(slice), inner_);
 }
 
 }  // namespace oraclesize

@@ -34,7 +34,10 @@ std::vector<BitString> PartialTreeOracle::advise(const PortGraph& g,
 
 std::string PartialTreeOracle::name() const {
   std::ostringstream os;
-  os << "partial-tree(" << fraction_ << "," << to_string(tree_) << ")";
+  // The seed is part of the name: names must be parameter-complete so that
+  // equal names imply equal advice (core/advice_cache.h keys on them).
+  os << "partial-tree(" << fraction_ << "," << to_string(tree_) << ",seed="
+     << seed_ << ")";
   return os.str();
 }
 

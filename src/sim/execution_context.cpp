@@ -1,10 +1,32 @@
 #include "sim/execution_context.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 namespace oraclesize {
+
+namespace {
+
+// Violation-message formatting lives in cold helpers so the hot submit path
+// carries no std::ostringstream machinery (construction alone costs a
+// locale grab + buffer allocation).
+[[gnu::cold]] std::string format_wakeup_violation(NodeId v) {
+  std::ostringstream os;
+  os << "wakeup violation: uninformed node " << v << " transmitted";
+  return os.str();
+}
+
+[[gnu::cold]] std::string format_invalid_send(NodeId v, Port port,
+                                              std::size_t degree) {
+  std::ostringstream os;
+  os << "invalid send: node " << v << " port " << port << " (degree " << degree
+     << ")";
+  return os.str();
+}
+
+}  // namespace
 
 std::size_t ExecutionContext::acquire_slot() {
   if (!free_slots_.empty()) {
@@ -54,6 +76,30 @@ ExecutionContext::HeapEntry ExecutionContext::heap_pop() {
   return top;
 }
 
+void ExecutionContext::arm_behaviors(std::size_t n,
+                                     const Algorithm& algorithm) {
+  const bool reusable = algorithm.reusable();
+  const bool pool_matches =
+      reusable && pool_count_ > 0 && pool_algorithm_ == algorithm.name();
+  behaviors_.resize(n);
+  // Pooled behaviors beyond the previous run's node count don't exist; the
+  // reusable prefix is whatever survives both the pool and this run's size.
+  const std::size_t reuse = pool_matches ? std::min(pool_count_, n) : 0;
+  for (NodeId v = 0; v < reuse; ++v) {
+    behaviors_[v]->reset(inputs_[v]);
+  }
+  for (NodeId v = reuse; v < n; ++v) {
+    behaviors_[v] = algorithm.make_behavior(inputs_[v]);
+  }
+  if (reusable) {
+    pool_algorithm_ = algorithm.name();
+    pool_count_ = n;
+  } else {
+    pool_algorithm_.clear();
+    pool_count_ = 0;
+  }
+}
+
 RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
                                 const std::vector<BitString>& advice,
                                 const Algorithm& algorithm,
@@ -72,16 +118,15 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   result.informed_at[source] = 0;
 
   inputs_.resize(n);
-  behaviors_.resize(n);
   link_offset_.resize(n + 1);
   link_offset_[0] = 0;
   for (NodeId v = 0; v < n; ++v) {
-    inputs_[v] = NodeInput{advice[v], v == source,
+    inputs_[v] = NodeInput{&advice[v], v == source,
                            options.anonymous ? Label{0} : g.label(v),
                            g.degree(v)};
-    behaviors_[v] = algorithm.make_behavior(inputs_[v]);
     link_offset_[v + 1] = link_offset_[v] + g.degree(v);
   }
+  arm_behaviors(n, algorithm);
 
   scheduler_.reset(options.scheduler, options.seed, options.max_delay,
                    link_offset_[n]);
@@ -90,8 +135,17 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   free_slots_.clear();
   std::uint64_t seq = 0;
 
-  auto fail = [&](const std::string& what) {
-    if (result.violation.empty()) result.violation = what;
+  if (options.trace) {
+    // Clean runs of the paper's schemes send Theta(n) to Theta(m) messages;
+    // 2m + n covers flooding (2m - (n-1)) and everything sparser without
+    // letting the runaway budget drive a giant up-front allocation.
+    result.trace.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(options.max_messages,
+                                2 * g.num_edges() + n)));
+  }
+
+  auto fail = [&](std::string what) {
+    if (result.violation.empty()) result.violation = std::move(what);
   };
 
   // Validates and enqueues one batch of sends from node v, triggered while
@@ -99,17 +153,12 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   auto submit = [&](NodeId v, const std::vector<Send>& sends,
                     std::int64_t now) {
     if (!sends.empty() && options.enforce_wakeup && !result.informed[v]) {
-      std::ostringstream os;
-      os << "wakeup violation: uninformed node " << v << " transmitted";
-      fail(os.str());
+      fail(format_wakeup_violation(v));
       return;
     }
     for (const Send& s : sends) {
       if (s.port >= g.degree(v)) {
-        std::ostringstream os;
-        os << "invalid send: node " << v << " port " << s.port << " (degree "
-           << g.degree(v) << ")";
-        fail(os.str());
+        fail(format_invalid_send(v, s.port, g.degree(v)));
         return;
       }
       // Budget check BEFORE counting: a run never reports more messages
@@ -138,7 +187,9 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   // Empty-history activations. Node order is irrelevant to correctness
   // (deliveries all happen strictly later) but kept deterministic.
   for (NodeId v = 0; v < n && result.violation.empty(); ++v) {
-    submit(v, behaviors_[v]->on_start(inputs_[v]), 0);
+    sends_.clear();
+    behaviors_[v]->on_start(inputs_[v], sends_);
+    submit(v, sends_, 0);
   }
 
   while (!heap_.empty() && result.violation.empty()) {
@@ -157,9 +208,9 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       result.informed[ev.to] = true;
       result.informed_at[ev.to] = top.key;
     }
-    submit(ev.to, behaviors_[ev.to]->on_receive(inputs_[ev.to], ev.msg,
-                                                ev.at_port),
-           top.key);
+    sends_.clear();
+    behaviors_[ev.to]->on_receive(inputs_[ev.to], ev.msg, ev.at_port, sends_);
+    submit(ev.to, sends_, top.key);
   }
 
   result.terminated.resize(n);

@@ -15,17 +15,26 @@
 //    indices instead of events;
 //  * the scheduler's per-link FIFO clock is a flat vector indexed by the
 //    graph's prefix-summed (node, port) offsets, reset (not rebuilt) per
-//    run.
+//    run;
+//  * behavior objects are pooled: when consecutive runs use algorithms
+//    reporting `Algorithm::reusable()` with the same name(), existing
+//    behaviors are re-armed via `NodeBehavior::reset` instead of being
+//    destroyed and re-`make_behavior`'d — so the steady state of a sweep
+//    performs zero per-node heap allocations per run;
+//  * sends are appended into one scratch vector recycled across events
+//    (the sink protocol of sim/scheme.h).
 //
 // The contract: for a fixed (graph, source, advice, algorithm, options),
 // ExecutionContext::run returns a RunResult bit-identical to
 // run_execution's, regardless of how many runs the context played before —
-// see tests/test_execution_context.cpp. A context is NOT thread-safe; use
-// one per worker (core/batch_runner.h does exactly that).
+// see tests/test_execution_context.cpp and tests/test_behavior_reuse.cpp.
+// A context is NOT thread-safe; use one per worker (core/batch_runner.h
+// does exactly that).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/engine.h"
@@ -70,13 +79,24 @@ class ExecutionContext {
   void heap_push(HeapEntry e);
   HeapEntry heap_pop();
 
+  /// (Re)populates behaviors_[0..n) for this run: pooled behaviors are
+  /// re-armed with reset() when the algorithm allows it, otherwise fresh
+  /// ones are constructed. Updates the pool identity bookkeeping.
+  void arm_behaviors(std::size_t n, const Algorithm& algorithm);
+
   Scheduler scheduler_;
   std::vector<NodeInput> inputs_;
   std::vector<std::unique_ptr<NodeBehavior>> behaviors_;
+  std::vector<Send> sends_;              ///< scratch sink, recycled per event
   std::vector<Event> pool_;              ///< event storage (slots)
   std::vector<HeapEntry> heap_;          ///< binary min-heap over the pool
   std::vector<std::size_t> free_slots_;  ///< recycled pool slots
   std::vector<std::uint64_t> link_offset_;  ///< prefix sums of degrees
+  /// Behavior-pool identity: behaviors_[v] (v < pool_count_) were produced
+  /// by a reusable algorithm named pool_algorithm_ and may be re-armed via
+  /// reset() by any same-named reusable algorithm.
+  std::string pool_algorithm_;
+  std::size_t pool_count_ = 0;
 };
 
 }  // namespace oraclesize

@@ -10,25 +10,24 @@ class ReplayBehavior final : public NodeBehavior {
  public:
   explicit ReplayBehavior(const HistoryScheme& scheme) : scheme_(scheme) {}
 
-  std::vector<Send> on_start(const NodeInput& input) override {
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
     history_.input = input;
-    return advance();
+    advance(out);
   }
 
-  std::vector<Send> on_receive(const NodeInput& /*input*/, const Message& msg,
-                               Port from_port) override {
+  void on_receive(const NodeInput& /*input*/, const Message& msg,
+                  Port from_port, std::vector<Send>& out) override {
     history_.received.emplace_back(msg, from_port);
-    return advance();
+    advance(out);
   }
 
  private:
-  std::vector<Send> advance() {
+  void advance(std::vector<Send>& out) {
     std::vector<Send> all = scheme_(history_);
-    std::vector<Send> fresh(all.begin() + static_cast<std::ptrdiff_t>(
-                                              emitted_),
-                            all.end());
+    out.insert(out.end(),
+               all.begin() + static_cast<std::ptrdiff_t>(emitted_),
+               all.end());
     emitted_ = all.size();
-    return fresh;
   }
 
   const HistoryScheme& scheme_;

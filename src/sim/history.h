@@ -70,14 +70,14 @@ class RecordingBehavior final : public NodeBehavior {
   explicit RecordingBehavior(std::unique_ptr<NodeBehavior> inner)
       : inner_(std::move(inner)) {}
 
-  std::vector<Send> on_start(const NodeInput& input) override {
+  void on_start(const NodeInput& input, std::vector<Send>& out) override {
     history_.input = input;
-    return inner_->on_start(input);
+    inner_->on_start(input, out);
   }
-  std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
-                               Port from_port) override {
+  void on_receive(const NodeInput& input, const Message& msg, Port from_port,
+                  std::vector<Send>& out) override {
     history_.received.emplace_back(msg, from_port);
-    return inner_->on_receive(input, msg, from_port);
+    inner_->on_receive(input, msg, from_port, out);
   }
   bool terminated() const override { return inner_->terminated(); }
   std::uint64_t output() const override { return inner_->output(); }

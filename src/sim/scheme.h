@@ -13,6 +13,20 @@
 // empty set on all histories with no received messages unless the node is
 // the source; the engine can enforce this machine-checkably
 // (RunOptions::enforce_wakeup in sim/engine.h).
+//
+// Hot-path conventions (the engine plays millions of events per sweep):
+//
+//  * NodeInput references its advice string instead of owning a copy — the
+//    oracle's output lives in one table and every per-node input points
+//    into it, so arming n nodes copies n pointers, not n BitStrings.
+//  * on_start/on_receive APPEND their sends into a caller-owned sink
+//    vector instead of returning a fresh std::vector<Send> per event; the
+//    engine clears and reuses one sink for the whole run, eliminating the
+//    per-event allocation.
+//  * Behaviors can opt into pooling: when Algorithm::reusable() is true,
+//    the engine keeps behavior objects alive across runs and re-arms them
+//    with NodeBehavior::reset instead of calling make_behavior n times per
+//    trial (see sim/execution_context.h).
 #pragma once
 
 #include <memory>
@@ -25,10 +39,17 @@
 
 namespace oraclesize {
 
-/// The local knowledge quadruple a node starts with.
+/// Shared empty advice string: the default target of NodeInput::advice, so
+/// advice-less harnesses (lower-bound games, tests) never dangle.
+inline const BitString kNoAdvice{};
+
+/// The local knowledge quadruple a node starts with. Copyable and cheap:
+/// the advice string is referenced, not owned — whoever builds the
+/// NodeInput must keep the pointed-to BitString alive for as long as the
+/// input (or anything that copied it, e.g. a recorded History) is used.
 struct NodeInput {
-  BitString advice;        ///< f(v), the oracle's string for this node
-  bool is_source = false;  ///< s(v)
+  const BitString* advice = &kNoAdvice;  ///< f(v), the oracle's string
+  bool is_source = false;                ///< s(v)
   Label id = 0;            ///< id(v); 0 when the run is anonymous
   std::size_t degree = 0;  ///< deg(v)
 };
@@ -40,19 +61,28 @@ struct Send {
 };
 
 /// Executable scheme for a single node. Implementations keep per-node state
-/// across calls; the engine creates one instance per node per run.
+/// across calls; the engine creates one instance per node per run, or — for
+/// reusable algorithms — re-arms a pooled instance via reset().
+///
+/// on_start/on_receive append their sends to `out` (never clear it); the
+/// caller owns the vector and recycles its capacity across events.
 class NodeBehavior {
  public:
   virtual ~NodeBehavior() = default;
 
   /// Reaction to the empty history, invoked once before any delivery.
-  /// Wakeup schemes must return {} here unless the node is the source.
-  virtual std::vector<Send> on_start(const NodeInput& input) = 0;
+  /// Wakeup schemes must append nothing here unless the node is the source.
+  virtual void on_start(const NodeInput& input, std::vector<Send>& out) = 0;
 
   /// Reaction to a message arriving on local port `from_port`.
-  virtual std::vector<Send> on_receive(const NodeInput& input,
-                                       const Message& msg,
-                                       Port from_port) = 0;
+  virtual void on_receive(const NodeInput& input, const Message& msg,
+                          Port from_port, std::vector<Send>& out) = 0;
+
+  /// Re-arms this behavior to the state a fresh make_behavior(input) would
+  /// produce, retaining internal buffer capacity. Only invoked by engines
+  /// when the owning Algorithm reports reusable(); the default is a no-op,
+  /// correct only for stateless behaviors.
+  virtual void reset(const NodeInput& input) { (void)input; }
 
   /// Local termination: true once this node has finished its part of the
   /// task according to its own state (e.g. the census source after all
@@ -79,6 +109,13 @@ class Algorithm {
 
   /// True for wakeup algorithms; lets harnesses switch on enforcement.
   virtual bool is_wakeup() const { return false; }
+
+  /// Opt-in to behavior pooling: true promises that (a) make_behavior
+  /// ignores everything but the class of the algorithm (any same-name()
+  /// instance produces interchangeable behaviors) and (b) reset(input)
+  /// fully re-arms a behavior for a new run. Engines then keep behavior
+  /// objects across trials instead of reallocating n of them per run.
+  virtual bool reusable() const { return false; }
 };
 
 }  // namespace oraclesize

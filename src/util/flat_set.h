@@ -1,0 +1,42 @@
+// Sorted-vector set operations for the algorithms' hot paths.
+//
+// The paper's schemes keep tiny per-node port sets (K_x, H_x, S_x, pending
+// children). std::set gives the right semantics but costs one heap node per
+// element — fatal for a zero-allocation steady state. A sorted std::vector
+// has identical iteration order (ascending) and set semantics via binary
+// search, while its storage is one buffer that reset() can recycle across
+// runs. These helpers keep call sites as readable as the std::set ones.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace oraclesize {
+
+/// Inserts `value` into the sorted vector `v` if absent. Returns true when
+/// the value was newly inserted (mirrors std::set::insert().second).
+template <typename T>
+bool insert_sorted(std::vector<T>& v, const T& value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it != v.end() && *it == value) return false;
+  v.insert(it, value);
+  return true;
+}
+
+/// Removes `value` from the sorted vector `v` if present. Returns true when
+/// a value was removed (mirrors std::set::erase() != 0).
+template <typename T>
+bool erase_sorted(std::vector<T>& v, const T& value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it == v.end() || *it != value) return false;
+  v.erase(it);
+  return true;
+}
+
+/// Membership test on a sorted vector (mirrors std::set::count() != 0).
+template <typename T>
+bool contains_sorted(const std::vector<T>& v, const T& value) {
+  return std::binary_search(v.begin(), v.end(), value);
+}
+
+}  // namespace oraclesize

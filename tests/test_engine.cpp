@@ -20,26 +20,22 @@ class TestFlood final : public Algorithm {
   class Behavior final : public NodeBehavior {
    public:
     explicit Behavior(bool spontaneous) : spontaneous_(spontaneous) {}
-    std::vector<Send> on_start(const NodeInput& input) override {
-      std::vector<Send> sends;
+    void on_start(const NodeInput& input, std::vector<Send>& out) override {
       if (input.is_source || spontaneous_) {
         for (Port p = 0; p < input.degree; ++p) {
-          sends.push_back(Send{input.is_source ? Message::source()
-                                               : Message::control(1),
-                               p});
+          out.push_back(Send{input.is_source ? Message::source()
+                                             : Message::control(1),
+                             p});
         }
       }
-      return sends;
     }
-    std::vector<Send> on_receive(const NodeInput& input, const Message& msg,
-                                 Port from) override {
-      if (msg.kind != MsgKind::kSource || relayed_) return {};
+    void on_receive(const NodeInput& input, const Message& msg, Port from,
+                    std::vector<Send>& out) override {
+      if (msg.kind != MsgKind::kSource || relayed_) return;
       relayed_ = true;
-      std::vector<Send> sends;
       for (Port p = 0; p < input.degree; ++p) {
-        if (p != from) sends.push_back(Send{Message::source(), p});
+        if (p != from) out.push_back(Send{Message::source(), p});
       }
-      return sends;
     }
 
    private:
@@ -62,14 +58,12 @@ class BadPortAlgorithm final : public Algorithm {
  public:
   class Behavior final : public NodeBehavior {
    public:
-    std::vector<Send> on_start(const NodeInput& input) override {
-      if (!input.is_source) return {};
-      return {Send{Message::control(0), static_cast<Port>(input.degree)}};
+    void on_start(const NodeInput& input, std::vector<Send>& out) override {
+      if (!input.is_source) return;
+      out.push_back(Send{Message::control(0), static_cast<Port>(input.degree)});
     }
-    std::vector<Send> on_receive(const NodeInput&, const Message&,
-                                 Port) override {
-      return {};
-    }
+    void on_receive(const NodeInput&, const Message&, Port,
+                    std::vector<Send>&) override {}
   };
   std::unique_ptr<NodeBehavior> make_behavior(
       const NodeInput&) const override {
@@ -83,13 +77,13 @@ class PingPong final : public Algorithm {
  public:
   class Behavior final : public NodeBehavior {
    public:
-    std::vector<Send> on_start(const NodeInput& input) override {
-      if (!input.is_source) return {};
-      return {Send{Message::source(), 0}};
+    void on_start(const NodeInput& input, std::vector<Send>& out) override {
+      if (!input.is_source) return;
+      out.push_back(Send{Message::source(), 0});
     }
-    std::vector<Send> on_receive(const NodeInput&, const Message&,
-                                 Port from) override {
-      return {Send{Message::source(), from}};
+    void on_receive(const NodeInput&, const Message&, Port from,
+                    std::vector<Send>& out) override {
+      out.push_back(Send{Message::source(), from});
     }
   };
   std::unique_ptr<NodeBehavior> make_behavior(
@@ -238,14 +232,12 @@ TEST(Engine, AnonymousModeHidesIds) {
    public:
     class Behavior final : public NodeBehavior {
      public:
-      std::vector<Send> on_start(const NodeInput& input) override {
-        if (!input.is_source) return {};
-        return {Send{Message::control(input.id), 0}};
+      void on_start(const NodeInput& input, std::vector<Send>& out) override {
+        if (!input.is_source) return;
+        out.push_back(Send{Message::control(input.id), 0});
       }
-      std::vector<Send> on_receive(const NodeInput&, const Message&,
-                                   Port) override {
-        return {};
-      }
+      void on_receive(const NodeInput&, const Message&, Port,
+                      std::vector<Send>&) override {}
     };
     std::unique_ptr<NodeBehavior> make_behavior(
         const NodeInput&) const override {
@@ -317,11 +309,9 @@ TEST(Engine, InformedAtNeverForUnreached) {
    public:
     class Behavior final : public NodeBehavior {
      public:
-      std::vector<Send> on_start(const NodeInput&) override { return {}; }
-      std::vector<Send> on_receive(const NodeInput&, const Message&,
-                                   Port) override {
-        return {};
-      }
+      void on_start(const NodeInput&, std::vector<Send>&) override {}
+      void on_receive(const NodeInput&, const Message&, Port,
+                      std::vector<Send>&) override {}
     };
     std::unique_ptr<NodeBehavior> make_behavior(
         const NodeInput&) const override {

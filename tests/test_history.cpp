@@ -29,7 +29,7 @@ std::vector<Send> wakeup_as_history_function(const History& h) {
   }
   if (!informed) return {};
   std::vector<Send> sends;
-  for (std::uint64_t p : decode_port_list(h.input.advice)) {
+  for (std::uint64_t p : decode_port_list(*h.input.advice)) {
     sends.push_back(Send{Message::source(), static_cast<Port>(p)});
   }
   return sends;
@@ -102,10 +102,12 @@ TEST(RecordingBehavior, CapturesFullHistory) {
   RecordingBehavior rec(std::move(inner));
   NodeInput input;
   input.degree = 3;
-  input.advice = encode_port_list({1}, 2);
-  rec.on_start(input);
-  rec.on_receive(input, Message::source(), 2);
-  rec.on_receive(input, Message::hello(), 0);
+  const BitString adv = encode_port_list({1}, 2);
+  input.advice = &adv;
+  std::vector<Send> sink;
+  rec.on_start(input, sink);
+  rec.on_receive(input, Message::source(), 2, sink);
+  rec.on_receive(input, Message::hello(), 0, sink);
   const History& h = rec.history();
   EXPECT_EQ(h.input.degree, 3u);
   ASSERT_EQ(h.received.size(), 2u);

@@ -20,14 +20,12 @@ class OneShot final : public Algorithm {
  public:
   class Behavior final : public NodeBehavior {
    public:
-    std::vector<Send> on_start(const NodeInput& input) override {
-      if (!input.is_source) return {};
-      return {Send{Message::source(), 0}};
+    void on_start(const NodeInput& input, std::vector<Send>& out) override {
+      if (!input.is_source) return;
+      out.push_back(Send{Message::source(), 0});
     }
-    std::vector<Send> on_receive(const NodeInput&, const Message&,
-                                 Port) override {
-      return {};
-    }
+    void on_receive(const NodeInput&, const Message&, Port,
+                    std::vector<Send>&) override {}
   };
   std::unique_ptr<NodeBehavior> make_behavior(
       const NodeInput&) const override {
@@ -42,13 +40,11 @@ class Cheater final : public Algorithm {
  public:
   class Behavior final : public NodeBehavior {
    public:
-    std::vector<Send> on_start(const NodeInput&) override {
-      return {Send{Message::control(1), 0}};
+    void on_start(const NodeInput&, std::vector<Send>& out) override {
+      out.push_back(Send{Message::control(1), 0});
     }
-    std::vector<Send> on_receive(const NodeInput&, const Message&,
-                                 Port) override {
-      return {};
-    }
+    void on_receive(const NodeInput&, const Message&, Port,
+                    std::vector<Send>&) override {}
   };
   std::unique_ptr<NodeBehavior> make_behavior(
       const NodeInput&) const override {

@@ -17,19 +17,16 @@ class Burst final : public Algorithm {
   class Sender final : public NodeBehavior {
    public:
     explicit Sender(std::uint64_t k) : k_(k) {}
-    std::vector<Send> on_start(const NodeInput& input) override {
-      if (!input.is_source) return {};
-      std::vector<Send> sends;
+    void on_start(const NodeInput& input, std::vector<Send>& out) override {
+      if (!input.is_source) return;
       for (std::uint64_t i = 1; i <= k_; ++i) {
-        sends.push_back(Send{Message::control(i), 0});
+        out.push_back(Send{Message::control(i), 0});
       }
-      return sends;
     }
-    std::vector<Send> on_receive(const NodeInput&, const Message& msg,
-                                 Port) override {
+    void on_receive(const NodeInput&, const Message& msg, Port,
+                    std::vector<Send>&) override {
       if (msg.payload != next_) ordered_ = false;
       ++next_;
-      return {};
     }
     std::uint64_t output() const override { return ordered_ ? 1 : 0; }
 
@@ -127,21 +124,18 @@ TEST(Scheduler, LinkFifoPerLinkOrderOnMultiPortSender) {
     class Behavior final : public NodeBehavior {
      public:
       explicit Behavior(std::uint64_t k) : k_(k) {}
-      std::vector<Send> on_start(const NodeInput& input) override {
-        if (!input.is_source) return {};
-        std::vector<Send> sends;
+      void on_start(const NodeInput& input, std::vector<Send>& out) override {
+        if (!input.is_source) return;
         for (std::uint64_t i = 1; i <= k_; ++i) {
           for (Port p = 0; p < input.degree; ++p) {
-            sends.push_back(Send{Message::control(i), p});
+            out.push_back(Send{Message::control(i), p});
           }
         }
-        return sends;
       }
-      std::vector<Send> on_receive(const NodeInput&, const Message& msg,
-                                   Port) override {
+      void on_receive(const NodeInput&, const Message& msg, Port,
+                      std::vector<Send>&) override {
         if (msg.payload != next_) ordered_ = false;
         ++next_;
-        return {};
       }
       std::uint64_t output() const override { return ordered_ ? 1 : 0; }
 

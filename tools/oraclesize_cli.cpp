@@ -331,18 +331,16 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   } else {
     std::ifstream in(opts.advice_file);
     if (!in) usage("cannot open advice file '" + opts.advice_file + "'");
-    const std::vector<BitString> advice = read_advice(in);
+    std::vector<BitString> advice = read_advice(in);
     if (advice.size() != g.num_nodes()) {
       usage("advice file node count does not match the network");
     }
-    TaskReport report;
-    report.oracle_name = "file:" + opts.advice_file;
-    report.algorithm_name = algorithm->name();
-    report.oracle_bits = oracle_size_bits(advice);
-    report.max_advice_bits = max_advice_bits(advice);
-    if (algorithm->is_wakeup()) run_opts.enforce_wakeup = true;
-    report.run = run_execution(g, opts.source, advice, *algorithm, run_opts);
-    reports.push_back(std::move(report));
+    // Precomputed advice rides in the spec; the oracle is never asked.
+    TrialSpec spec{&g, opts.source, oracle.get(), algorithm, run_opts};
+    spec.advice = std::make_shared<const std::vector<BitString>>(
+        std::move(advice));
+    reports = BatchRunner(opts.jobs).run({spec});
+    reports.front().oracle_name = "file:" + opts.advice_file;
   }
 
   bool all_ok = true;
@@ -360,7 +358,10 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
                 << ", \"messages_total\": " << r.run.metrics.messages_total
                 << ", \"bits_sent\": " << r.run.metrics.bits_sent
                 << ", \"completion_key\": " << r.run.metrics.completion_key
-                << ", \"wall_ns\": " << r.wall_ns << ", \"ok\": "
+                << ", \"wall_ns\": " << r.wall_ns
+                << ", \"advise_ns\": " << r.advise_ns
+                << ", \"run_ns\": " << r.run_ns << ", \"advice_cached\": "
+                << (r.advice_cached ? "true" : "false") << ", \"ok\": "
                 << (r.ok() ? "true" : "false") << "}";
     }
     std::cout << (reports.empty() ? "]\n" : "\n  ]\n") << "}\n";
