@@ -17,6 +17,11 @@
 //   --no-json           skip the JSON file entirely
 //   --no-advice-cache   disable the batch advice-memoization pre-pass
 //                       (the measurement baseline; see core/advice_cache.h)
+//   --fault-rate P      drop each message with probability P (decorates
+//                       every spec's RunOptions before it runs)
+//   --fault-seed S      seed for the fault plan (default 0)
+//   --deadline-ms T     per-trial wall-clock deadline (0 = none)
+//   --retries K         bounded re-seeded retry of transient trial failures
 #pragma once
 
 #include <chrono>
@@ -133,17 +138,28 @@ class Harness {
         json_enabled_ = false;
       } else if (a == "--no-advice-cache") {
         advice_cache_ = false;
+      } else if (a == "--fault-rate") {
+        fault_rate_ = std::stod(next());
+      } else if (a == "--fault-seed") {
+        fault_seed_ = std::stoull(next());
+      } else if (a == "--deadline-ms") {
+        deadline_ms_ = std::stoull(next());
+      } else if (a == "--retries") {
+        retries_ = static_cast<std::uint32_t>(std::stoull(next()));
       } else {
         std::cerr << "error: unknown option '" << a
                   << "' (supported: --jobs N, --json FILE, --no-json, "
-                     "--no-advice-cache)\n";
+                     "--no-advice-cache, --fault-rate P, --fault-seed S, "
+                     "--deadline-ms T, --retries K)\n";
         std::exit(2);
       }
     }
     if (json_enabled_ && json_path_.empty()) {
       json_path_ = "BENCH_" + id_ + ".json";
     }
-    runner_ = BatchRunner(jobs, advice_cache_);
+    const RetryPolicy retry{retries_, 0x9e3779b97f4a7c15ULL,
+                            /*retry_task_failures=*/fault_rate_ > 0};
+    runner_ = BatchRunner(jobs, advice_cache_, retry);
   }
 
   Harness(const Harness&) = delete;
@@ -157,10 +173,25 @@ class Harness {
   bool json_enabled() const { return json_enabled_; }
 
   /// Runs a batch of specs and returns reports in spec order. Pass `stats`
-  /// to receive the batch's advice-cache accounting.
+  /// to receive the batch's advice-cache accounting. When the harness-level
+  /// fault/deadline flags are set, every spec's RunOptions is decorated
+  /// with them before running (a copy — the caller's specs are untouched).
   std::vector<TaskReport> run(const std::vector<TrialSpec>& specs,
                               BatchStats* stats = nullptr) const {
-    return runner_.run(specs, stats);
+    if (fault_rate_ <= 0 && deadline_ms_ == 0) {
+      return runner_.run(specs, stats);
+    }
+    std::vector<TrialSpec> decorated = specs;
+    for (TrialSpec& spec : decorated) {
+      if (fault_rate_ > 0) {
+        spec.options.fault.drop = fault_rate_;
+        spec.options.fault.seed = fault_seed_;
+      }
+      if (deadline_ms_ > 0) {
+        spec.options.deadline_ns = deadline_ms_ * 1'000'000;
+      }
+    }
+    return runner_.run(decorated, stats);
   }
 
   void record(TrialRecord r) { records_.push_back(std::move(r)); }
@@ -205,6 +236,10 @@ class Harness {
   std::string json_path_;
   bool json_enabled_ = true;
   bool advice_cache_ = true;
+  double fault_rate_ = 0.0;
+  std::uint64_t fault_seed_ = 0;
+  std::uint64_t deadline_ms_ = 0;
+  std::uint32_t retries_ = 0;
   BatchRunner runner_{1};
   std::vector<TrialRecord> records_;
 };

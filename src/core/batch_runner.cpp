@@ -30,6 +30,28 @@ struct PreparedAdvice {
   bool cached = false;
 };
 
+/// Extracts a human-readable message from a captured exception.
+std::string what_of(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// The report a trial gets when its execution threw: named like a normal
+/// report, no valid RunResult, status kCrashed, the exception text captured.
+TaskReport error_report(const TrialSpec& spec, std::string what) {
+  TaskReport report;
+  report.oracle_name = spec.oracle->name();
+  report.algorithm_name = spec.algorithm->name();
+  report.error = std::move(what);
+  report.run.status = RunStatus::kCrashed;
+  return report;
+}
+
 TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
                      ExecutionContext& context) {
   TaskReport report;
@@ -61,8 +83,9 @@ TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
 
 }  // namespace
 
-BatchRunner::BatchRunner(std::size_t jobs, bool advice_cache)
-    : jobs_(jobs), advice_cache_(advice_cache) {
+BatchRunner::BatchRunner(std::size_t jobs, bool advice_cache,
+                         RetryPolicy retry)
+    : jobs_(jobs), advice_cache_(advice_cache), retry_(retry) {
   if (jobs_ == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs_ = hw == 0 ? 1 : hw;
@@ -71,6 +94,22 @@ BatchRunner::BatchRunner(std::size_t jobs, bool advice_cache)
 
 std::vector<TaskReport> BatchRunner::run(const std::vector<TrialSpec>& specs,
                                          BatchStats* stats) const {
+  return run_impl(specs, stats, nullptr);
+}
+
+std::vector<TaskReport> BatchRunner::run_rethrow(
+    const std::vector<TrialSpec>& specs, BatchStats* stats) const {
+  std::vector<std::exception_ptr> errors;
+  std::vector<TaskReport> results = run_impl(specs, stats, &errors);
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+std::vector<TaskReport> BatchRunner::run_impl(
+    const std::vector<TrialSpec>& specs, BatchStats* stats,
+    std::vector<std::exception_ptr>* eptrs_out) const {
   for (const TrialSpec& spec : specs) {
     if (spec.graph == nullptr || spec.oracle == nullptr ||
         spec.algorithm == nullptr) {
@@ -159,18 +198,43 @@ std::vector<TaskReport> BatchRunner::run(const std::vector<TrialSpec>& specs,
     }
   }
 
+  // Fault-isolated trial execution with bounded, deterministically
+  // re-seeded retry. Only the worker that claimed trial i touches
+  // errors[i]/results[i], so no synchronization beyond the join is needed.
   auto run_one = [&](std::size_t i, ExecutionContext& context) {
-    if (errors[i]) return;  // advise() already failed for this spec
-    try {
-      results[i] = run_trial(specs[i], prepared[i], context);
-      if (!advice_cache_ && !specs[i].advice) {
-        // Per-trial advise: fold its cost into the batch accounting so
-        // cache on/off totals stay comparable.
-        batch_stats.advise_ns += results[i].advise_ns;
-        ++batch_stats.unique_advice;
+    if (errors[i]) {
+      // The advise() pre-pass already failed this spec; advise failures
+      // are deterministic in the spec, so retrying cannot help.
+      results[i] = error_report(specs[i], what_of(errors[i]));
+      return;
+    }
+    TrialSpec spec = specs[i];
+    std::uint32_t attempt = 0;
+    while (true) {
+      TaskReport report;
+      try {
+        report = run_trial(spec, prepared[i], context);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        report = error_report(specs[i], what_of(errors[i]));
       }
-    } catch (...) {
-      errors[i] = std::current_exception();
+      report.attempts = attempt + 1;
+      const bool transient =
+          report.failed() || report.run.status == RunStatus::kTimeout ||
+          report.run.status == RunStatus::kBudgetExhausted ||
+          (retry_.retry_task_failures &&
+           report.run.status == RunStatus::kTaskFailed);
+      if (!transient || attempt >= retry_.max_retries) {
+        if (!report.failed()) errors[i] = nullptr;  // a retry recovered
+        results[i] = std::move(report);
+        return;
+      }
+      ++attempt;
+      // Re-seed both randomness domains so the next attempt explores a
+      // different schedule/fault draw yet stays a pure function of the
+      // spec and the attempt number.
+      spec.options.seed += retry_.reseed_stride;
+      spec.options.fault.seed += retry_.reseed_stride;
     }
   };
 
@@ -182,8 +246,6 @@ std::vector<TaskReport> BatchRunner::run(const std::vector<TrialSpec>& specs,
     // i, so results are in spec order no matter which worker claims which
     // trial.
     std::atomic<std::size_t> next{0};
-    std::atomic<std::uint64_t> uncached_advise_ns{0};
-    std::atomic<std::size_t> uncached_advises{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
@@ -192,28 +254,27 @@ std::vector<TaskReport> BatchRunner::run(const std::vector<TrialSpec>& specs,
         while (true) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= specs.size()) break;
-          if (errors[i]) continue;
-          try {
-            results[i] = run_trial(specs[i], prepared[i], context);
-            if (!advice_cache_ && !specs[i].advice) {
-              uncached_advise_ns.fetch_add(results[i].advise_ns,
-                                           std::memory_order_relaxed);
-              uncached_advises.fetch_add(1, std::memory_order_relaxed);
-            }
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
+          run_one(i, context);
         }
       });
     }
     for (std::thread& t : pool) t.join();
-    batch_stats.advise_ns += uncached_advise_ns.load();
-    batch_stats.unique_advice += uncached_advises.load();
   }
 
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  // All remaining accounting reads final per-trial reports, so it can run
+  // serially after the join (no atomics needed).
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (results[i].failed()) ++batch_stats.failed;
+    batch_stats.retries += results[i].attempts - 1;
+    if (!advice_cache_ && !specs[i].advice && !results[i].failed()) {
+      // Per-trial advise: fold the (last attempt's) cost into the batch
+      // accounting so cache on/off totals stay comparable.
+      batch_stats.advise_ns += results[i].advise_ns;
+      ++batch_stats.unique_advice;
+    }
   }
+
+  if (eptrs_out != nullptr) *eptrs_out = std::move(errors);
   if (stats != nullptr) *stats = batch_stats;
   return results;
 }

@@ -69,29 +69,61 @@ struct BatchStats {
   /// Specs served precomputed advice (batch duplicates + TrialSpec::advice).
   std::size_t cache_hits = 0;
   std::uint64_t advise_ns = 0;  ///< total time inside advise() calls
+  std::size_t failed = 0;   ///< trials that ended with TaskReport::failed()
+  std::size_t retries = 0;  ///< extra attempts consumed across the batch
+};
+
+/// Bounded retry for transient trial outcomes. A trial is retried (up to
+/// `max_retries` extra attempts) when its attempt threw, timed out, or
+/// exhausted a budget — and, with `retry_task_failures`, when the scheme
+/// failed the task (useful under fault injection, where a different fault
+/// seed can succeed). Each retry RE-SEEDS deterministically: attempt `a`
+/// runs with scheduler and fault seeds shifted by `a * reseed_stride`, so
+/// a retried batch is still a pure function of its specs.
+struct RetryPolicy {
+  std::uint32_t max_retries = 0;  ///< 0 = retry disabled
+  std::uint64_t reseed_stride = 0x9e3779b97f4a7c15ULL;
+  bool retry_task_failures = false;
 };
 
 class BatchRunner {
  public:
   /// `jobs` = number of worker threads; 0 picks the hardware concurrency.
   /// `advice_cache` toggles the batch-wide advice memoization pre-pass.
-  explicit BatchRunner(std::size_t jobs = 0, bool advice_cache = true);
+  /// `retry` bounds re-execution of transient trial failures.
+  explicit BatchRunner(std::size_t jobs = 0, bool advice_cache = true,
+                       RetryPolicy retry = {});
 
   std::size_t jobs() const noexcept { return jobs_; }
   bool advice_cache() const noexcept { return advice_cache_; }
+  const RetryPolicy& retry() const noexcept { return retry_; }
 
   /// Executes every spec and returns one TaskReport per spec, in spec
   /// order. Throws std::invalid_argument on a null graph/oracle/algorithm
-  /// before any trial runs. If a trial (or its advise() pre-pass) throws,
-  /// the lowest-index trial's exception is rethrown after all workers have
-  /// drained — deterministically, independent of jobs(). When `stats` is
-  /// non-null it receives the batch's advice-cache accounting.
+  /// before any trial runs. Trials are FAULT-ISOLATED: a trial (or its
+  /// advise() pre-pass) that throws becomes a TaskReport with failed() set
+  /// and the exception text in `error`, and every other trial still runs —
+  /// a poisoned oracle cannot abort a campaign. When `stats` is non-null
+  /// it receives the batch's accounting, including failure/retry counts.
   std::vector<TaskReport> run(const std::vector<TrialSpec>& specs,
                               BatchStats* stats = nullptr) const;
 
+  /// Like run(), but restores the legacy abort contract: if any trial
+  /// failed, the lowest-index trial's original exception is rethrown after
+  /// the whole batch has drained (deterministic for any jobs()). The
+  /// single-trial path (run_task) uses this to keep throwing typed
+  /// exceptions at its callers.
+  std::vector<TaskReport> run_rethrow(const std::vector<TrialSpec>& specs,
+                                      BatchStats* stats = nullptr) const;
+
  private:
+  std::vector<TaskReport> run_impl(const std::vector<TrialSpec>& specs,
+                                   BatchStats* stats,
+                                   std::vector<std::exception_ptr>* eptrs) const;
+
   std::size_t jobs_;
   bool advice_cache_;
+  RetryPolicy retry_;
 };
 
 }  // namespace oraclesize

@@ -11,7 +11,13 @@ std::string TaskReport::summary() const {
   os << algorithm_name << " + " << oracle_name << ": "
      << (ok() ? "ok" : "FAILED") << ", oracle=" << oracle_bits << " bits, "
      << run.metrics.summary();
+  if (failed()) {
+    os << ", error: " << error;
+  } else if (run.status != RunStatus::kCompleted) {
+    os << ", status: " << to_string(run.status);
+  }
   if (!run.violation.empty()) os << ", violation: " << run.violation;
+  if (attempts > 1) os << ", attempts: " << attempts;
   return os.str();
 }
 
@@ -19,7 +25,7 @@ TaskReport run_task(const PortGraph& g, NodeId source, const Oracle& oracle,
                     const Algorithm& algorithm, RunOptions options) {
   const BatchRunner runner(1);
   std::vector<TaskReport> reports =
-      runner.run({TrialSpec{&g, source, &oracle, &algorithm, options}});
+      runner.run_rethrow({TrialSpec{&g, source, &oracle, &algorithm, options}});
   return std::move(reports.front());
 }
 

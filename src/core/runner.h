@@ -29,9 +29,23 @@ struct TaskReport {
   /// True when this trial's advice was served precomputed rather than via
   /// a fresh advise() call.
   bool advice_cached = false;
+  /// Infrastructure failure captured by BatchRunner's per-trial isolation:
+  /// the exception text of whatever the trial threw (advise(), engine
+  /// precondition, behavior construction). Empty for trials that ran to a
+  /// RunResult — including runs that merely failed the task.
+  std::string error;
+  /// How many times the trial executed: 1 + retries consumed. Always >= 1.
+  std::uint32_t attempts = 1;
   RunResult run;
 
-  bool ok() const { return run.all_informed && run.violation.empty(); }
+  /// The task was solved: the run completed with every node informed and
+  /// no violation (RunStatus::kCompleted subsumes all three checks).
+  bool ok() const {
+    return error.empty() && run.status == RunStatus::kCompleted;
+  }
+  /// The trial itself broke (exception / crash), as opposed to the scheme
+  /// failing the task under faults. failed() trials carry no valid run.
+  bool failed() const { return !error.empty(); }
   std::string summary() const;
 };
 

@@ -1,9 +1,11 @@
 #include "graph/io.h"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "graph/validate.h"
 
 namespace oraclesize {
 
@@ -28,19 +30,66 @@ std::string to_text(const PortGraph& g) {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
+std::string format_parse_error(std::size_t line, const std::string& detail) {
   std::ostringstream os;
-  os << "read_port_graph: line " << line << ": " << what;
-  throw std::invalid_argument(os.str());
+  os << "read_port_graph: ";
+  if (line > 0) os << "line " << line << ": ";
+  os << detail;
+  return os.str();
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw GraphParseError(line, what);
+}
+
+/// Strict unsigned parse: digits only. `operator>>` into an unsigned type
+/// accepts "-5" and wraps it silently — that path must never see hostile
+/// input. Rejects empty tokens, signs, hex/float syntax, and overflow.
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+/// Pulls the next whitespace-separated token off `ls` and strictly parses
+/// it as a u64 below `bound` (exclusive); fails the line otherwise.
+std::uint64_t next_number(std::istringstream& ls, std::size_t lineno,
+                          const char* field, std::uint64_t bound,
+                          const char* bound_what) {
+  std::string token;
+  std::uint64_t value = 0;
+  if (!(ls >> token) || !parse_u64(token, value)) {
+    fail(lineno, std::string("bad ") + field + " (expected an unsigned "
+                     "integer, got '" + token + "')");
+  }
+  if (value >= bound) {
+    fail(lineno, std::string(field) + " " + token + " out of range (" +
+                     bound_what + ")");
+  }
+  return value;
 }
 
 }  // namespace
 
-PortGraph read_port_graph(std::istream& is) {
+GraphParseError::GraphParseError(std::size_t line, const std::string& detail)
+    : std::invalid_argument(format_parse_error(line, detail)),
+      line_(line),
+      detail_(detail) {}
+
+PortGraph read_port_graph(std::istream& is, const ParseLimits& limits) {
   PortGraph g;
   bool seen_header = false;
   std::string line;
   std::size_t lineno = 0;
+  constexpr std::uint64_t kNoBound = std::numeric_limits<std::uint64_t>::max();
   while (std::getline(is, line)) {
     ++lineno;
     const std::size_t hash = line.find('#');
@@ -51,25 +100,38 @@ PortGraph read_port_graph(std::istream& is) {
 
     if (keyword == "portgraph") {
       if (seen_header) fail(lineno, "duplicate header");
-      std::size_t n = 0;
-      if (!(ls >> n)) fail(lineno, "bad node count");
-      g = PortGraph(n);
+      // The limit check precedes construction: `portgraph 4000000000`
+      // must fail here, not inside a giant PortGraph allocation.
+      const std::uint64_t n =
+          next_number(ls, lineno, "node count",
+                      static_cast<std::uint64_t>(limits.max_nodes) + 1,
+                      "exceeds ParseLimits::max_nodes");
+      g = PortGraph(static_cast<std::size_t>(n));
       seen_header = true;
     } else if (keyword == "label") {
       if (!seen_header) fail(lineno, "label before header");
-      NodeId v = 0;
-      Label label = 0;
-      if (!(ls >> v >> label) || v >= g.num_nodes()) {
-        fail(lineno, "bad label line");
-      }
-      g.set_label(v, label);
+      const std::uint64_t v = next_number(ls, lineno, "label node",
+                                          g.num_nodes(), "not a node");
+      const std::uint64_t label =
+          next_number(ls, lineno, "label value", kNoBound, "");
+      g.set_label(static_cast<NodeId>(v), label);
     } else if (keyword == "edge") {
       if (!seen_header) fail(lineno, "edge before header");
-      NodeId u = 0, v = 0;
-      Port pu = 0, pv = 0;
-      if (!(ls >> u >> pu >> v >> pv)) fail(lineno, "bad edge line");
+      // Ports are bounded by the node count too: a node's ports are
+      // 0..deg-1 and deg <= n-1 in a simple graph, so any port >= n is
+      // malformed — and letting it through would let one line drive an
+      // n-sized adjacency row to arbitrary length.
+      const std::uint64_t u =
+          next_number(ls, lineno, "edge endpoint", g.num_nodes(), "not a node");
+      const std::uint64_t pu = next_number(ls, lineno, "edge port",
+                                           g.num_nodes(), "port >= num nodes");
+      const std::uint64_t v =
+          next_number(ls, lineno, "edge endpoint", g.num_nodes(), "not a node");
+      const std::uint64_t pv = next_number(ls, lineno, "edge port",
+                                           g.num_nodes(), "port >= num nodes");
       try {
-        g.add_edge(u, pu, v, pv);
+        g.add_edge(static_cast<NodeId>(u), static_cast<Port>(pu),
+                   static_cast<NodeId>(v), static_cast<Port>(pv));
       } catch (const std::exception& e) {
         fail(lineno, e.what());
       }
@@ -79,15 +141,19 @@ PortGraph read_port_graph(std::istream& is) {
     std::string extra;
     if (ls >> extra) fail(lineno, "trailing tokens");
   }
-  if (!seen_header) {
-    throw std::invalid_argument("read_port_graph: missing header");
-  }
+  if (!seen_header) fail(0, "missing header");
+  // Structural post-check: the per-line checks cannot see port-map holes
+  // (edge on port 2 with port 0 never filled) or any asymmetry a future
+  // format extension might introduce. Nothing downstream has to defend
+  // against a parsed-but-malformed graph.
+  const std::string invalid = validate_ports(g);
+  if (!invalid.empty()) fail(0, "invalid graph: " + invalid);
   return g;
 }
 
-PortGraph from_text(const std::string& text) {
+PortGraph from_text(const std::string& text, const ParseLimits& limits) {
   std::istringstream is(text);
-  return read_port_graph(is);
+  return read_port_graph(is, limits);
 }
 
 }  // namespace oraclesize

@@ -8,22 +8,59 @@
 //
 // Round-trips every PortGraph exactly (structure, ports, labels). Used by
 // the CLI to pipe networks between tools and by users to persist workloads.
+//
+// The parser is hardened against hostile input (tests/test_fuzz.cpp feeds
+// it mutated files): every number is parsed strictly (digits only — no
+// sign-wrapping through `operator>>` into unsigned), resource-exhausting
+// node counts are rejected by ParseLimits BEFORE any allocation, ports are
+// range-checked before they can drive adjacency growth, and the finished
+// graph is structurally validated (no port holes, symmetric neighbor
+// relation). Every rejection is a GraphParseError carrying the offending
+// line number.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/port_graph.h"
 
 namespace oraclesize {
 
+/// Caps guarding the parser against resource exhaustion: a one-line file
+/// `portgraph 4000000000` must not be able to drive a multi-gigabyte
+/// allocation. Ports need no separate cap — a simple graph's ports are
+/// strictly below its node count, and the parser enforces exactly that.
+struct ParseLimits {
+  std::size_t max_nodes = std::size_t{1} << 24;
+};
+
+/// Structured parse failure: the 1-based line of the offending input (0
+/// when the failure is about the file as a whole, e.g. a missing header)
+/// and the bare diagnostic. Derives from std::invalid_argument so existing
+/// catch sites keep working; what() combines both parts.
+class GraphParseError : public std::invalid_argument {
+ public:
+  GraphParseError(std::size_t line, const std::string& detail);
+
+  std::size_t line() const noexcept { return line_; }
+  const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::size_t line_;
+  std::string detail_;
+};
+
 /// Writes g in the text format above.
 void write_port_graph(std::ostream& os, const PortGraph& g);
 std::string to_text(const PortGraph& g);
 
-/// Parses the text format. Throws std::invalid_argument with a line number
-/// on any malformed input.
-PortGraph read_port_graph(std::istream& is);
-PortGraph from_text(const std::string& text);
+/// Parses the text format. Throws GraphParseError (an
+/// std::invalid_argument) with line context on any malformed input; never
+/// asserts or invokes UB, whatever the bytes. The returned graph always
+/// satisfies validate_ports (graph/validate.h).
+PortGraph read_port_graph(std::istream& is, const ParseLimits& limits = {});
+PortGraph from_text(const std::string& text, const ParseLimits& limits = {});
 
 }  // namespace oraclesize

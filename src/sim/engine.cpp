@@ -6,6 +6,22 @@
 
 namespace oraclesize {
 
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kTaskFailed:
+      return "task_failed";
+    case RunStatus::kTimeout:
+      return "timeout";
+    case RunStatus::kBudgetExhausted:
+      return "budget_exhausted";
+    case RunStatus::kCrashed:
+      return "crashed";
+  }
+  return "unknown";
+}
+
 std::uint64_t RunResult::max_node_sends() const {
   std::uint64_t best = 0;
   for (std::uint64_t s : sends_by_node) best = std::max(best, s);

@@ -17,11 +17,34 @@
 
 #include "bitio/bitstring.h"
 #include "graph/port_graph.h"
+#include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
 #include "sim/scheme.h"
 
 namespace oraclesize {
+
+/// Structured outcome of one execution. A run always terminates with
+/// exactly one of these instead of looping or throwing for anything the
+/// scheme (or the injected faults) did:
+///  * kCompleted       — event queue drained, no violation, task criterion
+///                       (all nodes informed) met;
+///  * kTaskFailed      — the run ended cleanly but the task was not solved
+///                       (uninformed nodes, a wakeup/port violation, or a
+///                       behavior that threw on corrupted advice);
+///  * kTimeout         — RunOptions::deadline_ns elapsed mid-run;
+///  * kBudgetExhausted — the event or message budget ran out;
+///  * kCrashed         — the trial infrastructure itself threw (set by
+///                       BatchRunner, never by the engine).
+enum class RunStatus : std::uint8_t {
+  kCompleted,
+  kTaskFailed,
+  kTimeout,
+  kBudgetExhausted,
+  kCrashed,
+};
+
+const char* to_string(RunStatus status);
 
 struct RunOptions {
   SchedulerKind scheduler = SchedulerKind::kSynchronous;
@@ -31,10 +54,22 @@ struct RunOptions {
   bool enforce_wakeup = false;  ///< flag transmissions by uninformed nodes
   bool anonymous = false;       ///< hide id(v) from the algorithm (pass 0)
   bool trace = false;           ///< record every transmission (tests only)
+  /// Deterministic fault injection (sim/fault_plan.h). The default plan is
+  /// disabled: the run takes the legacy reliable-network path bit for bit.
+  FaultPlanParams fault;
+  /// Wall-clock cap on one run; 0 = none. A run that exceeds it stops with
+  /// RunStatus::kTimeout. NOTE: the only machine-dependent knob — runs
+  /// racing a deadline are not reproducible across hosts.
+  std::uint64_t deadline_ns = 0;
+  /// Cap on delivered events; 0 = none. Exceeding it stops the run with
+  /// RunStatus::kBudgetExhausted (deterministic, unlike deadline_ns).
+  std::uint64_t max_events = 0;
 };
 
 struct RunResult {
   Metrics metrics;
+  RunStatus status = RunStatus::kCompleted;  ///< structured outcome
+  FaultCounters faults;  ///< what the fault plan did (all zero when disabled)
   std::vector<bool> informed;  ///< per node
   bool all_informed = false;   ///< the task's success criterion
   /// Empty when the run is clean; otherwise the first violation detected

@@ -1,6 +1,7 @@
 #include "sim/execution_context.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -24,6 +25,12 @@ namespace {
   os << "invalid send: node " << v << " port " << port << " (degree " << degree
      << ")";
   return os.str();
+}
+
+[[gnu::cold]] std::string format_behavior_exception(const char* what) {
+  std::string s = "behavior exception: ";
+  s += what;
+  return s;
 }
 
 }  // namespace
@@ -117,16 +124,61 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   result.informed_at.assign(n, RunResult::kNeverInformed);
   result.informed_at[source] = 0;
 
+  auto fail = [&](std::string what) {
+    if (result.violation.empty()) result.violation = std::move(what);
+  };
+
+  // Everything fault-related is gated on `faulty`: the disabled plan takes
+  // the legacy code path bit for bit and allocates nothing new (the
+  // zero-allocation steady state is audited by tests/test_zero_alloc.cpp).
+  const bool faulty = options.fault.enabled();
+  const std::vector<BitString>* advice_used = &advice;
+  if (faulty) {
+    fault_plan_.arm(options.fault, n, source);
+    result.faults.crashed_nodes = fault_plan_.num_crashed();
+    if (fault_plan_.corrupts_advice()) {
+      result.faults.advice_bits_flipped =
+          fault_plan_.corrupt_advice(advice, corrupted_advice_);
+      advice_used = &corrupted_advice_;
+    }
+  }
+  const bool message_faulty = faulty && fault_plan_.message_faults();
+
   inputs_.resize(n);
   link_offset_.resize(n + 1);
   link_offset_[0] = 0;
   for (NodeId v = 0; v < n; ++v) {
-    inputs_[v] = NodeInput{&advice[v], v == source,
+    inputs_[v] = NodeInput{&(*advice_used)[v], v == source,
                            options.anonymous ? Label{0} : g.label(v),
                            g.degree(v)};
     link_offset_[v + 1] = link_offset_[v] + g.degree(v);
   }
-  arm_behaviors(n, algorithm);
+
+  // Corrupted advice can make behavior constructors (which decode it)
+  // throw. Only a faulty run absorbs that into a structured failure; a
+  // reliable run keeps the legacy contract of letting it propagate.
+  bool armed = true;
+  if (faulty) {
+    try {
+      arm_behaviors(n, algorithm);
+    } catch (const std::exception& e) {
+      // A partial arm leaves behaviors_ inconsistent with the pool
+      // bookkeeping; drop both so the next run rebuilds from scratch.
+      behaviors_.clear();
+      pool_algorithm_.clear();
+      pool_count_ = 0;
+      fail(format_behavior_exception(e.what()));
+      armed = false;
+    }
+  } else {
+    arm_behaviors(n, algorithm);
+  }
+  if (!armed) {
+    result.terminated.assign(n, false);
+    result.outputs.assign(n, 0);
+    result.status = RunStatus::kTaskFailed;
+    return result;
+  }
 
   scheduler_.reset(options.scheduler, options.seed, options.max_delay,
                    link_offset_[n]);
@@ -144,9 +196,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
                                 2 * g.num_edges() + n)));
   }
 
-  auto fail = [&](std::string what) {
-    if (result.violation.empty()) result.violation = std::move(what);
-  };
+  bool budget_hit = false;
 
   // Validates and enqueues one batch of sends from node v, triggered while
   // processing an event with key `now`.
@@ -165,6 +215,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       // than it was allowed to send (metrics.messages_total <= max_messages
       // is an invariant even on violating runs).
       if (result.metrics.messages_total >= options.max_messages) {
+        budget_hit = true;
         fail("message budget exceeded");
         return;
       }
@@ -176,28 +227,104 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
                                           result.informed[v], now});
       }
       const std::uint64_t link = link_offset_[v] + s.port;
-      const std::size_t slot = acquire_slot();
-      pool_[slot] = Event{dst.node, dst.port, s.msg, result.informed[v]};
-      heap_push(
-          HeapEntry{scheduler_.delivery_key(now, seq, link), seq, slot});
-      ++seq;
+      // The message's fate is decided once, at submit time, keyed on
+      // (seq, link) — a send counts toward metrics even when the network
+      // then drops it (the node did transmit).
+      FaultPlan::MessageFault mf;
+      if (message_faulty) mf = fault_plan_.message_fault(seq, link);
+      if (mf.drop) {
+        ++result.faults.dropped;
+        ++seq;  // the dropped message still consumes its sequence number
+        continue;
+      }
+      if (mf.duplicate) ++result.faults.duplicated;
+      if (mf.extra_delay > 0) ++result.faults.delayed;
+      const int copies = mf.duplicate ? 2 : 1;
+      for (int c = 0; c < copies; ++c) {
+        const std::size_t slot = acquire_slot();
+        pool_[slot] = Event{dst.node, dst.port, s.msg, result.informed[v]};
+        heap_push(HeapEntry{scheduler_.delivery_key(now, seq, link) +
+                                static_cast<std::int64_t>(mf.extra_delay),
+                            seq, slot});
+        ++seq;
+      }
+    }
+  };
+
+  // A behavior call on a faulty run may throw (corrupted advice feeding a
+  // decoder); absorb it into a structured violation there. Reliable runs
+  // keep the legacy propagate-to-caller contract.
+  auto invoke_start = [&](NodeId v) {
+    if (!faulty) {
+      behaviors_[v]->on_start(inputs_[v], sends_);
+      return true;
+    }
+    try {
+      behaviors_[v]->on_start(inputs_[v], sends_);
+      return true;
+    } catch (const std::exception& e) {
+      fail(format_behavior_exception(e.what()));
+      return false;
+    }
+  };
+  auto invoke_receive = [&](NodeId v, const Message& msg, Port at_port) {
+    if (!faulty) {
+      behaviors_[v]->on_receive(inputs_[v], msg, at_port, sends_);
+      return true;
+    }
+    try {
+      behaviors_[v]->on_receive(inputs_[v], msg, at_port, sends_);
+      return true;
+    } catch (const std::exception& e) {
+      fail(format_behavior_exception(e.what()));
+      return false;
     }
   };
 
   // Empty-history activations. Node order is irrelevant to correctness
   // (deliveries all happen strictly later) but kept deterministic.
   for (NodeId v = 0; v < n && result.violation.empty(); ++v) {
+    // A node whose crash key is <= 0 is down before its activation fires.
+    if (faulty && fault_plan_.crash_key(v) <= 0) continue;
     sends_.clear();
-    behaviors_[v]->on_start(inputs_[v], sends_);
+    if (!invoke_start(v)) break;
     submit(v, sends_, 0);
   }
 
+  const bool has_deadline = options.deadline_ns > 0;
+  std::chrono::steady_clock::time_point deadline_at;
+  if (has_deadline) {
+    deadline_at = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(options.deadline_ns);
+  }
+  std::uint64_t processed = 0;
+  bool timed_out = false;
+  bool events_exhausted = false;
+
   while (!heap_.empty() && result.violation.empty()) {
+    if (options.max_events > 0 && processed >= options.max_events) {
+      events_exhausted = true;
+      break;
+    }
+    // The clock check is amortized: one steady_clock read per 1024 events
+    // keeps the reliable fast path free of syscall-ish overhead.
+    if (has_deadline && (processed & 1023u) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_at) {
+      timed_out = true;
+      break;
+    }
+    ++processed;
     const HeapEntry top = heap_pop();
     // Move the event out before recycling its slot: submit() below may
     // acquire slots and grow the pool, invalidating references into it.
     Event ev = std::move(pool_[top.slot]);
     free_slots_.push_back(top.slot);
+    // Crash-stop: node v processes events with key strictly below its
+    // crash key; anything at or after it lands on a dead node.
+    if (faulty && top.key >= fault_plan_.crash_key(ev.to)) {
+      ++result.faults.dead_deliveries;
+      continue;
+    }
     ++result.metrics.deliveries;
     if (top.key > result.metrics.completion_key) {
       result.metrics.completion_key = top.key;
@@ -209,7 +336,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       result.informed_at[ev.to] = top.key;
     }
     sends_.clear();
-    behaviors_[ev.to]->on_receive(inputs_[ev.to], ev.msg, ev.at_port, sends_);
+    if (!invoke_receive(ev.to, ev.msg, ev.at_port)) break;
     submit(ev.to, sends_, top.key);
   }
 
@@ -220,6 +347,15 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     result.outputs[v] = behaviors_[v]->output();
   }
   result.all_informed = (result.informed_count() == n);
+  if (timed_out) {
+    result.status = RunStatus::kTimeout;
+  } else if (events_exhausted || budget_hit) {
+    result.status = RunStatus::kBudgetExhausted;
+  } else if (!result.violation.empty() || !result.all_informed) {
+    result.status = RunStatus::kTaskFailed;
+  } else {
+    result.status = RunStatus::kCompleted;
+  }
   return result;
 }
 

@@ -85,6 +85,10 @@ class ExecutionContext {
   void arm_behaviors(std::size_t n, const Algorithm& algorithm);
 
   Scheduler scheduler_;
+  FaultPlan fault_plan_;
+  /// Scratch for FaultPlan::corrupt_advice — trials share immutable advice
+  /// vectors, so corruption writes a private copy here instead.
+  std::vector<BitString> corrupted_advice_;
   std::vector<NodeInput> inputs_;
   std::vector<std::unique_ptr<NodeBehavior>> behaviors_;
   std::vector<Send> sends_;              ///< scratch sink, recycled per event

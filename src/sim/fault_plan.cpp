@@ -1,0 +1,96 @@
+#include "sim/fault_plan.h"
+
+#include "util/rng.h"
+
+namespace oraclesize {
+
+namespace {
+
+// Domain-separation tags: each fault family draws from its own keyed
+// stream so that, e.g., enabling crashes never perturbs which messages a
+// given seed drops.
+constexpr std::uint64_t kMessageTag = 0x6d657373616765ULL;  // "message"
+constexpr std::uint64_t kCrashTag = 0x637261736864ULL;      // "crashd"
+constexpr std::uint64_t kAdviceTag = 0x616476696365ULL;     // "advice"
+
+// SplitMix64 finalizer: the stateless mixer behind the counter-based
+// keying. Using the same constants as Rng keeps the whole fault layer on
+// one documented generator family.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng keyed_rng(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+              std::uint64_t b) noexcept {
+  return Rng(mix64(seed ^ mix64(tag ^ mix64(a ^ mix64(b)))));
+}
+
+}  // namespace
+
+void FaultPlan::arm(const FaultPlanParams& params, std::size_t num_nodes,
+                    NodeId source) {
+  params_ = params;
+  if (params_.max_extra_delay == 0) params_.max_extra_delay = 1;
+  message_faults_ =
+      params_.drop > 0 || params_.duplicate > 0 || params_.delay > 0;
+  crash_at_.clear();
+  num_crashed_ = 0;
+  if (params_.crash <= 0) return;
+  crash_at_.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (v == source && !params_.crash_source) {
+      crash_at_[v] = kNoCrash;
+      continue;
+    }
+    Rng rng = keyed_rng(params_.seed, kCrashTag, v, 0);
+    if (rng.chance(params_.crash)) {
+      crash_at_[v] = rng.range(0, params_.max_crash_key);
+      ++num_crashed_;
+    } else {
+      crash_at_[v] = kNoCrash;
+    }
+  }
+}
+
+FaultPlan::MessageFault FaultPlan::message_fault(std::uint64_t seq,
+                                                 std::uint64_t link) const {
+  MessageFault fault;
+  if (!message_faults_) return fault;
+  Rng rng = keyed_rng(params_.seed, kMessageTag, seq, link);
+  if (params_.drop > 0 && rng.chance(params_.drop)) {
+    fault.drop = true;
+    return fault;  // a lost message can be neither duplicated nor delayed
+  }
+  if (params_.duplicate > 0) fault.duplicate = rng.chance(params_.duplicate);
+  if (params_.delay > 0 && rng.chance(params_.delay)) {
+    fault.extra_delay =
+        1 + static_cast<std::uint32_t>(rng.below(params_.max_extra_delay));
+  }
+  return fault;
+}
+
+std::uint64_t FaultPlan::corrupt_advice(const std::vector<BitString>& in,
+                                        std::vector<BitString>& out) const {
+  out.clear();
+  out.reserve(in.size());
+  std::uint64_t flipped = 0;
+  for (NodeId v = 0; v < in.size(); ++v) {
+    Rng rng = keyed_rng(params_.seed, kAdviceTag, v, in[v].size());
+    BitString s;
+    for (std::size_t i = 0; i < in[v].size(); ++i) {
+      bool bit = in[v].bit(i);
+      if (rng.chance(params_.advice_flip)) {
+        bit = !bit;
+        ++flipped;
+      }
+      s.append_bit(bit);
+    }
+    out.push_back(std::move(s));
+  }
+  return flipped;
+}
+
+}  // namespace oraclesize

@@ -57,4 +57,39 @@ fi
 
 "$CLI" gen torus 5 5 | "$CLI" stats | grep -q "diameter" || fail "stats"
 
+# Fault-injection flags. Rate 0 is the reliable network and must stay ok.
+"$CLI" run broadcast --fault-rate 0 --fault-seed 7 < "$TMP/net.txt" \
+  > "$TMP/out.txt" || fail "fault-rate 0"
+grep -q ': ok,' "$TMP/out.txt" || fail "fault-rate 0 not ok"
+
+# Dropping every message fails the task: a REPORTABLE result (exit 1),
+# distinct from an infrastructure error (exit 2).
+set +e
+"$CLI" run flooding --fault-rate 1 --fault-seed 7 < "$TMP/net.txt" \
+  > "$TMP/out.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "full drop should exit 1 (got $rc)"
+grep -q 'status: task_failed' "$TMP/out.txt" || fail "full drop status"
+
+# JSON records carry status and (retried) attempt counts; the same seeds
+# must reproduce the same records.
+set +e
+"$CLI" run flooding --fault-rate 0.4 --fault-seed 3 --retries 2 --json \
+  < "$TMP/net.txt" > "$TMP/f1.json" 2>&1
+"$CLI" run flooding --fault-rate 0.4 --fault-seed 3 --retries 2 --json \
+  < "$TMP/net.txt" > "$TMP/f2.json" 2>&1
+set -e
+grep -q '"status":' "$TMP/f1.json" || fail "json status field"
+grep -q '"attempts":' "$TMP/f1.json" || fail "json attempts field"
+strip_timing() { sed -E 's/"(wall|advise|run)_ns": [0-9]+/"\1_ns": X/g' "$1"; }
+[ "$(strip_timing "$TMP/f1.json")" = "$(strip_timing "$TMP/f2.json")" ] \
+  || fail "faulty run not reproducible"
+
+# A deadline terminates structurally (timeout is a failed task, not a crash).
+set +e
+"$CLI" run broadcast --deadline-ms 1 < "$TMP/net.txt" >/dev/null 2>&1
+[ $? -le 1 ] || fail "deadline should not be an infrastructure error"
+set -e
+
 echo "cli smoke: all checks passed"

@@ -237,14 +237,15 @@ TEST(AdviceCache, TrialSpecPrecomputedAdviceIsHonored) {
   EXPECT_EQ(reports[0].oracle_bits, direct[0].oracle_bits);
 }
 
-TEST(AdviceCache, AdviseExceptionRethrowsDeterministically) {
+TEST(AdviceCache, AdviseExceptionIsIsolatedPerTrial) {
   const PortGraph g = make_path(6);
   const ThrowingOracle throwing;
   const NullOracle null;
   const FloodingAlgorithm algorithm;
 
-  // Healthy trials around the poisoned group: the batch must rethrow the
-  // (lowest-index) advise failure for any job count, cache on or off.
+  // Healthy trials around a poisoned group: every poisoned trial reports
+  // the advise failure on itself, the healthy trials still run — for any
+  // job count, cache on or off.
   std::vector<TrialSpec> specs;
   specs.push_back(TrialSpec{&g, 0, &null, &algorithm, RunOptions{}});
   specs.push_back(TrialSpec{&g, 0, &throwing, &algorithm, RunOptions{}});
@@ -253,14 +254,30 @@ TEST(AdviceCache, AdviseExceptionRethrowsDeterministically) {
 
   for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
     for (bool cached : {true, false}) {
-      EXPECT_THROW(BatchRunner(jobs, cached).run(specs), std::runtime_error)
-          << "jobs=" << jobs << " cache=" << cached;
+      BatchStats stats;
+      const auto reports = BatchRunner(jobs, cached).run(specs, &stats);
+      ASSERT_EQ(reports.size(), 4u) << "jobs=" << jobs << " cache=" << cached;
+      EXPECT_EQ(stats.failed, 2u);
+      for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+        EXPECT_TRUE(reports[i].failed());
+        EXPECT_EQ(reports[i].run.status, RunStatus::kCrashed);
+        EXPECT_NE(reports[i].error.find("no advice today"), std::string::npos)
+            << reports[i].error;
+      }
+      for (std::size_t i : {std::size_t{0}, std::size_t{3}}) {
+        EXPECT_FALSE(reports[i].failed()) << i;
+        EXPECT_TRUE(reports[i].ok()) << i;
+      }
     }
   }
-  // With the cache on, the whole duplicate group shares one advise() call.
+  // With the cache on, the whole poisoned group shares ONE advise() call
+  // (the poisoned cache entry is replayed, not recomputed).
   throwing.calls = 0;
-  EXPECT_THROW(BatchRunner(4, true).run(specs), std::runtime_error);
+  BatchRunner(4, true).run(specs);
   EXPECT_EQ(throwing.calls.load(), 1u);
+  // run_rethrow restores the legacy abort contract for callers that want
+  // the typed exception back.
+  EXPECT_THROW(BatchRunner(4, true).run_rethrow(specs), std::runtime_error);
 }
 
 TEST(AdviceCache, CacheOffStillCountsAdviseTime) {

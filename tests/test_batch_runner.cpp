@@ -147,7 +147,7 @@ TEST(BatchRunner, NullSpecPointersThrow) {
                std::invalid_argument);
 }
 
-TEST(BatchRunner, BadSourceRethrowsFromWorkers) {
+TEST(BatchRunner, BadSourceIsIsolatedToItsTrial) {
   const PortGraph g = make_path(4);
   const NullOracle oracle;
   const FloodingAlgorithm algorithm;
@@ -157,9 +157,26 @@ TEST(BatchRunner, BadSourceRethrowsFromWorkers) {
   }
   specs[3].source = 999;  // out of range -> the engine throws
   for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
-    EXPECT_THROW(BatchRunner(jobs).run(specs), std::invalid_argument)
-        << "jobs=" << jobs;
+    BatchStats stats;
+    const auto reports = BatchRunner(jobs).run(specs, &stats);
+    ASSERT_EQ(reports.size(), specs.size()) << "jobs=" << jobs;
+    EXPECT_EQ(stats.failed, 1u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (i == 3) {
+        EXPECT_TRUE(reports[i].failed());
+        EXPECT_FALSE(reports[i].ok());
+        EXPECT_EQ(reports[i].run.status, RunStatus::kCrashed);
+        EXPECT_NE(reports[i].error.find("bad source"), std::string::npos)
+            << reports[i].error;
+      } else {
+        EXPECT_FALSE(reports[i].failed()) << i;
+        EXPECT_TRUE(reports[i].ok()) << i;
+      }
+    }
   }
+  // The single-trial convenience path keeps the legacy typed-throw contract.
+  EXPECT_THROW(run_task(g, 999, oracle, algorithm), std::invalid_argument);
+  EXPECT_THROW(BatchRunner(1).run_rethrow(specs), std::invalid_argument);
 }
 
 TEST(BatchRunner, EmptyBatchIsEmpty) {

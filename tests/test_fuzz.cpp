@@ -11,6 +11,8 @@
 //   * anonymity: hiding ids changes nothing (checked via totals).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/broadcast_b.h"
 #include "core/census.h"
 #include "core/gossip.h"
@@ -18,6 +20,7 @@
 #include "core/runner.h"
 #include "core/wakeup.h"
 #include "graph/builders.h"
+#include "graph/io.h"
 #include "graph/light_tree.h"
 #include "graph/validate.h"
 #include "oracle/light_broadcast_oracle.h"
@@ -109,6 +112,73 @@ TEST_P(FuzzSweep, AllPaperInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Range<std::uint64_t>(0, 40));
+
+// Loader fuzz: mutated serializations must either parse into a graph that
+// passes validate_ports, or throw GraphParseError — never assert, loop,
+// exhaust memory, or hand back a structurally broken graph.
+class LoaderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoaderFuzz, MutatedInputParsesCleanlyOrThrowsStructured) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x2545f4914f6cdd1dULL + 7);
+
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.below(40));
+  const PortGraph g = make_random_connected(n, rng.unit() * 0.3, rng);
+  std::string text = to_text(g);
+
+  // A tight node cap so even "fix one digit" mutations that inflate the
+  // header are rejected cheaply instead of allocating.
+  const ParseLimits limits{/*max_nodes=*/10'000};
+
+  // The unmutated round trip must survive the hardened parser.
+  EXPECT_EQ(validate_ports(from_text(text, limits)), "");
+
+  const std::size_t mutations = 1 + static_cast<std::size_t>(rng.below(8));
+  for (std::size_t m = 0; m < mutations && !text.empty(); ++m) {
+    switch (rng.below(5)) {
+      case 0:  // flip one character to random printable junk
+        text[rng.below(text.size())] =
+            static_cast<char>(' ' + rng.below(95));
+        break;
+      case 1:  // truncate mid-file
+        text.resize(rng.below(text.size()) + 1);
+        break;
+      case 2: {  // duplicate a random chunk (repeated edges/headers)
+        const std::size_t at = rng.below(text.size());
+        const std::size_t len =
+            std::min<std::size_t>(text.size() - at, 1 + rng.below(40));
+        text.insert(at, text.substr(at, len));
+        break;
+      }
+      case 3:  // splice in a hostile line
+        text += (rng.chance(0.5) ? "\nportgraph 4000000000\n"
+                                 : "\nedge 0 -1 1 999999999\n");
+        break;
+      case 4: {  // delete a random chunk
+        const std::size_t at = rng.below(text.size());
+        const std::size_t len =
+            std::min<std::size_t>(text.size() - at, 1 + rng.below(20));
+        text.erase(at, len);
+        break;
+      }
+    }
+  }
+
+  try {
+    const PortGraph parsed = from_text(text, limits);
+    // Accepted input must yield a structurally sound graph within limits.
+    EXPECT_EQ(validate_ports(parsed), "");
+    EXPECT_LE(parsed.num_nodes(), limits.max_nodes);
+  } catch (const GraphParseError& e) {
+    // Structured rejection: line context present for line-level failures,
+    // and the what() string embeds the same diagnostic.
+    EXPECT_FALSE(e.detail().empty());
+    EXPECT_NE(std::string(e.what()).find(e.detail()), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoaderFuzz,
+                         ::testing::Range<std::uint64_t>(0, 60));
 
 }  // namespace
 }  // namespace oraclesize

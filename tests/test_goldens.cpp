@@ -62,6 +62,42 @@ TEST(Goldens, CompleteGraphOracleSizes) {
   EXPECT_EQ(oracle_size_bits(LightBroadcastOracle().advise(k, 0)), 252u);
 }
 
+TEST(Goldens, ZeroFaultPlanIsInvisible) {
+  // A fault plan with a seed but all probabilities zero must leave every
+  // golden above untouched — the fault layer's "costs nothing, changes
+  // nothing" contract at the report level.
+  const PortGraph g = golden_graph();
+  RunOptions opts;
+  opts.fault.seed = 123456789;
+  const TaskReport b =
+      run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm(), opts);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.run.status, RunStatus::kCompleted);
+  EXPECT_EQ(b.oracle_bits, 396u);
+  EXPECT_EQ(b.run.metrics.messages_total, 197u);
+  EXPECT_EQ(b.run.metrics.messages_hello, 98u);
+  EXPECT_EQ(b.run.faults, FaultCounters{});
+}
+
+TEST(Goldens, FaultyBroadcastRun) {
+  // One pinned faulty execution: moves only if the fault keying, the
+  // scheduler interaction, or the engine's delivery order changes.
+  const PortGraph g = golden_graph();
+  RunOptions opts;
+  opts.fault.seed = 2026;
+  opts.fault.drop = 0.05;
+  opts.fault.duplicate = 0.05;
+  opts.fault.delay = 0.1;
+  const TaskReport b =
+      run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm(), opts);
+  EXPECT_EQ(b.run.status, RunStatus::kTaskFailed);
+  EXPECT_EQ(b.run.metrics.messages_total, 194u);
+  EXPECT_EQ(b.run.faults.dropped, 2u);
+  EXPECT_EQ(b.run.faults.duplicated, 7u);
+  EXPECT_EQ(b.run.faults.delayed, 21u);
+  EXPECT_EQ(b.run.informed_count(), 97u);
+}
+
 TEST(Goldens, AsyncCensusBits) {
   const PortGraph g = golden_graph();
   RunOptions opts;

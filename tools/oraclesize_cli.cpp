@@ -9,6 +9,7 @@
 //   run <task> [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]
 //       [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]
 //       [--advice-file F] [--all-sources] [--jobs N] [--json]
+//       [--fault-rate P] [--fault-seed S] [--deadline-ms T] [--retries K]
 //       Read a network from stdin and run a task:
 //         wakeup | broadcast | flooding | census | gossip | hybrid
 //       Prints the task report (oracle bits, messages, violations).
@@ -17,6 +18,13 @@
 //       --all-sources runs the task once per source node through the batch
 //       runner; --jobs N sets its worker-thread count (0 = hardware);
 //       --json prints per-trial records as JSON instead of text.
+//       --fault-rate P drops each message with probability P (seeded by
+//       --fault-seed); --deadline-ms caps each trial's wall clock;
+//       --retries K re-runs transient failures up to K times with
+//       deterministically re-seeded schedules.
+//       Exit code: 0 = every trial solved its task; 1 = some trial failed
+//       the task (a reportable result, e.g. under faults); 2 = an
+//       infrastructure error (bad input, exception, crashed trial).
 //   advise <tree|light|partial|null> [--source S] [--tree K]
 //       [--fraction Q] [--seed S]
 //       Read a network from stdin; print the oracle's advice assignment in
@@ -80,6 +88,8 @@ using namespace oraclesize;
       "      [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]\n"
       "      [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]\n"
       "      [--advice-file F] [--all-sources] [--jobs N] [--json]\n"
+      "      [--fault-rate P] [--fault-seed S] [--deadline-ms T] "
+      "[--retries K]\n"
       "  oraclesize_cli advise <tree|light|partial|null> [--source S]\n"
       "      [--tree K] [--fraction Q] [--seed S]\n"
       "  oraclesize_cli tree <bfs|dfs|kruskal|light> [--root R]\n"
@@ -126,6 +136,10 @@ struct Options {
   std::size_t jobs = 1;
   bool json = false;
   bool all_sources = false;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0;
+  std::uint64_t deadline_ms = 0;
+  std::uint32_t retries = 0;
 };
 
 std::vector<std::string> extract_options(std::vector<std::string> args,
@@ -155,6 +169,17 @@ std::vector<std::string> extract_options(std::vector<std::string> args,
       opts.json = true;
     } else if (a == "--all-sources") {
       opts.all_sources = true;
+    } else if (a == "--fault-rate") {
+      opts.fault_rate = parse_double(next(), "--fault-rate");
+      if (opts.fault_rate < 0.0 || opts.fault_rate > 1.0) {
+        usage("--fault-rate must be in [0, 1]");
+      }
+    } else if (a == "--fault-seed") {
+      opts.fault_seed = parse_u64(next(), "--fault-seed");
+    } else if (a == "--deadline-ms") {
+      opts.deadline_ms = parse_u64(next(), "--deadline-ms");
+    } else if (a == "--retries") {
+      opts.retries = static_cast<std::uint32_t>(parse_u64(next(), "--retries"));
     } else if (a == "--scheduler") {
       const std::string v = next();
       if (v == "sync") {
@@ -269,7 +294,7 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   const std::string err = validate_ports(g);
   if (!err.empty()) {
     std::cerr << "invalid network: " << err << "\n";
-    return 1;
+    return 2;  // infrastructure, not a task result
   }
   if (opts.source >= g.num_nodes()) usage("run: --source out of range");
 
@@ -277,6 +302,9 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   run_opts.scheduler = opts.scheduler;
   run_opts.seed = opts.seed;
   run_opts.anonymous = opts.anonymous;
+  run_opts.fault.drop = opts.fault_rate;
+  run_opts.fault.seed = opts.fault_seed;
+  run_opts.deadline_ns = opts.deadline_ms * 1'000'000;
 
   const std::string& task = args[0];
   const Algorithm* algorithm = nullptr;
@@ -321,13 +349,20 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
     sources.push_back(opts.source);
   }
 
+  // Under faults, a task failure is often transient in the fault seed —
+  // retrying with a re-seeded schedule is meaningful. Without faults the
+  // run is deterministic, so only infrastructure outcomes are retried.
+  const RetryPolicy retry{opts.retries, 0x9e3779b97f4a7c15ULL,
+                          /*retry_task_failures=*/opts.fault_rate > 0};
+  const BatchRunner runner(opts.jobs, /*advice_cache=*/true, retry);
+
   std::vector<TaskReport> reports;
   if (opts.advice_file.empty()) {
     std::vector<TrialSpec> specs;
     for (NodeId v : sources) {
       specs.push_back({&g, v, oracle.get(), algorithm, run_opts});
     }
-    reports = BatchRunner(opts.jobs).run(specs);
+    reports = runner.run(specs);
   } else {
     std::ifstream in(opts.advice_file);
     if (!in) usage("cannot open advice file '" + opts.advice_file + "'");
@@ -339,11 +374,16 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
     TrialSpec spec{&g, opts.source, oracle.get(), algorithm, run_opts};
     spec.advice = std::make_shared<const std::vector<BitString>>(
         std::move(advice));
-    reports = BatchRunner(opts.jobs).run({spec});
+    reports = runner.run({spec});
     reports.front().oracle_name = "file:" + opts.advice_file;
   }
 
   bool all_ok = true;
+  bool any_failed = false;
+  for (const TaskReport& r : reports) {
+    all_ok = all_ok && r.ok();
+    any_failed = any_failed || r.failed();
+  }
   if (opts.json) {
     std::cout << "{\n  \"task\": \"" << task << "\", \"scheduler\": \""
               << to_string(opts.scheduler) << "\", \"nodes\": "
@@ -351,7 +391,6 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
               << BatchRunner(opts.jobs).jobs() << ",\n  \"trials\": [";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const TaskReport& r = reports[i];
-      all_ok = all_ok && r.ok();
       std::cout << (i == 0 ? "\n" : ",\n")
                 << "    {\"source\": " << sources[i]
                 << ", \"oracle_bits\": " << r.oracle_bits
@@ -361,8 +400,10 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
                 << ", \"wall_ns\": " << r.wall_ns
                 << ", \"advise_ns\": " << r.advise_ns
                 << ", \"run_ns\": " << r.run_ns << ", \"advice_cached\": "
-                << (r.advice_cached ? "true" : "false") << ", \"ok\": "
-                << (r.ok() ? "true" : "false") << "}";
+                << (r.advice_cached ? "true" : "false") << ", \"status\": \""
+                << to_string(r.run.status) << "\", \"attempts\": "
+                << r.attempts << ", \"ok\": " << (r.ok() ? "true" : "false")
+                << "}";
     }
     std::cout << (reports.empty() ? "]\n" : "\n  ]\n") << "}\n";
   } else {
@@ -370,7 +411,6 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
               << "\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const TaskReport& report = reports[i];
-      all_ok = all_ok && report.ok();
       std::cout << "source " << sources[i] << ": " << report.summary()
                 << "\n";
       if ((task == "census" || task == "gossip") && report.ok()) {
@@ -379,6 +419,9 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
       }
     }
   }
+  // 0 = task solved everywhere; 1 = some task failed (reportable result);
+  // 2 = some trial crashed (infrastructure).
+  if (any_failed) return 2;
   return all_ok ? 0 : 1;
 }
 
@@ -520,7 +563,7 @@ int main(int argc, char** argv) {
     if (command == "game") return cmd_game(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return 2;  // infrastructure error, distinct from a failed-task result
   }
   usage("unknown command '" + command + "'");
 }
