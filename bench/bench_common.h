@@ -22,6 +22,13 @@
 //   --fault-seed S      seed for the fault plan (default 0)
 //   --deadline-ms T     per-trial wall-clock deadline (0 = none)
 //   --retries K         bounded re-seeded retry of transient trial failures
+//   --record-metrics    add per-record metric snapshots (deliveries, queue
+//                       depth, status) to the JSON records
+//
+// Every BENCH_<id>.json also carries a batch-wide "metrics" object — the
+// MetricsSnapshot aggregated across all run() calls (messages by kind, bits
+// on wire, fault impact, queue-depth / wakeup-latency histograms). The
+// addition is backward compatible: existing keys are untouched.
 #pragma once
 
 #include <chrono>
@@ -95,21 +102,29 @@ struct TrialRecord {
   std::uint64_t run_ns = 0;     ///< execution-engine share
   bool advice_cached = false;   ///< advice served precomputed
   bool ok = true;
+  // Per-record metric snapshot, emitted only under --record-metrics.
+  std::uint64_t deliveries = 0;
+  std::uint64_t queue_depth_peak = 0;
+  std::string status = "completed";  ///< RunStatus of the trial
 };
 
 inline TrialRecord make_record(std::string family, std::size_t n,
                                SchedulerKind sched, const TaskReport& r) {
-  return TrialRecord{std::move(family),
-                     n,
-                     to_string(sched),
-                     r.oracle_bits,
-                     r.run.metrics.messages_total,
-                     r.run.metrics.completion_key,
-                     r.wall_ns,
-                     r.advise_ns,
-                     r.run_ns,
-                     r.advice_cached,
-                     r.ok()};
+  TrialRecord rec{std::move(family),
+                  n,
+                  to_string(sched),
+                  r.oracle_bits,
+                  r.run.metrics.messages_total,
+                  r.run.metrics.completion_key,
+                  r.wall_ns,
+                  r.advise_ns,
+                  r.run_ns,
+                  r.advice_cached,
+                  r.ok()};
+  rec.deliveries = r.run.metrics.deliveries;
+  rec.queue_depth_peak = r.run.metrics.queue_depth_peak;
+  rec.status = to_string(r.run.status);
+  return rec;
 }
 
 /// Flag parsing + batch runner + JSON emission for one bench binary.
@@ -146,11 +161,13 @@ class Harness {
         deadline_ms_ = std::stoull(next());
       } else if (a == "--retries") {
         retries_ = static_cast<std::uint32_t>(std::stoull(next()));
+      } else if (a == "--record-metrics") {
+        record_metrics_ = true;
       } else {
         std::cerr << "error: unknown option '" << a
                   << "' (supported: --jobs N, --json FILE, --no-json, "
                      "--no-advice-cache, --fault-rate P, --fault-seed S, "
-                     "--deadline-ms T, --retries K)\n";
+                     "--deadline-ms T, --retries K, --record-metrics)\n";
         std::exit(2);
       }
     }
@@ -178,23 +195,36 @@ class Harness {
   /// with them before running (a copy — the caller's specs are untouched).
   std::vector<TaskReport> run(const std::vector<TrialSpec>& specs,
                               BatchStats* stats = nullptr) const {
+    // Always request BatchStats: the batch's MetricsSnapshot accumulates
+    // across run() calls into the harness-wide aggregate for the JSON
+    // footer. Aggregation happens outside the timed trial sections, so
+    // per-trial wall numbers are unaffected.
+    BatchStats local;
+    BatchStats* sink = stats != nullptr ? stats : &local;
+    std::vector<TaskReport> reports;
     if (fault_rate_ <= 0 && deadline_ms_ == 0) {
-      return runner_.run(specs, stats);
-    }
-    std::vector<TrialSpec> decorated = specs;
-    for (TrialSpec& spec : decorated) {
-      if (fault_rate_ > 0) {
-        spec.options.fault.drop = fault_rate_;
-        spec.options.fault.seed = fault_seed_;
+      reports = runner_.run(specs, sink);
+    } else {
+      std::vector<TrialSpec> decorated = specs;
+      for (TrialSpec& spec : decorated) {
+        if (fault_rate_ > 0) {
+          spec.options.fault.drop = fault_rate_;
+          spec.options.fault.seed = fault_seed_;
+        }
+        if (deadline_ms_ > 0) {
+          spec.options.deadline_ns = deadline_ms_ * 1'000'000;
+        }
       }
-      if (deadline_ms_ > 0) {
-        spec.options.deadline_ns = deadline_ms_ * 1'000'000;
-      }
+      reports = runner_.run(decorated, sink);
     }
-    return runner_.run(decorated, stats);
+    metrics_.merge(sink->metrics);
+    return reports;
   }
 
   void record(TrialRecord r) { records_.push_back(std::move(r)); }
+
+  /// The metric aggregate across every run() call so far.
+  const MetricsSnapshot& metrics() const { return metrics_; }
 
  private:
   void write_json() const {
@@ -224,9 +254,17 @@ class Harness {
           << ", \"advise_ns\": " << r.advise_ns
           << ", \"run_ns\": " << r.run_ns << ", \"advice_cached\": "
           << (r.advice_cached ? "true" : "false") << ", \"ok\": "
-          << (r.ok ? "true" : "false") << "}";
+          << (r.ok ? "true" : "false");
+      if (record_metrics_) {
+        out << ", \"deliveries\": " << r.deliveries
+            << ", \"queue_depth_peak\": " << r.queue_depth_peak
+            << ", \"status\": \"" << r.status << "\"";
+      }
+      out << "}";
     }
-    out << (records_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    out << (records_.empty() ? "],\n" : "\n  ],\n") << "  \"metrics\": ";
+    metrics_.write_json(out);
+    out << "\n}\n";
     std::cerr << "[bench] wrote " << records_.size() << " records to "
               << json_path_ << " (jobs=" << runner_.jobs() << ")\n";
   }
@@ -240,8 +278,12 @@ class Harness {
   std::uint64_t fault_seed_ = 0;
   std::uint64_t deadline_ms_ = 0;
   std::uint32_t retries_ = 0;
+  bool record_metrics_ = false;
   BatchRunner runner_{1};
   std::vector<TrialRecord> records_;
+  /// Accumulated across run() calls; run() is const (the harness is shared
+  /// by value-capture-free lambdas), so the aggregate is mutable state.
+  mutable MetricsSnapshot metrics_;
 };
 
 }  // namespace oraclesize::bench

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -51,6 +52,90 @@ TaskReport error_report(const TrialSpec& spec, std::string what) {
   report.run.status = RunStatus::kCrashed;
   return report;
 }
+
+/// The batch-wide instrument set, registered once before workers start so
+/// the recording path is pure relaxed-atomic adds (no registry lookups).
+struct TrialMetrics {
+  explicit TrialMetrics(MetricsRegistry& reg)
+      : trials(reg.counter("trials")),
+        completed(reg.counter("trials_completed")),
+        task_failed(reg.counter("trials_task_failed")),
+        timeout(reg.counter("trials_timeout")),
+        budget_exhausted(reg.counter("trials_budget_exhausted")),
+        crashed(reg.counter("trials_crashed")),
+        messages_total(reg.counter("messages_total")),
+        messages_source(reg.counter("messages_source")),
+        messages_hello(reg.counter("messages_hello")),
+        messages_control(reg.counter("messages_control")),
+        bits_on_wire(reg.counter("bits_on_wire")),
+        deliveries(reg.counter("deliveries")),
+        faults_dropped(reg.counter("faults_dropped")),
+        faults_duplicated(reg.counter("faults_duplicated")),
+        faults_delayed(reg.counter("faults_delayed")),
+        faults_crashed_nodes(reg.counter("faults_crashed_nodes")),
+        faults_dead_deliveries(reg.counter("faults_dead_deliveries")),
+        faults_advice_flips(reg.counter("faults_advice_bits_flipped")),
+        messages_per_trial(reg.histogram("messages_per_trial")),
+        queue_depth_peak(reg.histogram("queue_depth_peak")),
+        wakeup_latency(reg.histogram("wakeup_latency")) {}
+
+  /// Folds one trial's FINAL report in. Called by the worker that owns the
+  /// trial; every recorded value is deterministic in the spec (counts and
+  /// scheduler keys — never the timing fields).
+  void observe(const TaskReport& report) {
+    trials.add();
+    switch (report.run.status) {
+      case RunStatus::kCompleted: completed.add(); break;
+      case RunStatus::kTaskFailed: task_failed.add(); break;
+      case RunStatus::kTimeout: timeout.add(); break;
+      case RunStatus::kBudgetExhausted: budget_exhausted.add(); break;
+      case RunStatus::kCrashed: crashed.add(); break;
+    }
+    if (report.failed()) return;  // crashed trials carry no valid run
+    const Metrics& m = report.run.metrics;
+    messages_total.add(m.messages_total);
+    messages_source.add(m.messages_source);
+    messages_hello.add(m.messages_hello);
+    messages_control.add(m.messages_control);
+    bits_on_wire.add(m.bits_sent);
+    deliveries.add(m.deliveries);
+    const FaultCounters& f = report.run.faults;
+    faults_dropped.add(f.dropped);
+    faults_duplicated.add(f.duplicated);
+    faults_delayed.add(f.delayed);
+    faults_crashed_nodes.add(f.crashed_nodes);
+    faults_dead_deliveries.add(f.dead_deliveries);
+    faults_advice_flips.add(f.advice_bits_flipped);
+    messages_per_trial.observe(m.messages_total);
+    queue_depth_peak.observe(m.queue_depth_peak);
+    for (const std::int64_t at : report.run.informed_at) {
+      if (at == RunResult::kNeverInformed) continue;
+      wakeup_latency.observe(static_cast<std::uint64_t>(at));
+    }
+  }
+
+  Counter& trials;
+  Counter& completed;
+  Counter& task_failed;
+  Counter& timeout;
+  Counter& budget_exhausted;
+  Counter& crashed;
+  Counter& messages_total;
+  Counter& messages_source;
+  Counter& messages_hello;
+  Counter& messages_control;
+  Counter& bits_on_wire;
+  Counter& deliveries;
+  Counter& faults_dropped;
+  Counter& faults_duplicated;
+  Counter& faults_delayed;
+  Counter& faults_crashed_nodes;
+  Counter& faults_dead_deliveries;
+  Counter& faults_advice_flips;
+  Histogram& messages_per_trial;
+  Histogram& queue_depth_peak;
+  Histogram& wakeup_latency;
+};
 
 TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
                      ExecutionContext& context) {
@@ -198,6 +283,13 @@ std::vector<TaskReport> BatchRunner::run_impl(
     }
   }
 
+  // Metric aggregation is opt-in via the stats out-param: instruments are
+  // registered here (under the registry mutex), workers record with relaxed
+  // atomic adds only, and the snapshot is taken after the join.
+  MetricsRegistry registry;
+  std::optional<TrialMetrics> trial_metrics;
+  if (stats != nullptr) trial_metrics.emplace(registry);
+
   // Fault-isolated trial execution with bounded, deterministically
   // re-seeded retry. Only the worker that claimed trial i touches
   // errors[i]/results[i], so no synchronization beyond the join is needed.
@@ -238,9 +330,16 @@ std::vector<TaskReport> BatchRunner::run_impl(
     }
   };
 
+  // Each trial is observed exactly once, by the worker that claimed it,
+  // after its LAST attempt settled.
+  auto run_and_observe = [&](std::size_t i, ExecutionContext& context) {
+    run_one(i, context);
+    if (trial_metrics) trial_metrics->observe(results[i]);
+  };
+
   if (workers <= 1) {
     ExecutionContext context;
-    for (std::size_t i = 0; i < specs.size(); ++i) run_one(i, context);
+    for (std::size_t i = 0; i < specs.size(); ++i) run_and_observe(i, context);
   } else {
     // Work-stealing by atomic counter: trial i's RESULT slot is fixed by
     // i, so results are in spec order no matter which worker claims which
@@ -254,7 +353,7 @@ std::vector<TaskReport> BatchRunner::run_impl(
         while (true) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= specs.size()) break;
-          run_one(i, context);
+          run_and_observe(i, context);
         }
       });
     }
@@ -272,6 +371,15 @@ std::vector<TaskReport> BatchRunner::run_impl(
       batch_stats.advise_ns += results[i].advise_ns;
       ++batch_stats.unique_advice;
     }
+  }
+
+  if (stats != nullptr) {
+    // Batch-level accounting joins the snapshot as plain counters so one
+    // JSON object carries everything.
+    registry.counter("retries").add(batch_stats.retries);
+    registry.counter("advice_cache_hits").add(batch_stats.cache_hits);
+    registry.counter("advice_unique").add(batch_stats.unique_advice);
+    batch_stats.metrics = registry.snapshot();
   }
 
   if (eptrs_out != nullptr) *eptrs_out = std::move(errors);

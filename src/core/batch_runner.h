@@ -33,6 +33,7 @@
 
 #include "core/advice_cache.h"
 #include "core/runner.h"
+#include "sim/metrics_registry.h"
 
 namespace oraclesize {
 
@@ -71,6 +72,15 @@ struct BatchStats {
   std::uint64_t advise_ns = 0;  ///< total time inside advise() calls
   std::size_t failed = 0;   ///< trials that ended with TaskReport::failed()
   std::size_t retries = 0;  ///< extra attempts consumed across the batch
+  /// Named cross-trial aggregates (sim/metrics_registry.h): trial outcomes,
+  /// messages by kind, bits on wire, fault impact, and the queue-depth /
+  /// per-node-wakeup-latency histograms. Recorded lock-free by the workers
+  /// (relaxed atomic adds) and snapshotted after they join. Every recorded
+  /// quantity is deterministic in the specs, so the snapshot is
+  /// bit-identical for any jobs() — tests/test_metrics.cpp pins this.
+  /// Populated only when a BatchStats out-param is passed; runs without one
+  /// skip all metric recording.
+  MetricsSnapshot metrics;
 };
 
 /// Bounded retry for transient trial outcomes. A trial is retried (up to

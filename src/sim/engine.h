@@ -24,6 +24,8 @@
 
 namespace oraclesize {
 
+class TraceSink;  // sim/trace_recorder.h
+
 /// Structured outcome of one execution. A run always terminates with
 /// exactly one of these instead of looping or throwing for anything the
 /// scheme (or the injected faults) did:
@@ -64,6 +66,12 @@ struct RunOptions {
   /// Cap on delivered events; 0 = none. Exceeding it stops the run with
   /// RunStatus::kBudgetExhausted (deterministic, unlike deadline_ns).
   std::uint64_t max_events = 0;
+  /// Structured event tracing (sim/trace_recorder.h). Null = disabled —
+  /// the hot path pays one branch per event group and allocates nothing.
+  /// Non-owning; the sink must outlive the run. Unlike `trace` (the legacy
+  /// SentRecord vector), a sink sees deliveries, fault decisions, and
+  /// node-state transitions, stamped with the fault plan's counter keys.
+  TraceSink* trace_sink = nullptr;
 };
 
 struct RunResult {

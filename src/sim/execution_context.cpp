@@ -1,5 +1,7 @@
 #include "sim/execution_context.h"
 
+#include "sim/trace_recorder.h"
+
 #include <algorithm>
 #include <chrono>
 #include <sstream>
@@ -49,6 +51,7 @@ void ExecutionContext::heap_push(HeapEntry e) {
   // Hole insertion: bubble the hole up, write the entry once at the end.
   std::size_t i = heap_.size();
   heap_.push_back(e);
+  if (heap_.size() > queue_peak_) queue_peak_ = heap_.size();
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
     if (!entry_before(e, heap_[parent])) break;
@@ -128,6 +131,19 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     if (result.violation.empty()) result.violation = std::move(what);
   };
 
+  // Structured tracing (sim/trace_recorder.h). A null sink is the zero-cost
+  // default: every emission below hides behind `if (sink)`.
+  TraceSink* const sink = options.trace_sink;
+  if (sink) {
+    TraceRunInfo info;
+    info.graph = &g;
+    info.advice = &advice;  // the ORIGINAL advice, pre-corruption
+    info.source = source;
+    info.algorithm = algorithm.name();
+    info.options = &options;
+    sink->begin_run(info);
+  }
+
   // Everything fault-related is gated on `faulty`: the disabled plan takes
   // the legacy code path bit for bit and allocates nothing new (the
   // zero-allocation steady state is audited by tests/test_zero_alloc.cpp).
@@ -154,6 +170,32 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     link_offset_[v + 1] = link_offset_[v] + g.degree(v);
   }
 
+  if (sink) {
+    // Node-state prologue: each node's advice binding (the string it will
+    // actually decode, possibly corrupted) and the fault plan's crash
+    // schedule. Emitted before any scheme code runs.
+    const bool corrupted = advice_used != &advice;
+    for (NodeId v = 0; v < n; ++v) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kAdviceRead;
+      e.node = v;
+      e.aux = (*advice_used)[v].size();
+      e.flag = corrupted;
+      sink->record(e);
+    }
+    if (faulty) {
+      for (NodeId v = 0; v < n; ++v) {
+        const std::int64_t at = fault_plan_.crash_key(v);
+        if (at == FaultPlan::kNoCrash) continue;
+        TraceEvent e;
+        e.kind = TraceEventKind::kCrash;
+        e.node = v;
+        e.key = at;
+        sink->record(e);
+      }
+    }
+  }
+
   // Corrupted advice can make behavior constructors (which decode it)
   // throw. Only a faulty run absorbs that into a structured failure; a
   // reliable run keeps the legacy contract of letting it propagate.
@@ -177,6 +219,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     result.terminated.assign(n, false);
     result.outputs.assign(n, 0);
     result.status = RunStatus::kTaskFailed;
+    if (sink) sink->end_run(result);
     return result;
   }
 
@@ -185,6 +228,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   pool_.clear();
   heap_.clear();
   free_slots_.clear();
+  queue_peak_ = 0;
   std::uint64_t seq = 0;
 
   if (options.trace) {
@@ -227,11 +271,45 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
                                           result.informed[v], now});
       }
       const std::uint64_t link = link_offset_[v] + s.port;
+      if (sink) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kSend;
+        e.node = v;
+        e.port = s.port;
+        e.peer = dst.node;
+        e.msg = s.msg.kind;
+        e.key = now;
+        e.seq = seq;  // the first copy's sequence number: the fault key
+        e.link = link;
+        e.aux = s.msg.size_bits();
+        e.flag = result.informed[v];
+        sink->record(e);
+      }
       // The message's fate is decided once, at submit time, keyed on
       // (seq, link) — a send counts toward metrics even when the network
       // then drops it (the node did transmit).
       FaultPlan::MessageFault mf;
       if (message_faulty) mf = fault_plan_.message_fault(seq, link);
+      if (sink && (mf.drop || mf.duplicate || mf.extra_delay > 0)) {
+        TraceEvent e;
+        e.kind = mf.drop ? TraceEventKind::kDrop
+                         : (mf.duplicate ? TraceEventKind::kDuplicate
+                                         : TraceEventKind::kDelay);
+        e.node = v;
+        e.port = s.port;
+        e.peer = dst.node;
+        e.msg = s.msg.kind;
+        e.key = now;
+        e.seq = seq;
+        e.link = link;
+        e.aux = mf.extra_delay;
+        sink->record(e);
+        // A duplicated message can also be delayed; record both decisions.
+        if (mf.duplicate && mf.extra_delay > 0) {
+          e.kind = TraceEventKind::kDelay;
+          sink->record(e);
+        }
+      }
       if (mf.drop) {
         ++result.faults.dropped;
         ++seq;  // the dropped message still consumes its sequence number
@@ -323,17 +401,55 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     // crash key; anything at or after it lands on a dead node.
     if (faulty && top.key >= fault_plan_.crash_key(ev.to)) {
       ++result.faults.dead_deliveries;
+      if (sink) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kDeadDelivery;
+        e.node = ev.to;
+        e.port = ev.at_port;
+        e.msg = ev.msg.kind;
+        e.key = top.key;
+        e.seq = top.seq;
+        sink->record(e);
+      }
       continue;
     }
     ++result.metrics.deliveries;
     if (top.key > result.metrics.completion_key) {
       result.metrics.completion_key = top.key;
     }
+    if (sink) {
+      // The sender is recoverable from the port relation — worth the
+      // neighbor lookup only on observability runs.
+      const Endpoint from = g.neighbor(ev.to, ev.at_port);
+      TraceEvent e;
+      e.kind = TraceEventKind::kDeliver;
+      e.node = ev.to;
+      e.port = ev.at_port;
+      e.peer = from.node;
+      e.msg = ev.msg.kind;
+      e.key = top.key;
+      e.seq = top.seq;
+      // The same directed-link index the send was keyed on (sender side).
+      e.link = link_offset_[from.node] + from.port;
+      e.aux = ev.msg.size_bits();
+      e.flag = ev.sender_informed;
+      sink->record(e);
+    }
     // The paper's informing rule: any message from an informed sender
     // informs the receiver (M can ride along on it).
     if (ev.sender_informed && !result.informed[ev.to]) {
       result.informed[ev.to] = true;
       result.informed_at[ev.to] = top.key;
+      if (sink) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kInformed;
+        e.node = ev.to;
+        e.peer = g.neighbor(ev.to, ev.at_port).node;
+        e.port = ev.at_port;
+        e.key = top.key;
+        e.seq = top.seq;
+        sink->record(e);
+      }
     }
     sends_.clear();
     if (!invoke_receive(ev.to, ev.msg, ev.at_port)) break;
@@ -347,6 +463,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     result.outputs[v] = behaviors_[v]->output();
   }
   result.all_informed = (result.informed_count() == n);
+  result.metrics.queue_depth_peak = queue_peak_;
   if (timed_out) {
     result.status = RunStatus::kTimeout;
   } else if (events_exhausted || budget_hit) {
@@ -356,6 +473,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   } else {
     result.status = RunStatus::kCompleted;
   }
+  if (sink) sink->end_run(result);
   return result;
 }
 

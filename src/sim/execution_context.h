@@ -94,6 +94,7 @@ class ExecutionContext {
   std::vector<Send> sends_;              ///< scratch sink, recycled per event
   std::vector<Event> pool_;              ///< event storage (slots)
   std::vector<HeapEntry> heap_;          ///< binary min-heap over the pool
+  std::size_t queue_peak_ = 0;           ///< heap high-water mark, per run
   std::vector<std::size_t> free_slots_;  ///< recycled pool slots
   std::vector<std::uint64_t> link_offset_;  ///< prefix sums of degrees
   /// Behavior-pool identity: behaviors_[v] (v < pool_count_) were produced

@@ -30,6 +30,9 @@ struct Metrics {
   std::uint64_t bits_sent = 0;         ///< sum of Message::size_bits()
   std::uint64_t deliveries = 0;
   std::int64_t completion_key = 0;  ///< largest delivery key (time, for sync)
+  /// Largest number of simultaneously in-flight messages (the engine's
+  /// event-queue high-water mark). Deterministic, so replay compares it.
+  std::uint64_t queue_depth_peak = 0;
 
   void count_send(const Message& msg) noexcept;
   std::string summary() const;

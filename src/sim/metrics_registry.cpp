@@ -1,0 +1,118 @@
+#include "sim/metrics_registry.h"
+
+#include <bit>
+#include <ostream>
+
+namespace oraclesize {
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void HistogramStats::merge(const HistogramStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  // Merge the sparse bucket lists (both ascending by width).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j >= other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i >= buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].merge(hist);
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << name << "\": " << value;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << name << "\": {\"count\": " << h.count
+        << ", \"sum\": " << h.sum << ", \"min\": " << h.min
+        << ", \"max\": " << h.max << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '[' << h.buckets[i].first << ", " << h.buckets[i].second << ']';
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats s;
+    s.count = h.count();
+    s.sum = h.sum();
+    if (s.count > 0) {
+      s.min = h.min();
+      s.max = h.max();
+    }
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t c = h.bucket(b);
+      if (c > 0) s.buckets.emplace_back(static_cast<std::uint32_t>(b), c);
+    }
+    snap.histograms[name] = std::move(s);
+  }
+  return snap;
+}
+
+}  // namespace oraclesize

@@ -92,4 +92,41 @@ set +e
 [ $? -le 1 ] || fail "deadline should not be an infrastructure error"
 set -e
 
+# Trace record -> replay -> diff -> export round trip.
+"$CLI" trace record wakeup --trace-file "$TMP/w.trace" < "$TMP/net.txt" \
+  > /dev/null 2> "$TMP/out.txt" || fail "trace record"
+grep -q '^\[trace\] wrote' "$TMP/out.txt" || fail "trace record banner"
+grep -q '^oracletrace 1$' "$TMP/w.trace" || fail "trace file magic"
+"$CLI" trace replay "$TMP/w.trace" | grep -q 'replay OK' \
+  || fail "trace replay"
+"$CLI" trace diff "$TMP/w.trace" "$TMP/w.trace" | grep -q 'identical' \
+  || fail "trace self-diff"
+"$CLI" trace export "$TMP/w.trace" > "$TMP/w.json" || fail "trace export"
+grep -q '"traceEvents"' "$TMP/w.json" || fail "chrome export shape"
+
+# Two different recordings diff as different (exit 1, still reportable).
+"$CLI" trace record census --seed 1 --scheduler random \
+  --trace-file "$TMP/c1.trace" < "$TMP/net.txt" >/dev/null 2>&1
+"$CLI" trace record census --seed 2 --scheduler random \
+  --trace-file "$TMP/c2.trace" < "$TMP/net.txt" >/dev/null 2>&1
+set +e
+"$CLI" trace diff "$TMP/c1.trace" "$TMP/c2.trace" > "$TMP/out.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "divergent diff should exit 1 (got $rc)"
+
+# A tampered artifact is rejected as an infrastructure error (exit 2).
+sed 's/^e \([0-9]*\)/e 9\1/' "$TMP/w.trace" > "$TMP/bad.trace"
+set +e
+"$CLI" trace replay "$TMP/bad.trace" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "tampered trace should exit 2 (got $rc)"
+
+# --trace-file on plain run records too, and faulty replays stay exact.
+"$CLI" run flooding --fault-rate 0.3 --fault-seed 11 \
+  --trace-file "$TMP/f.trace" < "$TMP/net.txt" >/dev/null 2>&1 || true
+"$CLI" trace replay "$TMP/f.trace" | grep -q 'replay OK' \
+  || fail "faulty trace replay"
+
 echo "cli smoke: all checks passed"

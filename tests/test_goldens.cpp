@@ -9,15 +9,26 @@
 // and say why in the commit.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
+#include "core/batch_runner.h"
 #include "core/broadcast_b.h"
 #include "core/census.h"
+#include "core/flooding.h"
+#include "core/gossip.h"
+#include "core/hybrid_wakeup.h"
+#include "core/replay.h"
 #include "core/runner.h"
 #include "core/wakeup.h"
 #include "graph/builders.h"
 #include "graph/complete_star.h"
 #include "graph/light_tree.h"
 #include "oracle/light_broadcast_oracle.h"
+#include "oracle/partial_tree_oracle.h"
 #include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
+#include "sim/trace_recorder.h"
 
 namespace oraclesize {
 namespace {
@@ -108,6 +119,121 @@ TEST(Goldens, AsyncCensusBits) {
   ASSERT_TRUE(c.ok());
   EXPECT_EQ(c.run.outputs[13], 100u);
   EXPECT_EQ(c.run.metrics.bits_sent, 548u);
+}
+
+// ---- Golden traces ---------------------------------------------------------
+//
+// One digest per core algorithm on the golden graph: a 64-bit FNV-1a over
+// the full event stream + outcome. These move only when the engine's
+// observable behavior moves — scheduler ordering, fault keying, message
+// sizing, or the informed-transition logic. If a change legitimately moves
+// one, re-pin and justify in the commit (the `trace diff` CLI localizes
+// exactly what changed).
+
+RecordedTrace record_golden_trace(const Oracle& oracle,
+                                  const Algorithm& algorithm,
+                                  RunOptions opts = {}) {
+  const PortGraph g = golden_graph();
+  TraceRecorder recorder;
+  opts.trace_sink = &recorder;
+  run_task(g, 0, oracle, algorithm, opts);
+  RecordedTrace t = recorder.take();
+  t.header.oracle = oracle.name();
+  return t;
+}
+
+TEST(GoldenTraces, DigestsPinAllSixAlgorithms) {
+  EXPECT_EQ(record_golden_trace(TreeWakeupOracle(), WakeupTreeAlgorithm())
+                .digest(),
+            12482672791752212186ULL);
+  EXPECT_EQ(record_golden_trace(LightBroadcastOracle(), BroadcastBAlgorithm())
+                .digest(),
+            4152892400039325060ULL);
+  EXPECT_EQ(record_golden_trace(NullOracle(), FloodingAlgorithm()).digest(),
+            10675381301312508844ULL);
+  EXPECT_EQ(record_golden_trace(TreeWakeupOracle(), CensusAlgorithm())
+                .digest(),
+            13703897230507141977ULL);
+  EXPECT_EQ(record_golden_trace(TreeWakeupOracle(), GossipTreeAlgorithm())
+                .digest(),
+            990213898690826506ULL);
+  EXPECT_EQ(record_golden_trace(PartialTreeOracle(0.5, 7),
+                                HybridWakeupAlgorithm())
+                .digest(),
+            10095278961887261379ULL);
+}
+
+TEST(GoldenTraces, EveryGoldenTraceReplaysBitIdentically) {
+  // Save → load → re-execute: the full artifact round trip must reproduce
+  // every stream. Covers the async scheduler and an armed fault plan too.
+  std::vector<RecordedTrace> traces;
+  traces.push_back(
+      record_golden_trace(TreeWakeupOracle(), WakeupTreeAlgorithm()));
+  RunOptions async;
+  async.scheduler = SchedulerKind::kAsyncRandom;
+  async.seed = 777;
+  traces.push_back(
+      record_golden_trace(TreeWakeupOracle(), CensusAlgorithm(), async));
+  RunOptions faulty;
+  faulty.fault.seed = 2026;
+  faulty.fault.drop = 0.05;
+  faulty.fault.duplicate = 0.05;
+  faulty.fault.delay = 0.1;
+  traces.push_back(record_golden_trace(LightBroadcastOracle(),
+                                       BroadcastBAlgorithm(), faulty));
+  for (const RecordedTrace& t : traces) {
+    std::stringstream ss;
+    save_trace(ss, t);
+    const RecordedTrace loaded = load_trace(ss);
+    const ReplayReport report = replay_trace(loaded);
+    EXPECT_TRUE(report.match) << t.header.algorithm << ": "
+                              << (report.mismatches.empty()
+                                      ? ""
+                                      : report.mismatches.front());
+  }
+}
+
+TEST(GoldenTraces, BatchTracesIdenticalAcrossJobs) {
+  // The batch determinism contract, at event-stream granularity: per-spec
+  // recorders capture bit-identical traces whether the batch runs on one
+  // worker or eight.
+  const PortGraph g = golden_graph();
+  const TreeWakeupOracle oracle;
+  const CensusAlgorithm algorithm;
+  auto digests_at = [&](std::size_t jobs) {
+    constexpr std::size_t kTrials = 12;
+    std::vector<TraceRecorder> recorders(kTrials);
+    std::vector<TrialSpec> specs;
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      RunOptions opts;
+      opts.scheduler = SchedulerKind::kAsyncRandom;
+      opts.seed = 1000 + i;
+      opts.trace_sink = &recorders[i];
+      specs.push_back({&g, static_cast<NodeId>(i * 7 % g.num_nodes()),
+                       &oracle, &algorithm, opts});
+    }
+    BatchRunner(jobs).run(specs);
+    std::vector<std::uint64_t> digests;
+    for (TraceRecorder& r : recorders) digests.push_back(r.take().digest());
+    return digests;
+  };
+  EXPECT_EQ(digests_at(1), digests_at(8));
+}
+
+TEST(GoldenTraces, ZeroFaultRateTraceMatchesDisabledPlan) {
+  // A plan with a seed but all-zero probabilities must not only leave the
+  // report untouched (ZeroFaultPlanIsInvisible above) — it must produce the
+  // SAME event stream as no plan at all. Digests cover events + outcome
+  // (not the header), so the two recordings hash identically.
+  RunOptions zero;
+  zero.fault.seed = 987654321;  // armed seed, zero probabilities
+  const std::uint64_t with_zero_plan =
+      record_golden_trace(LightBroadcastOracle(), BroadcastBAlgorithm(), zero)
+          .digest();
+  const std::uint64_t with_no_plan =
+      record_golden_trace(LightBroadcastOracle(), BroadcastBAlgorithm())
+          .digest();
+  EXPECT_EQ(with_zero_plan, with_no_plan);
 }
 
 }  // namespace

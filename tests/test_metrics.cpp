@@ -1,0 +1,257 @@
+// Metamorphic metric invariants.
+//
+// The metrics layer reports the same execution three ways — per-run Metrics,
+// per-event trace streams, and batch-wide MetricsSnapshot aggregates — so
+// internal consistency between the three is a free oracle: no golden values
+// needed, any disagreement is a bug. Pinned here:
+//
+//  * per-node delivered-event counts (from a full trace) sum to
+//    Metrics::deliveries, and on reliable runs deliveries == messages_total,
+//    under EVERY scheduler;
+//  * wall_ns == advise_ns + run_ns in every TaskReport;
+//  * a BatchStats::metrics snapshot is bit-identical at jobs=1 and jobs=8,
+//    and its counters agree with the summed per-report Metrics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/batch_runner.h"
+#include "core/broadcast_b.h"
+#include "core/census.h"
+#include "core/flooding.h"
+#include "core/gossip.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
+#include "sim/metrics_registry.h"
+#include "sim/trace_recorder.h"
+
+namespace oraclesize {
+namespace {
+
+PortGraph metrics_graph() {
+  Rng rng(424242);
+  return make_random_connected(64, 0.12, rng);
+}
+
+TEST(MetricsInvariants, PerNodeDeliveredCountsSumToTotalsEveryScheduler) {
+  const PortGraph g = metrics_graph();
+  const LightBroadcastOracle oracle;
+  const BroadcastBAlgorithm algorithm;
+  const SchedulerKind kinds[] = {
+      SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom,
+      SchedulerKind::kAsyncFifo, SchedulerKind::kAsyncLifo,
+      SchedulerKind::kAsyncLinkFifo};
+  for (const SchedulerKind sched : kinds) {
+    RunOptions opts;
+    opts.scheduler = sched;
+    opts.seed = 31337;
+    TraceRecorder recorder(TraceLevel::kFull);
+    opts.trace_sink = &recorder;
+    const TaskReport report = run_task(g, 5, oracle, algorithm, opts);
+    ASSERT_TRUE(report.ok()) << to_string(sched);
+    const RecordedTrace trace = recorder.take();
+
+    std::map<NodeId, std::uint64_t> delivered_at;
+    std::uint64_t sends = 0;
+    for (const TraceEvent& e : trace.events) {
+      if (e.kind == TraceEventKind::kDeliver) ++delivered_at[e.node];
+      if (e.kind == TraceEventKind::kSend) ++sends;
+    }
+    std::uint64_t delivered_sum = 0;
+    for (const auto& [node, count] : delivered_at) delivered_sum += count;
+
+    EXPECT_EQ(delivered_sum, report.run.metrics.deliveries)
+        << to_string(sched);
+    EXPECT_EQ(sends, report.run.metrics.messages_total) << to_string(sched);
+    // Reliable network: every sent message is delivered exactly once.
+    EXPECT_EQ(report.run.metrics.deliveries,
+              report.run.metrics.messages_total)
+        << to_string(sched);
+  }
+}
+
+TEST(MetricsInvariants, WallTimeIsExactlyAdvisePlusRunInEveryReport) {
+  const PortGraph g = metrics_graph();
+  const TreeWakeupOracle tree_oracle;
+  const LightBroadcastOracle light_oracle;
+  const WakeupTreeAlgorithm wakeup;
+  const CensusAlgorithm census;
+  const BroadcastBAlgorithm broadcast;
+  std::vector<TrialSpec> specs;
+  for (NodeId s = 0; s < 12; ++s) {
+    specs.push_back({&g, s, &tree_oracle, &wakeup});
+    specs.push_back({&g, s, &tree_oracle, &census});
+    specs.push_back({&g, s, &light_oracle, &broadcast});
+  }
+  for (const bool cache : {true, false}) {
+    const std::vector<TaskReport> reports =
+        BatchRunner(4, cache).run(specs);
+    for (const TaskReport& r : reports) {
+      EXPECT_EQ(r.wall_ns, r.advise_ns + r.run_ns)
+          << r.algorithm_name << " cache=" << cache;
+    }
+  }
+}
+
+std::vector<TrialSpec> mixed_specs(const PortGraph& g, const Oracle& tree,
+                                   const Oracle& light, const Oracle& null,
+                                   const Algorithm& wakeup,
+                                   const Algorithm& broadcast,
+                                   const Algorithm& flooding,
+                                   const Algorithm& gossip) {
+  std::vector<TrialSpec> specs;
+  for (NodeId s = 0; s < 6; ++s) {
+    RunOptions async;
+    async.scheduler = SchedulerKind::kAsyncRandom;
+    async.seed = 100 + s;
+    specs.push_back({&g, s, &tree, &wakeup});
+    specs.push_back({&g, s, &tree, &gossip, async});
+    specs.push_back({&g, s, &light, &broadcast});
+    RunOptions faulty;
+    faulty.fault.seed = 55 + s;
+    faulty.fault.drop = 0.08;
+    specs.push_back({&g, s, &null, &flooding, faulty});
+  }
+  return specs;
+}
+
+TEST(MetricsInvariants, SnapshotBitIdenticalAcrossJobs) {
+  const PortGraph g = metrics_graph();
+  const TreeWakeupOracle tree;
+  const LightBroadcastOracle light;
+  const NullOracle null;
+  const WakeupTreeAlgorithm wakeup;
+  const BroadcastBAlgorithm broadcast;
+  const FloodingAlgorithm flooding;
+  const GossipTreeAlgorithm gossip;
+  const std::vector<TrialSpec> specs =
+      mixed_specs(g, tree, light, null, wakeup, broadcast, flooding, gossip);
+
+  BatchStats serial;
+  BatchStats parallel;
+  BatchRunner(1).run(specs, &serial);
+  BatchRunner(8).run(specs, &parallel);
+  EXPECT_FALSE(serial.metrics.empty());
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+
+  // Equal snapshots must serialize byte-identically (sorted keys).
+  std::ostringstream a;
+  std::ostringstream b;
+  serial.metrics.write_json(a);
+  parallel.metrics.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(MetricsInvariants, SnapshotAgreesWithSummedReports) {
+  const PortGraph g = metrics_graph();
+  const TreeWakeupOracle tree;
+  const LightBroadcastOracle light;
+  const NullOracle null;
+  const WakeupTreeAlgorithm wakeup;
+  const BroadcastBAlgorithm broadcast;
+  const FloodingAlgorithm flooding;
+  const GossipTreeAlgorithm gossip;
+  const std::vector<TrialSpec> specs =
+      mixed_specs(g, tree, light, null, wakeup, broadcast, flooding, gossip);
+
+  BatchStats stats;
+  const std::vector<TaskReport> reports = BatchRunner(3).run(specs, &stats);
+
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t informed = 0;
+  std::uint64_t completed = 0;
+  for (const TaskReport& r : reports) {
+    messages += r.run.metrics.messages_total;
+    bits += r.run.metrics.bits_sent;
+    deliveries += r.run.metrics.deliveries;
+    dropped += r.run.faults.dropped;
+    informed += r.run.informed_count();
+    if (r.run.status == RunStatus::kCompleted) ++completed;
+  }
+  const std::map<std::string, std::uint64_t>& c = stats.metrics.counters;
+  EXPECT_EQ(c.at("trials"), specs.size());
+  EXPECT_EQ(c.at("trials_completed"), completed);
+  EXPECT_EQ(c.at("messages_total"), messages);
+  EXPECT_EQ(c.at("bits_on_wire"), bits);
+  EXPECT_EQ(c.at("deliveries"), deliveries);
+  EXPECT_EQ(c.at("faults_dropped"), dropped);
+  EXPECT_EQ(c.at("advice_cache_hits"), stats.cache_hits);
+
+  const HistogramStats& per_trial =
+      stats.metrics.histograms.at("messages_per_trial");
+  EXPECT_EQ(per_trial.count, specs.size());
+  EXPECT_EQ(per_trial.sum, messages);
+  const HistogramStats& latency =
+      stats.metrics.histograms.at("wakeup_latency");
+  EXPECT_EQ(latency.count, informed);
+  EXPECT_EQ(stats.metrics.histograms.at("queue_depth_peak").count,
+            specs.size());
+}
+
+// ---- Registry unit behavior ------------------------------------------------
+
+TEST(MetricsRegistry, HistogramBucketsByBitWidth) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  for (const std::uint64_t v : {0ULL, 1ULL, 2ULL, 3ULL, 8ULL, 1023ULL}) {
+    h.observe(v);
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramStats& s = snap.histograms.at("h");
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_EQ(s.sum, 1037u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1023u);
+  // bit_width: 0→0, 1→1, {2,3}→2, 8→4, 1023→10.
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> want = {
+      {0, 1}, {1, 1}, {2, 2}, {4, 1}, {10, 1}};
+  EXPECT_EQ(s.buckets, want);
+}
+
+TEST(MetricsRegistry, SnapshotMergeSumsEverything) {
+  MetricsRegistry a;
+  a.counter("c").add(3);
+  a.histogram("h").observe(4);
+  MetricsRegistry b;
+  b.counter("c").add(5);
+  b.counter("only_b").add(1);
+  b.histogram("h").observe(16);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("c"), 8u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  const HistogramStats& h = merged.histograms.at("h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 20u);
+  EXPECT_EQ(h.min, 4u);
+  EXPECT_EQ(h.max, 16u);
+}
+
+TEST(MetricsRegistry, WriteJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("beta").add(2);
+  reg.counter("alpha").add(1);
+  reg.histogram("lat").observe(5);
+  std::ostringstream out;
+  reg.snapshot().write_json(out);
+  const std::string json = out.str();
+  // Sorted keys, both sections present.
+  EXPECT_NE(json.find("\"alpha\": 1"), std::string::npos);
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"beta\""));
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [[3, 1]]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -25,6 +25,18 @@
 //       Exit code: 0 = every trial solved its task; 1 = some trial failed
 //       the task (a reportable result, e.g. under faults); 2 = an
 //       infrastructure error (bad input, exception, crashed trial).
+//   trace record <task> --trace-file F [run options]
+//       Like `run` with a single source, recording the full event stream
+//       (sends, deliveries, fault decisions, informed transitions) into F
+//       as a self-contained `oracletrace 1` artifact.
+//   trace replay <F>
+//       Re-execute the recorded run from the artifact's embedded inputs
+//       and demand a bit-identical event stream, status, and metrics.
+//       Exit 0 on match, 1 with the localized divergence otherwise.
+//   trace diff <A> <B>
+//       Structural comparison of two artifacts (first divergent event).
+//   trace export <F>
+//       Chrome trace_event JSON on stdout (chrome://tracing, Perfetto).
 //   advise <tree|light|partial|null> [--source S] [--tree K]
 //       [--fraction Q] [--seed S]
 //       Read a network from stdin; print the oracle's advice assignment in
@@ -51,13 +63,9 @@
 #include <fstream>
 
 #include "core/batch_runner.h"
-#include "core/broadcast_b.h"
-#include "core/census.h"
-#include "core/flooding.h"
-#include "core/gossip.h"
-#include "core/hybrid_wakeup.h"
+#include "core/replay.h"
 #include "core/runner.h"
-#include "core/wakeup.h"
+#include "sim/trace_recorder.h"
 #include "oracle/advice_io.h"
 #include "oracle/partial_tree_oracle.h"
 #include "graph/builders.h"
@@ -90,6 +98,12 @@ using namespace oraclesize;
       "      [--advice-file F] [--all-sources] [--jobs N] [--json]\n"
       "      [--fault-rate P] [--fault-seed S] [--deadline-ms T] "
       "[--retries K]\n"
+      "      [--trace-file F] [--trace-level messages|full]\n"
+      "  oraclesize_cli trace record <task> --trace-file F [run options]\n"
+      "  oraclesize_cli trace replay <F>\n"
+      "  oraclesize_cli trace diff <A> <B>\n"
+      "  oraclesize_cli trace export <F>   (Chrome trace_event JSON on "
+      "stdout)\n"
       "  oraclesize_cli advise <tree|light|partial|null> [--source S]\n"
       "      [--tree K] [--fraction Q] [--seed S]\n"
       "  oraclesize_cli tree <bfs|dfs|kruskal|light> [--root R]\n"
@@ -140,6 +154,8 @@ struct Options {
   std::uint64_t fault_seed = 0;
   std::uint64_t deadline_ms = 0;
   std::uint32_t retries = 0;
+  std::string trace_file;
+  TraceLevel trace_level = TraceLevel::kFull;
 };
 
 std::vector<std::string> extract_options(std::vector<std::string> args,
@@ -180,6 +196,17 @@ std::vector<std::string> extract_options(std::vector<std::string> args,
       opts.deadline_ms = parse_u64(next(), "--deadline-ms");
     } else if (a == "--retries") {
       opts.retries = static_cast<std::uint32_t>(parse_u64(next(), "--retries"));
+    } else if (a == "--trace-file") {
+      opts.trace_file = next();
+    } else if (a == "--trace-level") {
+      const std::string v = next();
+      if (v == "messages") {
+        opts.trace_level = TraceLevel::kMessages;
+      } else if (v == "full") {
+        opts.trace_level = TraceLevel::kFull;
+      } else {
+        usage("unknown trace level '" + v + "'");
+      }
     } else if (a == "--scheduler") {
       const std::string v = next();
       if (v == "sync") {
@@ -288,6 +315,44 @@ int cmd_gen(const std::vector<std::string>& args, const Options& opts) {
   return 0;
 }
 
+/// The (algorithm, oracle) pair a task name denotes. Algorithms come from
+/// the shared core/replay.h registry — the same one `trace replay` resolves
+/// recorded names against.
+struct TaskSelection {
+  const Algorithm* algorithm = nullptr;
+  std::unique_ptr<Oracle> oracle;
+};
+
+TaskSelection select_task(const std::string& task, const Options& opts) {
+  TaskSelection sel;
+  std::string algorithm_name;
+  if (task == "wakeup") {
+    algorithm_name = "wakeup-tree";
+    sel.oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
+  } else if (task == "census") {
+    algorithm_name = "census-echo";
+    sel.oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
+  } else if (task == "gossip") {
+    algorithm_name = "gossip-tree";
+    sel.oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
+  } else if (task == "broadcast") {
+    algorithm_name = "broadcast-B";
+    sel.oracle = std::make_unique<LightBroadcastOracle>(
+        opts.tree_set ? opts.tree : TreeKind::kLight);
+  } else if (task == "flooding") {
+    algorithm_name = "flooding";
+    sel.oracle = std::make_unique<NullOracle>();
+  } else if (task == "hybrid") {
+    algorithm_name = "hybrid-wakeup";
+    sel.oracle = std::make_unique<PartialTreeOracle>(opts.fraction, opts.seed,
+                                                     opts.tree);
+  } else {
+    usage("unknown task '" + task + "'");
+  }
+  sel.algorithm = algorithm_by_name(algorithm_name);
+  return sel;
+}
+
 int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   if (args.size() != 1) usage("run: expected exactly one task");
   const PortGraph g = read_port_graph(std::cin);
@@ -307,36 +372,16 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   run_opts.deadline_ns = opts.deadline_ms * 1'000'000;
 
   const std::string& task = args[0];
-  const Algorithm* algorithm = nullptr;
-  const WakeupTreeAlgorithm wakeup;
-  const CensusAlgorithm census;
-  const BroadcastBAlgorithm broadcast;
-  const FloodingAlgorithm flooding;
-  const GossipTreeAlgorithm gossip;
-  const HybridWakeupAlgorithm hybrid;
-  std::unique_ptr<Oracle> oracle;
-  if (task == "wakeup") {
-    algorithm = &wakeup;
-    oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
-  } else if (task == "census") {
-    algorithm = &census;
-    oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
-  } else if (task == "gossip") {
-    algorithm = &gossip;
-    oracle = std::make_unique<TreeWakeupOracle>(opts.tree);
-  } else if (task == "broadcast") {
-    algorithm = &broadcast;
-    oracle = std::make_unique<LightBroadcastOracle>(
-        opts.tree_set ? opts.tree : TreeKind::kLight);
-  } else if (task == "flooding") {
-    algorithm = &flooding;
-    oracle = std::make_unique<NullOracle>();
-  } else if (task == "hybrid") {
-    algorithm = &hybrid;
-    oracle = std::make_unique<PartialTreeOracle>(opts.fraction, opts.seed,
-                                                 opts.tree);
-  } else {
-    usage("unknown task '" + task + "'");
+  const TaskSelection sel = select_task(task, opts);
+  const Algorithm* algorithm = sel.algorithm;
+  const Oracle* oracle = sel.oracle.get();
+
+  TraceRecorder recorder(opts.trace_level);
+  if (!opts.trace_file.empty()) {
+    if (opts.all_sources) {
+      usage("run: --trace-file cannot be combined with --all-sources");
+    }
+    run_opts.trace_sink = &recorder;
   }
 
   std::vector<NodeId> sources;
@@ -360,7 +405,7 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   if (opts.advice_file.empty()) {
     std::vector<TrialSpec> specs;
     for (NodeId v : sources) {
-      specs.push_back({&g, v, oracle.get(), algorithm, run_opts});
+      specs.push_back({&g, v, oracle, algorithm, run_opts});
     }
     reports = runner.run(specs);
   } else {
@@ -371,7 +416,7 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
       usage("advice file node count does not match the network");
     }
     // Precomputed advice rides in the spec; the oracle is never asked.
-    TrialSpec spec{&g, opts.source, oracle.get(), algorithm, run_opts};
+    TrialSpec spec{&g, opts.source, oracle, algorithm, run_opts};
     spec.advice = std::make_shared<const std::vector<BitString>>(
         std::move(advice));
     reports = runner.run({spec});
@@ -383,6 +428,22 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   for (const TaskReport& r : reports) {
     all_ok = all_ok && r.ok();
     any_failed = any_failed || r.failed();
+  }
+
+  if (!opts.trace_file.empty()) {
+    if (!recorder.complete()) {
+      std::cerr << "trace: the run never reached the engine (nothing to "
+                   "record)\n";
+      return 2;
+    }
+    RecordedTrace t = recorder.take();
+    t.header.oracle = reports.front().oracle_name;
+    std::ofstream out(opts.trace_file);
+    if (!out) usage("cannot write trace file '" + opts.trace_file + "'");
+    save_trace(out, t);
+    std::cerr << "[trace] wrote " << t.events.size() << " events to "
+              << opts.trace_file << " (digest " << std::hex << t.digest()
+              << std::dec << ")\n";
   }
   if (opts.json) {
     std::cout << "{\n  \"task\": \"" << task << "\", \"scheduler\": \""
@@ -423,6 +484,75 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   // 2 = some trial crashed (infrastructure).
   if (any_failed) return 2;
   return all_ok ? 0 : 1;
+}
+
+RecordedTrace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage("cannot open trace file '" + path + "'");
+  return load_trace(in);
+}
+
+int cmd_trace(const std::vector<std::string>& args, const Options& opts) {
+  if (args.empty()) usage("trace: expected record|replay|diff|export");
+  const std::string& sub = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  if (sub == "record") {
+    // A traced single-source run; the network arrives on stdin as in `run`.
+    if (rest.size() != 1) usage("trace record: expected exactly one task");
+    if (opts.trace_file.empty()) {
+      usage("trace record: --trace-file is required");
+    }
+    Options run_opts = opts;
+    run_opts.all_sources = false;
+    return cmd_run(rest, run_opts);
+  }
+
+  if (sub == "replay") {
+    if (rest.size() != 1) usage("trace replay: expected one trace file");
+    const RecordedTrace trace = load_trace_file(rest[0]);
+    const ReplayReport report = replay_trace(trace);
+    if (report.match) {
+      std::cout << "replay OK: " << trace.events.size()
+                << " events, status " << to_string(trace.status)
+                << ", digest " << std::hex << trace.digest() << std::dec
+                << "\n";
+      return 0;
+    }
+    std::cerr << "replay DIVERGED (" << report.mismatches.size()
+              << " difference(s)):\n";
+    for (const std::string& m : report.mismatches) {
+      std::cerr << "  " << m << "\n";
+    }
+    return 1;
+  }
+
+  if (sub == "diff") {
+    if (rest.size() != 2) usage("trace diff: expected two trace files");
+    const RecordedTrace a = load_trace_file(rest[0]);
+    const RecordedTrace b = load_trace_file(rest[1]);
+    const TraceDiff diff = diff_traces(a, b);
+    if (diff.equal) {
+      std::cout << "traces identical: " << a.events.size()
+                << " events, digest " << std::hex << a.digest() << std::dec
+                << "\n";
+      return 0;
+    }
+    std::cout << diff.differences.size() << " difference(s):\n";
+    for (const std::string& d : diff.differences) {
+      std::cout << "  " << d << "\n";
+    }
+    return 1;
+  }
+
+  if (sub == "export") {
+    if (rest.size() != 1) usage("trace export: expected one trace file");
+    const RecordedTrace trace = load_trace_file(rest[0]);
+    write_chrome_trace(std::cout, trace);
+    return 0;
+  }
+
+  usage("trace: unknown subcommand '" + sub + "'");
 }
 
 int cmd_advise(const std::vector<std::string>& args, const Options& opts) {
@@ -556,6 +686,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen") return cmd_gen(args, opts);
     if (command == "run") return cmd_run(args, opts);
+    if (command == "trace") return cmd_trace(args, opts);
     if (command == "advise") return cmd_advise(args, opts);
     if (command == "tree") return cmd_tree(args, opts);
     if (command == "stats") return cmd_stats();
