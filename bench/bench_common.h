@@ -51,7 +51,29 @@ struct Workload {
   std::string family;
   std::size_t n;
   PortGraph graph;
+  std::uint64_t build_ns = 0;  ///< wall time of the builder call (incl. freeze)
 };
+
+/// Resident adjacency bytes per edge in the graph's current layout (the
+/// quantity tracked by the graph_bytes_per_edge JSON key).
+inline double bytes_per_edge(const PortGraph& g) {
+  return g.num_edges() == 0
+             ? 0.0
+             : static_cast<double>(g.memory_bytes()) /
+                   static_cast<double>(g.num_edges());
+}
+
+/// Builds one workload through `make`, timing construction + freeze.
+template <typename MakeFn>
+Workload timed_workload(std::string family, std::size_t n, MakeFn&& make) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PortGraph g = make();
+  const auto build_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return {std::move(family), n, std::move(g), build_ns};
+}
 
 /// The standard graph-family sweep used by E1/E3/E4/E6: one graph per
 /// (family, n) pair. Sizes chosen so dense families stay tractable.
@@ -59,33 +81,44 @@ inline std::vector<Workload> standard_workloads() {
   std::vector<Workload> out;
   Rng rng(0xbeefcafeULL);
   for (std::size_t n : {128u, 512u, 2048u}) {
-    out.push_back({"complete", n, make_complete_star(n)});
+    out.push_back(timed_workload("complete", n,
+                                 [&] { return make_complete_star(n); }));
   }
   for (std::size_t n : {256u, 1024u, 4096u}) {
-    out.push_back({"random(p=8/n)", n,
-                   make_random_connected(n, 8.0 / static_cast<double>(n),
-                                         rng)});
+    out.push_back(timed_workload("random(p=8/n)", n, [&] {
+      return make_random_connected(n, 8.0 / static_cast<double>(n), rng);
+    }));
   }
   for (int d : {8, 10, 12}) {
-    out.push_back({"hypercube", std::size_t{1} << d, make_hypercube(d)});
+    out.push_back(timed_workload("hypercube", std::size_t{1} << d,
+                                 [&] { return make_hypercube(d); }));
   }
   for (std::size_t side : {16u, 32u, 64u}) {
-    out.push_back({"grid", side * side, make_grid(side, side)});
+    out.push_back(timed_workload("grid", side * side,
+                                 [&] { return make_grid(side, side); }));
   }
   for (std::size_t n : {256u, 1024u, 4096u}) {
-    out.push_back({"random-tree", n, make_random_tree(n, rng)});
+    out.push_back(timed_workload("random-tree", n,
+                                 [&] { return make_random_tree(n, rng); }));
   }
   for (std::size_t n : {128u, 512u}) {
-    out.push_back({"lollipop", n, make_lollipop(n)});
+    out.push_back(timed_workload("lollipop", n,
+                                 [&] { return make_lollipop(n); }));
   }
   for (std::size_t side : {16u, 48u}) {
-    out.push_back({"torus", side * side, make_torus(side, side)});
+    out.push_back(timed_workload("torus", side * side,
+                                 [&] { return make_torus(side, side); }));
   }
-  out.push_back({"bipartite", 512, make_complete_bipartite(256, 256)});
+  out.push_back(timed_workload("bipartite", 512, [] {
+    return make_complete_bipartite(256, 256);
+  }));
   for (std::size_t n : {512u, 2048u}) {
-    out.push_back({"random-regular(d=4)", n, make_random_regular(n, 4, rng)});
+    out.push_back(timed_workload("random-regular(d=4)", n, [&] {
+      return make_random_regular(n, 4, rng);
+    }));
   }
-  out.push_back({"caterpillar", 1024, make_caterpillar(128, 7)});
+  out.push_back(timed_workload("caterpillar", 1024,
+                               [] { return make_caterpillar(128, 7); }));
   return out;
 }
 
@@ -102,6 +135,10 @@ struct TrialRecord {
   std::uint64_t run_ns = 0;     ///< execution-engine share
   bool advice_cached = false;   ///< advice served precomputed
   bool ok = true;
+  // Graph-storage extras (new keys; zero when the caller didn't supply a
+  // workload to attribute them to).
+  std::uint64_t graph_build_ns = 0;  ///< builder + freeze wall time
+  double graph_bytes_per_edge = 0.0;  ///< resident adjacency bytes / edge
   // Per-record metric snapshot, emitted only under --record-metrics.
   std::uint64_t deliveries = 0;
   std::uint64_t queue_depth_peak = 0;
@@ -109,7 +146,9 @@ struct TrialRecord {
 };
 
 inline TrialRecord make_record(std::string family, std::size_t n,
-                               SchedulerKind sched, const TaskReport& r) {
+                               SchedulerKind sched, const TaskReport& r,
+                               std::uint64_t graph_build_ns = 0,
+                               double graph_bytes_per_edge = 0.0) {
   TrialRecord rec{std::move(family),
                   n,
                   to_string(sched),
@@ -121,6 +160,8 @@ inline TrialRecord make_record(std::string family, std::size_t n,
                   r.run_ns,
                   r.advice_cached,
                   r.ok()};
+  rec.graph_build_ns = graph_build_ns;
+  rec.graph_bytes_per_edge = graph_bytes_per_edge;
   rec.deliveries = r.run.metrics.deliveries;
   rec.queue_depth_peak = r.run.metrics.queue_depth_peak;
   rec.status = to_string(r.run.status);
@@ -254,7 +295,9 @@ class Harness {
           << ", \"advise_ns\": " << r.advise_ns
           << ", \"run_ns\": " << r.run_ns << ", \"advice_cached\": "
           << (r.advice_cached ? "true" : "false") << ", \"ok\": "
-          << (r.ok ? "true" : "false");
+          << (r.ok ? "true" : "false")
+          << ", \"graph_build_ns\": " << r.graph_build_ns
+          << ", \"graph_bytes_per_edge\": " << r.graph_bytes_per_edge;
       if (record_metrics_) {
         out << ", \"deliveries\": " << r.deliveries
             << ", \"queue_depth_peak\": " << r.queue_depth_peak

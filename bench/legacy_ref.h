@@ -1,0 +1,322 @@
+// Pre-CSR reference kernels — the measurement baseline of --csr-compare.
+//
+// These are faithful copies of the graph storage and the advise-phase
+// kernels as they existed BEFORE the frozen-CSR rework (see docs/api.md
+// "Graph storage & freeze" and EXPERIMENTS.md "CSR layout comparison"):
+//
+//  * NestedGraph     — one heap-allocated std::vector<Endpoint> per node,
+//                      every access through .at()-style checked lookups;
+//  * bfs_tree        — per-port checked neighbor loop;
+//  * light_tree      — Boruvka phases with a per-phase
+//                      std::unordered_map<rep, best-edge> over ALL edges;
+//  * kruskal edges   — std::stable_sort by weight;
+//  * from_parents /
+//    from_edges      — port_towards linear scans + validation BFS;
+//  * wakeup /
+//    broadcast advise — the oracle pipelines on top of the above, with the
+//                      production bit encoders (encoding is unchanged by
+//                      the rework, so sharing it keeps the comparison about
+//                      storage + traversal).
+//
+// Nothing in the library proper uses this header. It exists so the
+// "nested" columns of BENCH_perf_csr.json measure the actual pre-rework
+// pipeline rather than the new kernels running on the old layout — and so
+// the perf gate in CI can re-measure both sides on whatever machine it
+// runs on.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bitio/codecs.h"
+#include "graph/port_graph.h"
+#include "util/mathx.h"
+
+namespace oraclesize::bench::legacy {
+
+/// The pre-CSR adjacency: adj[v][port], holes marked kNoNode, checked
+/// access on every lookup. Built from any (frozen or not) PortGraph.
+struct NestedGraph {
+  std::vector<std::vector<Endpoint>> adj;
+  std::size_t num_edges = 0;
+
+  explicit NestedGraph(const PortGraph& g) : adj(g.num_nodes()) {
+    for (const Edge& e : g.edges()) {
+      auto reserve = [](std::vector<Endpoint>& slots, Port p) {
+        if (slots.size() <= p) slots.resize(p + 1);
+      };
+      reserve(adj[e.u], e.port_u);
+      reserve(adj[e.v], e.port_v);
+      adj[e.u][e.port_u] = Endpoint{e.v, e.port_v};
+      adj[e.v][e.port_v] = Endpoint{e.u, e.port_u};
+      ++num_edges;
+    }
+  }
+
+  std::size_t num_nodes() const { return adj.size(); }
+  std::size_t degree(NodeId v) const { return adj.at(v).size(); }
+
+  Endpoint neighbor(NodeId v, Port p) const {
+    const auto& slots = adj.at(v);
+    if (p >= slots.size() || slots[p].node == kNoNode) {
+      throw std::out_of_range("neighbor: vacant port");
+    }
+    return slots[p];
+  }
+
+  Port port_towards(NodeId u, NodeId v) const {
+    const auto& slots = adj.at(u);
+    for (Port p = 0; p < slots.size(); ++p) {
+      if (slots[p].node == v) return p;
+    }
+    return kNoPort;
+  }
+
+  std::vector<Edge> edges() const {
+    std::vector<Edge> out;
+    out.reserve(num_edges);
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+      for (Port p = 0; p < adj[u].size(); ++p) {
+        const Endpoint e = adj[u][p];
+        if (e.node != kNoNode && u < e.node) {
+          out.push_back(Edge{u, p, e.node, e.port});
+        }
+      }
+    }
+    return out;
+  }
+};
+
+/// Union-find as both pre-rework tree builders used it.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1), count_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --count_;
+    return true;
+  }
+  std::size_t size_of(std::size_t x) { return size_[find(x)]; }
+  std::size_t num_components() const noexcept { return count_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t count_;
+};
+
+/// What the oracles consume from a spanning tree.
+struct Tree {
+  NodeId root = kNoNode;
+  std::vector<NodeId> parent;
+  std::vector<Port> up_port;
+  std::vector<std::vector<Port>> child_ports;
+};
+
+inline Tree from_parents(const NestedGraph& g, NodeId root,
+                         const std::vector<NodeId>& parent) {
+  const std::size_t n = g.num_nodes();
+  Tree t;
+  t.root = root;
+  t.parent = parent;
+  t.up_port.assign(n, kNoPort);
+  t.child_ports.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const NodeId p = parent[v];
+    const Port up = g.port_towards(v, p);
+    if (up == kNoPort) {
+      throw std::invalid_argument("legacy tree: parent edge not in graph");
+    }
+    t.up_port[v] = up;
+    t.child_ports[p].push_back(g.neighbor(v, up).port);
+  }
+  // The validation BFS the production from_parents performed (depths
+  // doubled as an acyclicity/spanning check) — part of the measured cost.
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root) children[parent[v]].push_back(v);
+  }
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> queue{root};
+  seen[root] = true;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId u : children[v]) {
+      seen[u] = true;
+      ++visited;
+      queue.push_back(u);
+    }
+  }
+  if (visited != n) throw std::invalid_argument("legacy tree: not spanning");
+  return t;
+}
+
+inline Tree from_edges(const NestedGraph& g, NodeId root,
+                       const std::vector<Edge>& edges) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : edges) {
+    adj.at(e.u).push_back(e.v);
+    adj.at(e.v).push_back(e.u);
+  }
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> queue{root};
+  seen.at(root) = true;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId u : adj[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        parent[u] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  return from_parents(g, root, parent);
+}
+
+/// Tree edges, normalized, in ascending node order — the pre-rework
+/// SpanningTree::edges(g).
+inline std::vector<Edge> tree_edges(const NestedGraph& g, const Tree& t) {
+  std::vector<Edge> out;
+  out.reserve(g.num_nodes() == 0 ? 0 : g.num_nodes() - 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == t.root) continue;
+    const Port up = t.up_port[v];
+    const Endpoint pe = g.neighbor(v, up);
+    if (v < pe.node) {
+      out.push_back(Edge{v, up, pe.node, pe.port});
+    } else {
+      out.push_back(Edge{pe.node, pe.port, v, up});
+    }
+  }
+  return out;
+}
+
+inline Tree bfs_tree(const NestedGraph& g, NodeId root) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> queue{root};
+  seen.at(root) = true;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p).node;
+      if (!seen[u]) {
+        seen[u] = true;
+        parent[u] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  return from_parents(g, root, parent);
+}
+
+/// The pre-rework light-tree loop: Boruvka-style phases where every small
+/// tree's best outgoing edge lives in a per-phase unordered_map and every
+/// phase rescans ALL edges.
+inline Tree light_tree(const NestedGraph& g, NodeId root) {
+  const std::size_t n = g.num_nodes();
+  const std::vector<Edge> all_edges = g.edges();
+  Dsu dsu(n);
+  std::vector<Edge> forest;
+  forest.reserve(n - 1);
+  for (int k = 1; dsu.num_components() > 1; ++k) {
+    if (k > 64) throw std::logic_error("legacy light_tree: disconnected?");
+    const std::size_t small_limit = (k < 63) ? (std::size_t{1} << k) : n + 1;
+    std::unordered_map<std::size_t, std::size_t> best;
+    for (std::size_t idx = 0; idx < all_edges.size(); ++idx) {
+      const Edge& e = all_edges[idx];
+      const std::size_t ru = dsu.find(e.u);
+      const std::size_t rv = dsu.find(e.v);
+      if (ru == rv) continue;
+      for (const std::size_t r : {ru, rv}) {
+        if (dsu.size_of(r) >= small_limit) continue;
+        auto [it, inserted] = best.emplace(r, idx);
+        if (!inserted && e.weight() < all_edges[it->second].weight()) {
+          it->second = idx;
+        }
+      }
+    }
+    std::vector<std::size_t> picks;
+    picks.reserve(best.size());
+    for (const auto& [rep, idx] : best) picks.push_back(idx);
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+    std::size_t added = 0;
+    for (const std::size_t idx : picks) {
+      const Edge& e = all_edges[idx];
+      if (dsu.unite(e.u, e.v)) {
+        forest.push_back(e);
+        ++added;
+      }
+    }
+    if (dsu.num_components() > 1 && added == 0 && !best.empty()) {
+      throw std::logic_error("legacy light_tree: stuck");
+    }
+  }
+  return from_edges(g, root, forest);
+}
+
+/// TreeWakeupOracle::advise (default kBfs) on the legacy pipeline.
+inline std::vector<BitString> wakeup_advise(const NestedGraph& g,
+                                            NodeId source) {
+  const std::size_t n = g.num_nodes();
+  std::vector<BitString> advice(n);
+  if (n <= 1) return advice;
+  const Tree tree = bfs_tree(g, source);
+  const int width = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)));
+  for (NodeId v = 0; v < n; ++v) {
+    const std::vector<Port>& ports = tree.child_ports[v];
+    if (ports.empty()) continue;
+    std::vector<std::uint64_t> wide(ports.begin(), ports.end());
+    advice[v] = encode_port_list(wide, width);
+  }
+  return advice;
+}
+
+/// LightBroadcastOracle::advise (default kLight) on the legacy pipeline.
+inline std::vector<BitString> broadcast_advise(const NestedGraph& g,
+                                               NodeId source) {
+  const std::size_t n = g.num_nodes();
+  std::vector<BitString> advice(n);
+  if (n <= 1) return advice;
+  const Tree t = light_tree(g, source);
+  std::vector<std::vector<std::uint64_t>> ports(n);
+  for (const Edge& e : tree_edges(g, t)) {
+    const NodeId x = (e.port_u <= e.port_v) ? e.u : e.v;
+    ports[x].push_back(e.weight());
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!ports[v].empty()) advice[v] = encode_weight_list(ports[v]);
+  }
+  return advice;
+}
+
+}  // namespace oraclesize::bench::legacy

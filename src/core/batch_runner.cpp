@@ -1,5 +1,6 @@
 #include "core/batch_runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -232,6 +233,17 @@ std::vector<TaskReport> BatchRunner::run_impl(
     std::vector<const std::vector<std::size_t>*> work;
     work.reserve(groups.size());
     for (const auto& [key, indices] : groups) work.push_back(&indices);
+    // Largest graphs first: a giant advise landing on the pool last would
+    // serialize the tail of the pre-pass behind one worker. Scheduling
+    // order affects wall-clock only — owners, advice values, and cost
+    // attribution are fixed per group — and the stable sort over the
+    // deterministic map order keeps it reproducible.
+    std::stable_sort(work.begin(), work.end(),
+                     [&](const std::vector<std::size_t>* a,
+                         const std::vector<std::size_t>* b) {
+                       return specs[a->front()].graph->num_edges() >
+                              specs[b->front()].graph->num_edges();
+                     });
 
     AdviceCache cache;
     auto compute_group = [&](const std::vector<std::size_t>& indices) {

@@ -15,6 +15,7 @@ PortGraph make_path(std::size_t n) {
   for (std::size_t v = 0; v + 1 < n; ++v) {
     g.add_edge_auto(static_cast<NodeId>(v), static_cast<NodeId>(v + 1));
   }
+  g.freeze();
   return g;
 }
 
@@ -24,6 +25,7 @@ PortGraph make_cycle(std::size_t n) {
   for (std::size_t v = 0; v < n; ++v) {
     g.add_edge_auto(static_cast<NodeId>(v), static_cast<NodeId>((v + 1) % n));
   }
+  g.freeze();
   return g;
 }
 
@@ -33,6 +35,7 @@ PortGraph make_star(std::size_t n) {
   for (std::size_t v = 1; v < n; ++v) {
     g.add_edge_auto(0, static_cast<NodeId>(v));
   }
+  g.freeze();
   return g;
 }
 
@@ -50,6 +53,7 @@ PortGraph make_grid(std::size_t rows, std::size_t cols) {
       if (r + 1 < rows) g.add_edge_auto(id(r, c), id(r + 1, c));
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -68,6 +72,7 @@ PortGraph make_hypercube(int d) {
       }
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -77,15 +82,20 @@ PortGraph make_binary_tree(std::size_t n) {
   for (std::size_t v = 1; v < n; ++v) {
     g.add_edge_auto(static_cast<NodeId>((v - 1) / 2), static_cast<NodeId>(v));
   }
+  g.freeze();
   return g;
 }
 
 PortGraph make_random_tree(std::size_t n, Rng& rng) {
   if (n < 1) throw std::invalid_argument("make_random_tree: n >= 1 required");
   PortGraph g(n);
-  if (n == 1) return g;
+  if (n == 1) {
+    g.freeze();
+    return g;
+  }
   if (n == 2) {
     g.add_edge_auto(0, 1);
+    g.freeze();
     return g;
   }
   // Decode a uniformly random Prufer sequence of length n-2.
@@ -120,6 +130,7 @@ PortGraph make_random_tree(std::size_t n, Rng& rng) {
     }
   }
   g.add_edge_auto(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  g.freeze();
   return g;
 }
 
@@ -134,6 +145,7 @@ PortGraph make_random_connected(std::size_t n, double p, Rng& rng) {
       if (rng.chance(p)) g.add_edge_auto(u, v);
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -147,6 +159,7 @@ PortGraph make_lollipop(std::size_t n) {
   for (std::size_t v = clique; v < n; ++v) {
     g.add_edge_auto(static_cast<NodeId>(v - 1), static_cast<NodeId>(v));
   }
+  g.freeze();
   return g;
 }
 
@@ -164,6 +177,7 @@ PortGraph make_torus(std::size_t rows, std::size_t cols) {
       g.add_edge_auto(id(r, c), id((r + 1) % rows, c));
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -177,6 +191,7 @@ PortGraph make_complete_bipartite(std::size_t a, std::size_t b) {
       g.add_edge_auto(u, static_cast<NodeId>(v));
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -191,6 +206,7 @@ PortGraph make_wheel(std::size_t n) {
   for (std::size_t i = 0; i < rim; ++i) {
     g.add_edge_auto(0, static_cast<NodeId>(1 + i));
   }
+  g.freeze();
   return g;
 }
 
@@ -207,6 +223,7 @@ PortGraph make_caterpillar(std::size_t spine, std::size_t legs) {
                       static_cast<NodeId>(spine + s * legs + l));
     }
   }
+  g.freeze();
   return g;
 }
 
@@ -279,6 +296,7 @@ bool try_random_regular(std::size_t n, std::size_t d, Rng& rng,
   }
   PortGraph g(n);
   for (const auto& [a, b] : pairs) g.add_edge_auto(a, b);
+  g.freeze();  // pure add_edge_auto build: dense ports, freeze cannot fail
   if (!is_connected(g)) return false;
   out = std::move(g);
   return true;
@@ -312,6 +330,7 @@ PortGraph shuffle_ports(const PortGraph& g, Rng& rng) {
   for (const Edge& e : g.edges()) {
     out.add_edge(e.u, perm[e.u][e.port_u], e.v, perm[e.v][e.port_v]);
   }
+  out.freeze();
   return out;
 }
 

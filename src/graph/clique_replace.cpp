@@ -79,6 +79,7 @@ CliqueReplacedGraph make_gnsc(std::size_t n, std::size_t k,
     out.graph.add_edge(e.v, e.port_v, out.clique_node(i, bi),
                        clique_port(k, bi, ai));
   }
+  out.graph.freeze();
   return out;
 }
 

@@ -29,6 +29,7 @@ PortGraph make_complete_star(std::size_t n) {
                  complete_star_port(n, j, i));
     }
   }
+  g.freeze();
   return g;
 }
 

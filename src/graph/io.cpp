@@ -148,6 +148,7 @@ PortGraph read_port_graph(std::istream& is, const ParseLimits& limits) {
   // against a parsed-but-malformed graph.
   const std::string invalid = validate_ports(g);
   if (!invalid.empty()) fail(0, "invalid graph: " + invalid);
+  g.freeze();  // validated: dense ports, so freeze cannot fail
   return g;
 }
 

@@ -1,9 +1,10 @@
 #include "graph/light_tree.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <span>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "util/mathx.h"
 
@@ -47,12 +48,68 @@ class Dsu {
 LightTreeResult light_tree(const PortGraph& g, NodeId root) {
   const std::size_t n = g.num_nodes();
   if (n == 0) throw std::invalid_argument("light_tree: empty graph");
-  const std::vector<Edge> all_edges = g.edges();
 
   Dsu dsu(n);
   std::vector<Edge> forest;
   forest.reserve(n - 1);
   LightTreeResult result;
+
+  // Edges in ascending-weight order (stable counting sort, weights are
+  // ports bounded by the max degree), held as compact {u, port_u} handles
+  // resolved against the graph's own adjacency — the O(m) Edge list is
+  // never materialized, which on dense graphs halves the memory this pass
+  // touches. The enumeration below (u ascending, port ascending, kept when
+  // u < neighbor) IS g.edges() order, so scanning the sorted handles the
+  // FIRST outgoing edge a component meets is its minimum-weight one with
+  // exactly the historical tie-break (lowest g.edges() index among equal
+  // weights) — a phase stops scanning as soon as every small tree has been
+  // assigned an edge, instead of walking all m edges to keep running
+  // minima.
+  struct EdgeRef {
+    NodeId u;
+    Port pu;
+  };
+  std::vector<EdgeRef> order;
+  {
+    std::size_t max_deg = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      max_deg = std::max(max_deg, g.neighbors(u).size());
+    }
+    std::vector<std::size_t> bucket_start(max_deg + 2, 0);
+    std::size_t m = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const std::span<const Endpoint> row = g.neighbors(u);
+      for (Port p = 0; p < row.size(); ++p) {
+        const Endpoint e = row[p];
+        if (e.node == kNoNode || u >= e.node) continue;
+        ++bucket_start[std::min<Port>(p, e.port) + 1];
+        ++m;
+      }
+    }
+    for (std::size_t w = 1; w < bucket_start.size(); ++w) {
+      bucket_start[w] += bucket_start[w - 1];
+    }
+    order.resize(m);
+    for (NodeId u = 0; u < n; ++u) {
+      const std::span<const Endpoint> row = g.neighbors(u);
+      for (Port p = 0; p < row.size(); ++p) {
+        const Endpoint e = row[p];
+        if (e.node == kNoNode || u >= e.node) continue;
+        order[bucket_start[std::min<Port>(p, e.port)]++] = EdgeRef{u, p};
+      }
+    }
+  }
+  // best[rep] holds the chosen edge as a packed (u << 32) | port_u key;
+  // the packing is monotone in (u, port_u), i.e. in g.edges() order, so
+  // sorting keys reproduces the historical pick-processing order.
+  constexpr std::uint64_t kUnset = std::numeric_limits<std::uint64_t>::max();
+  const auto pack = [](const EdgeRef r) {
+    return (static_cast<std::uint64_t>(r.u) << 32) | r.pu;
+  };
+  // A flat best[] array (reps are node ids) reset via the touched list —
+  // no hashing on the inner loop.
+  std::vector<std::uint64_t> best(n, kUnset);
+  std::vector<std::size_t> touched;
 
   // Phases k = 1, 2, ...: every tree of size < 2^k selects a minimum-weight
   // outgoing edge; selected edges are merged in, cycle-closing ones erased.
@@ -65,33 +122,54 @@ LightTreeResult light_tree(const PortGraph& g, NodeId root) {
     phase.trees_before = dsu.num_components();
     const std::size_t small_limit = (k < 63) ? (std::size_t{1} << k) : n + 1;
 
-    // best[rep] = index into all_edges of the lightest edge leaving the
-    // small tree represented by rep.
-    std::unordered_map<std::size_t, std::size_t> best;
-    for (std::size_t idx = 0; idx < all_edges.size(); ++idx) {
-      const Edge& e = all_edges[idx];
-      const std::size_t ru = dsu.find(e.u);
-      const std::size_t rv = dsu.find(e.v);
-      if (ru == rv) continue;
+    // In a connected graph every component (while there are >= 2) has an
+    // outgoing edge, so exactly this many assignments will happen.
+    std::size_t needed = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dsu.find(v) == v && dsu.size_of(v) < small_limit) ++needed;
+    }
+
+    // The scan also permanently compacts internal edges out of `order`: an
+    // edge whose endpoints share a component can never leave one again.
+    // Relative (weight, index) order is preserved; on early exit the
+    // unscanned tail is kept verbatim.
+    touched.clear();
+    std::size_t out = 0;
+    std::size_t i = 0;
+    for (; i < order.size() && touched.size() < needed; ++i) {
+      const EdgeRef ref = order[i];
+      const Endpoint other = g.neighbors(ref.u)[ref.pu];
+      const std::size_t ru = dsu.find(ref.u);
+      const std::size_t rv = dsu.find(other.node);
+      if (ru == rv) continue;  // internal: compacted away for good
+      order[out++] = ref;
       for (const std::size_t r : {ru, rv}) {
         if (dsu.size_of(r) >= small_limit) continue;
-        auto [it, inserted] = best.emplace(r, idx);
-        if (!inserted && e.weight() < all_edges[it->second].weight()) {
-          it->second = idx;
+        if (best[r] == kUnset) {
+          best[r] = pack(ref);  // first seen = lightest, earliest tie-break
+          touched.push_back(r);
         }
       }
     }
-    phase.small_trees = best.size();
+    for (; i < order.size(); ++i) order[out++] = order[i];
+    order.resize(out);
+    phase.small_trees = touched.size();
 
     // Two trees may select the same edge; add it once (no cycle arises).
-    std::vector<std::size_t> picks;
-    picks.reserve(best.size());
-    for (const auto& [rep, idx] : best) picks.push_back(idx);
+    std::vector<std::uint64_t> picks;
+    picks.reserve(touched.size());
+    for (const std::size_t rep : touched) {
+      picks.push_back(best[rep]);
+      best[rep] = kUnset;  // reset for the next phase
+    }
     std::sort(picks.begin(), picks.end());
     picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
 
-    for (const std::size_t idx : picks) {
-      const Edge& e = all_edges[idx];
+    for (const std::uint64_t key : picks) {
+      const NodeId u = static_cast<NodeId>(key >> 32);
+      const Port pu = static_cast<Port>(key);
+      const Endpoint other = g.neighbors(u)[pu];
+      const Edge e{u, pu, other.node, other.port};
       if (dsu.unite(e.u, e.v)) {
         forest.push_back(e);
         ++phase.edges_added;

@@ -7,10 +7,27 @@
 // does not a priori know who is at the other end). All algorithms, oracles,
 // and lower-bound constructions in this library speak exclusively in terms
 // of (node, port).
+//
+// A PortGraph has two storage states (docs/api.md "Graph storage & freeze"):
+//
+//  * BUILDER — a nested std::vector<std::vector<Endpoint>> that supports
+//    incremental add_edge / add_edge_auto, including out-of-order port
+//    slots with temporary holes;
+//  * FROZEN — a compact CSR layout (flat offsets[] + endpoints[] arrays)
+//    produced by freeze(). Frozen graphs are immutable: the builder
+//    mutators throw std::logic_error, every per-port lookup is one array
+//    index, and neighbors(v) exposes the whole adjacency row as a
+//    contiguous span for allocation-free traversal.
+//
+// The checked accessors (degree/neighbor/has_port/port_towards/edges)
+// answer identically in both states; all graph builders return frozen
+// graphs. Hot loops should iterate neighbors(v) or use the _u accessors,
+// which skip bounds checks (preconditions documented per member).
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,24 +76,71 @@ class PortGraph {
   PortGraph() = default;
   explicit PortGraph(std::size_t num_nodes);
 
-  std::size_t num_nodes() const noexcept { return adj_.size(); }
+  std::size_t num_nodes() const noexcept { return labels_.size(); }
   std::size_t num_edges() const noexcept { return num_edges_; }
 
   /// Adds an undirected edge between u (at port pu) and v (at port pv).
-  /// Port slots may be created out of order; validate_ports() later checks
-  /// there are no holes. Throws std::invalid_argument if a slot is occupied,
-  /// u == v, or an endpoint is out of range.
+  /// Port slots may be created out of order; validate_ports() (or freeze())
+  /// later checks there are no holes. Throws std::invalid_argument if a
+  /// slot is occupied, u == v, or an endpoint is out of range, and
+  /// std::logic_error on a frozen graph.
   void add_edge(NodeId u, Port pu, NodeId v, Port pv);
 
-  /// Adds an undirected edge using the next free (densely increasing) port
-  /// at each endpoint; returns the two assigned ports.
+  /// Adds an undirected edge using the lowest free port at each endpoint
+  /// (per-node next-free cursors make a pure add_edge_auto build linear in
+  /// the edge count); returns the two assigned ports. Throws
+  /// std::logic_error on a frozen graph.
   std::pair<Port, Port> add_edge_auto(NodeId u, NodeId v);
 
+  /// Compacts the builder adjacency into the CSR layout and releases the
+  /// nested vectors. Requires every node's occupied ports to be exactly
+  /// 0..deg-1 (throws std::invalid_argument on a hole). Idempotent; all
+  /// read accessors answer identically before and after.
+  void freeze();
+
+  /// True once freeze() has run: the graph is immutable CSR.
+  bool frozen() const noexcept { return frozen_; }
+
+  /// Degree of v. Throws std::out_of_range for an out-of-range node (via a
+  /// cold helper — the hot path is a compare and an array index).
   std::size_t degree(NodeId v) const;
+
+  /// Unchecked degree. Precondition: v < num_nodes() and the graph is
+  /// frozen.
+  std::size_t degree_u(NodeId v) const noexcept {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
 
   /// The endpoint reached through port p of node v.
   /// Throws std::out_of_range for a vacant or out-of-range slot.
   Endpoint neighbor(NodeId v, Port p) const;
+
+  /// Unchecked lookup. Precondition: the graph is frozen, v < num_nodes(),
+  /// p < degree_u(v).
+  Endpoint neighbor_u(NodeId v, Port p) const noexcept {
+    return endpoints_[offsets_[v] + p];
+  }
+
+  /// The adjacency row of v as a contiguous span: element p is the far
+  /// side of port p. Zero-cost on frozen graphs (a slice of the CSR
+  /// array); on a builder graph it views the node's slot vector, where a
+  /// not-yet-validated graph may still contain vacant slots
+  /// (node == kNoNode). Precondition: v < num_nodes().
+  std::span<const Endpoint> neighbors(NodeId v) const noexcept {
+    if (frozen_) {
+      return {endpoints_.data() + offsets_[v], degree_u(v)};
+    }
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  /// Raw CSR endpoint array, or nullptr until frozen. Element
+  /// offsets[v] + p is neighbor(v, p); the offsets are exactly the
+  /// prefix-summed degrees, so the execution engine can index this array
+  /// with the directed-link ids it already computes for its per-link
+  /// clocks.
+  const Endpoint* csr_endpoints() const noexcept {
+    return frozen_ ? endpoints_.data() : nullptr;
+  }
 
   /// True iff the port slot exists and is occupied.
   bool has_port(NodeId v, Port p) const noexcept;
@@ -91,6 +155,12 @@ class PortGraph {
   /// All edges, normalized (u < v), in ascending (u, port_u) order.
   std::vector<Edge> edges() const;
 
+  /// Resident bytes of the adjacency + label storage in the CURRENT layout
+  /// (vector headers and capacity slack included for the builder state; the
+  /// flat CSR arrays for the frozen state). The quantity behind the
+  /// bytes-per-edge columns of BENCH_perf_csr.json.
+  std::size_t memory_bytes() const noexcept;
+
   /// Graphviz rendering with labels and port annotations (debugging aid).
   std::string to_dot() const;
 
@@ -98,7 +168,17 @@ class PortGraph {
   std::string summary() const;
 
  private:
+  // Builder state (released by freeze()).
   std::vector<std::vector<Endpoint>> adj_;  // adj_[v][port]
+  std::vector<Port> next_free_;             // add_edge_auto scan cursors
+  // Frozen state: CSR over directed endpoints. offsets_ has n+1 entries;
+  // the row of v is endpoints_[offsets_[v] .. offsets_[v+1]). The index
+  // offsets_[v] + p is exactly the directed-link id the execution engine
+  // keys its per-link clocks and fault decisions on.
+  bool frozen_ = false;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<Endpoint> endpoints_;
+
   std::vector<Label> labels_;
   std::size_t num_edges_ = 0;
 };

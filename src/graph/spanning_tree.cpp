@@ -42,35 +42,33 @@ class Dsu {
 
 }  // namespace
 
-SpanningTree SpanningTree::from_parents(const PortGraph& g, NodeId root,
-                                        const std::vector<NodeId>& parent) {
+SpanningTree SpanningTree::from_parent_ports(const PortGraph& g,
+                                             NodeId root,
+                                             std::vector<NodeId> parent,
+                                             std::vector<Port> up_port) {
   const std::size_t n = g.num_nodes();
-  if (parent.size() != n || root >= n || parent[root] != kNoNode) {
-    throw std::invalid_argument("SpanningTree: malformed parent array");
-  }
   SpanningTree t;
   t.root_ = root;
-  t.parent_ = parent;
-  t.up_port_.assign(n, kNoPort);
+  t.parent_ = std::move(parent);
+  t.up_port_ = std::move(up_port);
   t.child_ports_.assign(n, {});
   t.depth_.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
     if (v == root) continue;
-    const NodeId p = parent[v];
+    const NodeId p = t.parent_[v];
     if (p == kNoNode || p >= n) {
       throw std::invalid_argument("SpanningTree: node without valid parent");
     }
-    const Port up = g.port_towards(v, p);
-    if (up == kNoPort) {
+    const Port up = t.up_port_[v];
+    if (up == kNoPort || !g.has_port(v, up) || g.neighbor(v, up).node != p) {
       throw std::invalid_argument("SpanningTree: parent edge not in graph");
     }
-    t.up_port_[v] = up;
     t.child_ports_[p].push_back(g.neighbor(v, up).port);
   }
   // Depths; doubles as an acyclicity/spanning check.
   std::vector<std::vector<NodeId>> children(n);
   for (NodeId v = 0; v < n; ++v) {
-    if (v != root) children[parent[v]].push_back(v);
+    if (v != root) children[t.parent_[v]].push_back(v);
   }
   std::vector<bool> seen(n, false);
   std::deque<NodeId> queue{root};
@@ -93,33 +91,69 @@ SpanningTree SpanningTree::from_parents(const PortGraph& g, NodeId root,
   return t;
 }
 
+SpanningTree SpanningTree::from_parents(const PortGraph& g, NodeId root,
+                                        const std::vector<NodeId>& parent) {
+  const std::size_t n = g.num_nodes();
+  if (parent.size() != n || root >= n || parent[root] != kNoNode) {
+    throw std::invalid_argument("SpanningTree: malformed parent array");
+  }
+  // The general entry point has to find each up port itself; the
+  // traversal constructors below know theirs already and skip this scan.
+  std::vector<Port> up_port(n, kNoPort);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const NodeId p = parent[v];
+    if (p == kNoNode || p >= n) {
+      throw std::invalid_argument("SpanningTree: node without valid parent");
+    }
+    const Port up = g.port_towards(v, p);
+    if (up == kNoPort) {
+      throw std::invalid_argument("SpanningTree: parent edge not in graph");
+    }
+    up_port[v] = up;
+  }
+  return from_parent_ports(g, root, parent, std::move(up_port));
+}
+
 SpanningTree SpanningTree::from_edges(const PortGraph& g, NodeId root,
                                       const std::vector<Edge>& edges) {
   const std::size_t n = g.num_nodes();
   if (edges.size() + 1 != n) {
     throw std::invalid_argument("SpanningTree::from_edges: wrong edge count");
   }
-  std::vector<std::vector<NodeId>> adj(n);
+  // Forest edges carry both port numbers, so the BFS orientation can
+  // record each node's up port as it goes instead of re-deriving it.
+  struct Half {
+    NodeId to;
+    Port to_port;  // port AT `to` on this edge
+  };
+  std::vector<std::vector<Half>> adj(n);
   for (const Edge& e : edges) {
-    adj.at(e.u).push_back(e.v);
-    adj.at(e.v).push_back(e.u);
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("SpanningTree::from_edges: bad edge");
+    }
+    adj[e.u].push_back(Half{e.v, e.port_v});
+    adj[e.v].push_back(Half{e.u, e.port_u});
   }
   std::vector<NodeId> parent(n, kNoNode);
+  std::vector<Port> up_port(n, kNoPort);
   std::vector<bool> seen(n, false);
   std::deque<NodeId> queue{root};
   seen.at(root) = true;
   while (!queue.empty()) {
     const NodeId v = queue.front();
     queue.pop_front();
-    for (NodeId u : adj[v]) {
-      if (!seen[u]) {
-        seen[u] = true;
-        parent[u] = v;
-        queue.push_back(u);
+    for (const Half& h : adj[v]) {
+      if (!seen[h.to]) {
+        seen[h.to] = true;
+        parent[h.to] = v;
+        up_port[h.to] = h.to_port;
+        queue.push_back(h.to);
       }
     }
   }
-  return from_parents(g, root, parent);
+  return from_parent_ports(g, root, std::move(parent),
+                           std::move(up_port));
 }
 
 std::uint32_t SpanningTree::height() const {
@@ -147,54 +181,95 @@ std::vector<Edge> SpanningTree::edges(const PortGraph& g) const {
 
 SpanningTree bfs_tree(const PortGraph& g, NodeId root) {
   const std::size_t n = g.num_nodes();
+  if (root >= n) {
+    throw std::invalid_argument("bfs_tree: root out of range");
+  }
   std::vector<NodeId> parent(n, kNoNode);
+  std::vector<Port> up_port(n, kNoPort);
   std::vector<bool> seen(n, false);
   std::deque<NodeId> queue{root};
-  seen.at(root) = true;
-  while (!queue.empty()) {
+  seen[root] = true;
+  // Once every node is discovered the remaining row scans cannot assign
+  // another parent, so the traversal stops early — on dense graphs this
+  // turns the O(m) BFS into an O(sum of scanned rows) one.
+  std::size_t found = 1;
+  while (!queue.empty() && found < n) {
     const NodeId v = queue.front();
     queue.pop_front();
-    for (Port p = 0; p < g.degree(v); ++p) {
-      const NodeId u = g.neighbor(v, p).node;
-      if (!seen[u]) {
-        seen[u] = true;
-        parent[u] = v;
-        queue.push_back(u);
+    for (const Endpoint& e : g.neighbors(v)) {
+      if (e.node == kNoNode) continue;  // vacant slot in a builder-state row
+      if (!seen[e.node]) {
+        seen[e.node] = true;
+        parent[e.node] = v;
+        up_port[e.node] = e.port;  // e.port is at e.node, pointing back to v
+        queue.push_back(e.node);
+        ++found;
       }
     }
   }
-  return SpanningTree::from_parents(g, root, parent);
+  return SpanningTree::from_parent_ports(g, root, std::move(parent),
+                                         std::move(up_port));
 }
 
 SpanningTree dfs_tree(const PortGraph& g, NodeId root) {
   const std::size_t n = g.num_nodes();
+  if (root >= n) {
+    throw std::invalid_argument("dfs_tree: root out of range");
+  }
   std::vector<NodeId> parent(n, kNoNode);
+  std::vector<Port> up_port(n, kNoPort);
   std::vector<bool> seen(n, false);
-  // Iterative DFS; stack of (node, next port to try).
+  // Iterative DFS; stack of (node, next port to try). Ports are explored
+  // in ascending order, exactly as the per-port loop did. As in bfs_tree,
+  // the walk stops once every node has been discovered.
   std::vector<std::pair<NodeId, Port>> stack{{root, 0}};
-  seen.at(root) = true;
-  while (!stack.empty()) {
+  seen[root] = true;
+  std::size_t found = 1;
+  while (!stack.empty() && found < n) {
     auto& [v, p] = stack.back();
-    if (p >= g.degree(v)) {
+    const std::span<const Endpoint> row = g.neighbors(v);
+    if (p >= row.size()) {
       stack.pop_back();
       continue;
     }
-    const NodeId u = g.neighbor(v, p).node;
+    const Endpoint e = row[p];
     ++p;
-    if (!seen[u]) {
-      seen[u] = true;
-      parent[u] = v;
-      stack.emplace_back(u, 0);
+    if (e.node == kNoNode) continue;  // vacant slot in a builder-state row
+    if (!seen[e.node]) {
+      seen[e.node] = true;
+      parent[e.node] = v;
+      up_port[e.node] = e.port;
+      stack.emplace_back(e.node, 0);
+      ++found;
     }
   }
-  return SpanningTree::from_parents(g, root, parent);
+  return SpanningTree::from_parent_ports(g, root, std::move(parent),
+                                         std::move(up_port));
+}
+
+std::vector<Edge> edges_by_weight(const PortGraph& g) {
+  std::vector<Edge> all = g.edges();
+  // The paper's weight w(e) = min port is bounded by the maximum degree, so
+  // a counting sort bucketed by weight runs in O(m + Delta) — and, done as
+  // prefix-sum + forward scatter, it is STABLE: within a weight bucket
+  // edges keep their g.edges() order, which is exactly the tie-break the
+  // previous std::stable_sort implementation applied.
+  Port max_weight = 0;
+  for (const Edge& e : all) max_weight = std::max(max_weight, e.weight());
+  std::vector<std::size_t> bucket_start(static_cast<std::size_t>(max_weight) +
+                                            2,
+                                        0);
+  for (const Edge& e : all) ++bucket_start[e.weight() + 1];
+  for (std::size_t w = 1; w < bucket_start.size(); ++w) {
+    bucket_start[w] += bucket_start[w - 1];
+  }
+  std::vector<Edge> sorted(all.size());
+  for (const Edge& e : all) sorted[bucket_start[e.weight()]++] = e;
+  return sorted;
 }
 
 SpanningTree kruskal_mst(const PortGraph& g, NodeId root) {
-  std::vector<Edge> all = g.edges();
-  std::stable_sort(all.begin(), all.end(), [](const Edge& a, const Edge& b) {
-    return a.weight() < b.weight();
-  });
+  const std::vector<Edge> all = edges_by_weight(g);
   Dsu dsu(g.num_nodes());
   std::vector<Edge> chosen;
   chosen.reserve(g.num_nodes() - 1);

@@ -30,6 +30,15 @@ class SpanningTree {
   static SpanningTree from_edges(const PortGraph& g, NodeId root,
                                  const std::vector<Edge>& edges);
 
+  /// As from_parents, but with each node's up port supplied by the caller —
+  /// the traversal constructors (BFS/DFS/from_edges) learn it at discovery
+  /// time, which saves from_parents' O(deg) port_towards scan per node.
+  /// Every (parent, up port) pair is still verified against g, and the
+  /// spanning/acyclicity check still runs.
+  static SpanningTree from_parent_ports(const PortGraph& g, NodeId root,
+                                        std::vector<NodeId> parent,
+                                        std::vector<Port> up_port);
+
   NodeId root() const noexcept { return root_; }
   std::size_t num_nodes() const noexcept { return parent_.size(); }
 
@@ -66,6 +75,12 @@ SpanningTree bfs_tree(const PortGraph& g, NodeId root);
 
 /// Depth-first spanning tree (children explored in port order).
 SpanningTree dfs_tree(const PortGraph& g, NodeId root);
+
+/// All edges of g sorted ascending by the paper's weight w(e) = min port,
+/// ties broken by g.edges() order. Implemented as a stable counting sort
+/// bucketed by weight (bounded by the max degree): O(m + Delta) instead of
+/// the O(m log m) a comparison sort would pay.
+std::vector<Edge> edges_by_weight(const PortGraph& g);
 
 /// Minimum spanning tree under the paper's edge weight
 /// w(e) = min{port_u(e), port_v(e)} (Kruskal; ties broken by edge order).

@@ -47,6 +47,7 @@ SubdividedGraph subdivide_edges(const PortGraph& base,
     out.graph.add_edge(e.u, e.port_u, w, 0);
     out.graph.add_edge(e.v, e.port_v, w, 1);
   }
+  out.graph.freeze();
   return out;
 }
 

@@ -49,11 +49,11 @@ std::vector<std::uint32_t> bfs_distances(const PortGraph& g, NodeId root) {
   while (!queue.empty()) {
     const NodeId v = queue.front();
     queue.pop_front();
-    for (Port p = 0; p < g.degree(v); ++p) {
-      const NodeId u = g.neighbor(v, p).node;
-      if (dist[u] == kUnreachable) {
-        dist[u] = dist[v] + 1;
-        queue.push_back(u);
+    for (const Endpoint& e : g.neighbors(v)) {
+      if (e.node == kNoNode) continue;  // vacant slot in a builder-state row
+      if (dist[e.node] == kUnreachable) {
+        dist[e.node] = dist[v] + 1;
+        queue.push_back(e.node);
       }
     }
   }

@@ -1,6 +1,7 @@
 #include "oracle/neighborhood_oracle.h"
 
 #include <deque>
+#include <span>
 #include <string>
 
 #include "bitio/codecs.h"
@@ -27,8 +28,7 @@ std::vector<BitString> NeighborhoodOracle::advise(const PortGraph& g,
       queue.pop_front();
       if (dist[v] >= radius_) continue;
       inside.push_back(v);
-      for (Port p = 0; p < g.degree(v); ++p) {
-        const Endpoint e = g.neighbor(v, p);
+      for (const Endpoint& e : g.neighbors(v)) {
         if (dist[e.node] == 0xffffffffu) {
           dist[e.node] = dist[v] + 1;
           queue.push_back(e.node);
@@ -40,8 +40,9 @@ std::vector<BitString> NeighborhoodOracle::advise(const PortGraph& g,
     // are).
     std::vector<Edge> ball;
     for (const NodeId v : inside) {
-      for (Port p = 0; p < g.degree(v); ++p) {
-        const Endpoint e = g.neighbor(v, p);
+      const std::span<const Endpoint> row = g.neighbors(v);
+      for (Port p = 0; p < row.size(); ++p) {
+        const Endpoint e = row[p];
         const bool other_inside = dist[e.node] < radius_;
         if (other_inside && e.node < v) continue;  // recorded from its side
         ball.push_back(v < e.node ? Edge{v, p, e.node, e.port}

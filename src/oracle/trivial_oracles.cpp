@@ -18,8 +18,7 @@ BitString encode_graph_map(const PortGraph& g) {
   const int width = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)));
   for (NodeId v = 0; v < n; ++v) {
     append_doubled(out, static_cast<std::uint64_t>(g.degree(v)));
-    for (Port p = 0; p < g.degree(v); ++p) {
-      const Endpoint e = g.neighbor(v, p);
+    for (const Endpoint& e : g.neighbors(v)) {
       out.append_uint(e.node, width);
       out.append_uint(e.port, width);
     }

@@ -11,6 +11,7 @@
 //   * anonymity: hiding ids changes nothing (checked via totals).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -24,6 +25,7 @@
 #include "graph/builders.h"
 #include "graph/io.h"
 #include "graph/light_tree.h"
+#include "graph/spanning_tree.h"
 #include "graph/validate.h"
 #include "oracle/light_broadcast_oracle.h"
 #include "oracle/partial_tree_oracle.h"
@@ -114,6 +116,63 @@ TEST_P(FuzzSweep, AllPaperInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Range<std::uint64_t>(0, 40));
+
+// Storage-state property sweep: a frozen CSR graph and a never-frozen
+// builder rebuild of the same edges must be observationally identical,
+// and the counting-sort edge order must match the std::stable_sort it
+// replaced (see tests/test_csr_graph.cpp for the deterministic
+// per-family version of these properties).
+class CsrFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrFuzz, FrozenMatchesBuilderAndSortIsStable) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x517cc1b727220a95ULL + 3);
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.below(100));
+  const double p = rng.unit() * 0.5;
+  PortGraph g = make_random_connected(n, p, rng);
+  if (rng.chance(0.5)) g = shuffle_ports(g, rng);
+  ASSERT_TRUE(g.frozen());
+
+  PortGraph b(g.num_nodes());
+  for (const Edge& e : g.edges()) b.add_edge(e.u, e.port_u, e.v, e.port_v);
+  ASSERT_FALSE(b.frozen());
+  EXPECT_EQ(b.edges(), g.edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(b.degree(v), g.degree(v));
+    ASSERT_EQ(g.degree_u(v), g.degree(v));
+    const auto grow = g.neighbors(v);
+    const auto brow = b.neighbors(v);
+    ASSERT_EQ(grow.size(), brow.size());
+    for (Port q = 0; q < grow.size(); ++q) {
+      EXPECT_EQ(grow[q], brow[q]);
+      EXPECT_EQ(g.neighbor_u(v, q), b.neighbor(v, q));
+    }
+  }
+
+  std::vector<Edge> expect = g.edges();
+  std::stable_sort(
+      expect.begin(), expect.end(),
+      [](const Edge& a, const Edge& c) { return a.weight() < c.weight(); });
+  EXPECT_EQ(edges_by_weight(g), expect);
+  EXPECT_EQ(edges_by_weight(b), expect);
+
+  // Trees must not care about the storage state either.
+  const NodeId root = static_cast<NodeId>(rng.below(n));
+  const SpanningTree tg = bfs_tree(g, root);
+  const SpanningTree tb = bfs_tree(b, root);
+  const LightTreeResult lg = light_tree(g, root);
+  const LightTreeResult lb = light_tree(b, root);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(tg.parent(v), tb.parent(v));
+    EXPECT_EQ(tg.port_to_parent(v), tb.port_to_parent(v));
+    EXPECT_EQ(lg.tree.parent(v), lb.tree.parent(v));
+    EXPECT_EQ(lg.tree.child_ports(v), lb.tree.child_ports(v));
+  }
+  EXPECT_EQ(lg.contribution, lb.contribution);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrFuzz,
+                         ::testing::Range<std::uint64_t>(0, 30));
 
 // Loader fuzz: mutated serializations must either parse into a graph that
 // passes validate_ports, or throw GraphParseError — never assert, loop,

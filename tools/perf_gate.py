@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Performance gate over BENCH_perf_csr.json (bench_perf --csr-compare).
+
+Compares a freshly measured run against the committed baseline and fails
+when the frozen-CSR advise-phase speedup regresses by more than
+--max-regression (default 15%) on any row present in both files. Because
+both sides of every row (legacy nested-vector pipeline vs frozen-CSR
+pipeline) are re-measured on the same machine in the same process, the
+gated quantity is a dimensionless ratio: machine speed cancels, so the
+committed baseline stays meaningful on any hardware.
+
+Also enforces the absolute acceptance floors this layout shipped with:
+complete-family rows with n >= --floor-n must show at least --min-speedup
+on both advise tasks, and every row must keep a bytes-per-edge reduction
+of at least --min-mem-saved.
+
+Usage:
+    python3 tools/perf_gate.py --fresh BENCH_perf_csr.json \
+        --baseline BENCH_perf_csr.json.committed
+"""
+
+import argparse
+import json
+import sys
+
+SPEEDUP_KEYS = ("advise_wakeup_speedup", "advise_broadcast_speedup")
+
+
+def load_rows(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("bench") != "perf_csr":
+        sys.exit(f"{path}: not a bench_perf --csr-compare record")
+    return {(r["family"], r["n"]): r for r in data["rows"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="JSON from the run just measured")
+    ap.add_argument("--baseline", required=True,
+                    help="committed reference JSON")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="largest tolerated fractional speedup drop vs "
+                         "baseline (default 0.15)")
+    ap.add_argument("--regression-cap", type=float, default=8.0,
+                    help="speedups are clamped to this value before the "
+                         "regression comparison: past it the phase is no "
+                         "longer a bottleneck and the ratio (a huge "
+                         "denominator over a microsecond numerator) is "
+                         "dominated by timer noise")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="absolute advise-speedup floor on gated rows")
+    ap.add_argument("--floor-n", type=int, default=2048,
+                    help="complete-family rows with n >= this are held to "
+                         "--min-speedup")
+    ap.add_argument("--min-mem-saved", type=float, default=0.30,
+                    help="bytes-per-edge reduction floor on every row")
+    args = ap.parse_args()
+
+    fresh = load_rows(args.fresh)
+    base = load_rows(args.baseline)
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        sys.exit("no (family, n) rows shared between fresh and baseline")
+
+    failures = []
+    print(f"{'row':>22} | {'metric':>24} | {'base':>8} | {'fresh':>8}")
+    for key in shared:
+        family, n = key
+        frow, brow = fresh[key], base[key]
+        for metric in SPEEDUP_KEYS:
+            got, ref = frow[metric], brow[metric]
+            print(f"{family + ' n=' + str(n):>22} | {metric:>24} "
+                  f"| {ref:8.2f} | {got:8.2f}")
+            got_c = min(got, args.regression_cap)
+            ref_c = min(ref, args.regression_cap)
+            if got_c < ref_c * (1.0 - args.max_regression):
+                failures.append(
+                    f"{family} n={n}: {metric} regressed "
+                    f"{ref:.2f} -> {got:.2f} "
+                    f"(> {args.max_regression:.0%} drop)")
+            if (family == "complete" and n >= args.floor_n
+                    and got < args.min_speedup):
+                failures.append(
+                    f"{family} n={n}: {metric} {got:.2f} below the "
+                    f"{args.min_speedup}x acceptance floor")
+        saved = frow["bytes_reduction"]
+        if saved < args.min_mem_saved:
+            failures.append(
+                f"{family} n={n}: bytes_reduction {saved:.3f} below "
+                f"{args.min_mem_saved}")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nperf gate passed on {len(shared)} rows "
+          f"(max regression {args.max_regression:.0%}, "
+          f"floor {args.min_speedup}x on complete n>={args.floor_n})")
+
+
+if __name__ == "__main__":
+    main()
