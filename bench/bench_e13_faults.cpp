@@ -132,6 +132,10 @@ int main(int argc, char** argv) {
   bool json_enabled = true;
   bool smoke = false;
   std::size_t seeds = 0;  // 0 = default for the chosen size
+  // Optional intra-run sharding: routes qualifying runs through the
+  // sharded engine under the full fault matrix — the TSan CI configuration
+  // (identical results either way; see core/batch_runner.h ShardPolicy).
+  ShardPolicy shard;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
@@ -151,10 +155,15 @@ int main(int argc, char** argv) {
       seeds = static_cast<std::size_t>(std::stoull(next()));
     } else if (a == "--smoke") {
       smoke = true;
+    } else if (a == "--shards") {
+      shard.shards = static_cast<std::uint32_t>(std::stoull(next()));
+      if (shard.min_nodes == 0) shard.min_nodes = 2;
+    } else if (a == "--shard-min-nodes") {
+      shard.min_nodes = static_cast<std::size_t>(std::stoull(next()));
     } else {
       std::cerr << "error: unknown option '" << a
                 << "' (supported: --jobs N, --json FILE, --no-json, "
-                   "--seeds K, --smoke)\n";
+                   "--seeds K, --smoke, --shards N, --shard-min-nodes N)\n";
       return 2;
     }
   }
@@ -209,10 +218,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  const BatchRunner bare(jobs, /*advice_cache=*/true, RetryPolicy{0});
+  const BatchRunner bare(jobs, /*advice_cache=*/true, RetryPolicy{0}, shard);
   const RetryPolicy retry_policy{2, 0x9e3779b97f4a7c15ULL,
                                  /*retry_task_failures=*/true};
-  const BatchRunner retrying(jobs, /*advice_cache=*/true, retry_policy);
+  const BatchRunner retrying(jobs, /*advice_cache=*/true, retry_policy,
+                             shard);
   BatchStats bare_stats;
   const std::vector<TaskReport> bare_reports = bare.run(specs, &bare_stats);
   const std::vector<TaskReport> retry_reports = retrying.run(specs);

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "sim/execution_context.h"
+#include "sim/sharded_engine.h"
 
 namespace oraclesize {
 
@@ -76,6 +77,9 @@ struct TrialMetrics {
         faults_crashed_nodes(reg.counter("faults_crashed_nodes")),
         faults_dead_deliveries(reg.counter("faults_dead_deliveries")),
         faults_advice_flips(reg.counter("faults_advice_bits_flipped")),
+        sharded_trials(reg.counter("sharded_trials")),
+        sharded_epochs(reg.counter("sharded_epochs")),
+        cross_shard_messages(reg.counter("cross_shard_messages")),
         messages_per_trial(reg.histogram("messages_per_trial")),
         queue_depth_peak(reg.histogram("queue_depth_peak")),
         wakeup_latency(reg.histogram("wakeup_latency")) {}
@@ -107,6 +111,11 @@ struct TrialMetrics {
     faults_crashed_nodes.add(f.crashed_nodes);
     faults_dead_deliveries.add(f.dead_deliveries);
     faults_advice_flips.add(f.advice_bits_flipped);
+    if (report.shards > 1) {
+      sharded_trials.add();
+      sharded_epochs.add(report.epochs);
+      cross_shard_messages.add(report.cross_shard_messages);
+    }
     messages_per_trial.observe(m.messages_total);
     queue_depth_peak.observe(m.queue_depth_peak);
     for (const std::int64_t at : report.run.informed_at) {
@@ -133,13 +142,21 @@ struct TrialMetrics {
   Counter& faults_crashed_nodes;
   Counter& faults_dead_deliveries;
   Counter& faults_advice_flips;
+  Counter& sharded_trials;
+  Counter& sharded_epochs;
+  Counter& cross_shard_messages;
   Histogram& messages_per_trial;
   Histogram& queue_depth_peak;
   Histogram& wakeup_latency;
 };
 
+/// Executes one trial on whichever engine the caller hands in: `sharded`
+/// non-null routes the run through the sharded intra-run engine (and copies
+/// its per-run stats into the report), otherwise `context` runs it
+/// single-threaded. Both produce bit-identical RunResults.
 TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
-                     ExecutionContext& context) {
+                     ExecutionContext* context,
+                     ShardedExecutionContext* sharded) {
   TaskReport report;
   report.oracle_name = spec.oracle->name();
   report.algorithm_name = spec.algorithm->name();
@@ -160,8 +177,18 @@ TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
   RunOptions options = spec.options;
   if (spec.algorithm->is_wakeup()) options.enforce_wakeup = true;
   const auto started = std::chrono::steady_clock::now();
-  report.run =
-      context.run(*spec.graph, spec.source, *advice, *spec.algorithm, options);
+  if (sharded != nullptr) {
+    report.run = sharded->run(*spec.graph, spec.source, *advice,
+                              *spec.algorithm, options);
+    const ShardedRunStats& st = sharded->last_stats();
+    // A fallback replay executed single-threaded; report it as such.
+    report.shards = st.fell_back ? 1 : st.shards;
+    report.epochs = st.epochs;
+    report.cross_shard_messages = st.cross_shard_messages;
+  } else {
+    report.run = context->run(*spec.graph, spec.source, *advice,
+                              *spec.algorithm, options);
+  }
   report.run_ns = elapsed_ns(started);
   report.wall_ns = report.advise_ns + report.run_ns;
   return report;
@@ -170,8 +197,8 @@ TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
 }  // namespace
 
 BatchRunner::BatchRunner(std::size_t jobs, bool advice_cache,
-                         RetryPolicy retry)
-    : jobs_(jobs), advice_cache_(advice_cache), retry_(retry) {
+                         RetryPolicy retry, ShardPolicy shard)
+    : jobs_(jobs), advice_cache_(advice_cache), retry_(retry), shard_(shard) {
   if (jobs_ == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs_ = hw == 0 ? 1 : hw;
@@ -305,7 +332,8 @@ std::vector<TaskReport> BatchRunner::run_impl(
   // Fault-isolated trial execution with bounded, deterministically
   // re-seeded retry. Only the worker that claimed trial i touches
   // errors[i]/results[i], so no synchronization beyond the join is needed.
-  auto run_one = [&](std::size_t i, ExecutionContext& context) {
+  auto run_one = [&](std::size_t i, ExecutionContext* context,
+                     ShardedExecutionContext* sharded) {
     if (errors[i]) {
       // The advise() pre-pass already failed this spec; advise failures
       // are deterministic in the spec, so retrying cannot help.
@@ -317,7 +345,7 @@ std::vector<TaskReport> BatchRunner::run_impl(
     while (true) {
       TaskReport report;
       try {
-        report = run_trial(spec, prepared[i], context);
+        report = run_trial(spec, prepared[i], context, sharded);
       } catch (...) {
         errors[i] = std::current_exception();
         report = error_report(specs[i], what_of(errors[i]));
@@ -344,28 +372,61 @@ std::vector<TaskReport> BatchRunner::run_impl(
 
   // Each trial is observed exactly once, by the worker that claimed it,
   // after its LAST attempt settled.
-  auto run_and_observe = [&](std::size_t i, ExecutionContext& context) {
-    run_one(i, context);
+  auto run_and_observe = [&](std::size_t i, ExecutionContext* context,
+                             ShardedExecutionContext* sharded) {
+    run_one(i, context, sharded);
     if (trial_metrics) trial_metrics->observe(results[i]);
   };
 
-  if (workers <= 1) {
+  // Split off trials big enough for intra-run sharding. They run one at a
+  // time BEFORE the trial pool starts — the sharded engine wants every
+  // core to itself — and largest first (stable by spec index, mirroring
+  // the advise pre-pass), so the most expensive run is never the one the
+  // batch tail waits on. Result slots are fixed by spec index, so the
+  // reordering is invisible in the returned vector.
+  std::vector<std::size_t> pool_work;
+  pool_work.reserve(specs.size());
+  std::vector<std::size_t> sharded_work;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (shard_.enabled() && specs[i].graph->num_nodes() >= shard_.min_nodes) {
+      sharded_work.push_back(i);
+    } else {
+      pool_work.push_back(i);
+    }
+  }
+  if (!sharded_work.empty()) {
+    std::stable_sort(sharded_work.begin(), sharded_work.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return specs[a].graph->num_edges() >
+                              specs[b].graph->num_edges();
+                     });
+    ShardedExecutionContext sharded(shard_.shards);
+    for (const std::size_t i : sharded_work) {
+      run_and_observe(i, nullptr, &sharded);
+    }
+  }
+
+  const std::size_t pool_workers =
+      pool_work.size() < workers ? pool_work.size() : workers;
+  if (pool_workers <= 1) {
     ExecutionContext context;
-    for (std::size_t i = 0; i < specs.size(); ++i) run_and_observe(i, context);
+    for (const std::size_t i : pool_work) {
+      run_and_observe(i, &context, nullptr);
+    }
   } else {
     // Work-stealing by atomic counter: trial i's RESULT slot is fixed by
     // i, so results are in spec order no matter which worker claims which
     // trial.
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
+    pool.reserve(pool_workers);
+    for (std::size_t w = 0; w < pool_workers; ++w) {
       pool.emplace_back([&]() {
         ExecutionContext context;
         while (true) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= specs.size()) break;
-          run_and_observe(i, context);
+          const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= pool_work.size()) break;
+          run_and_observe(pool_work[k], &context, nullptr);
         }
       });
     }

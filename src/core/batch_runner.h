@@ -96,17 +96,34 @@ struct RetryPolicy {
   bool retry_task_failures = false;
 };
 
+/// Opt-in intra-run sharding (sim/sharded_engine.h) for oversized trials.
+/// Trials whose graph has at least `min_nodes` nodes are taken OFF the
+/// trial-level pool and run one at a time — largest first — on a sharded
+/// engine that dedicates `shards` workers to each such run; everything else
+/// still fans out across trials. Results stay bit-identical either way
+/// (the sharded engine's determinism contract), so the policy is purely a
+/// wall-clock decision: point min_nodes at the size where one trial
+/// dominates the batch. min_nodes = 0 (the default) disables sharding.
+struct ShardPolicy {
+  std::uint32_t shards = 0;   ///< workers per sharded run; 0 = hardware
+  std::size_t min_nodes = 0;  ///< graphs at/above this run sharded; 0 = off
+
+  bool enabled() const noexcept { return min_nodes > 0 && shards != 1; }
+};
+
 class BatchRunner {
  public:
   /// `jobs` = number of worker threads; 0 picks the hardware concurrency.
   /// `advice_cache` toggles the batch-wide advice memoization pre-pass.
   /// `retry` bounds re-execution of transient trial failures.
+  /// `shard` routes oversized trials through the sharded intra-run engine.
   explicit BatchRunner(std::size_t jobs = 0, bool advice_cache = true,
-                       RetryPolicy retry = {});
+                       RetryPolicy retry = {}, ShardPolicy shard = {});
 
   std::size_t jobs() const noexcept { return jobs_; }
   bool advice_cache() const noexcept { return advice_cache_; }
   const RetryPolicy& retry() const noexcept { return retry_; }
+  const ShardPolicy& shard() const noexcept { return shard_; }
 
   /// Executes every spec and returns one TaskReport per spec, in spec
   /// order. Throws std::invalid_argument on a null graph/oracle/algorithm
@@ -134,6 +151,7 @@ class BatchRunner {
   std::size_t jobs_;
   bool advice_cache_;
   RetryPolicy retry_;
+  ShardPolicy shard_;
 };
 
 }  // namespace oraclesize

@@ -37,55 +37,6 @@ namespace {
 
 }  // namespace
 
-std::size_t ExecutionContext::acquire_slot() {
-  if (!free_slots_.empty()) {
-    const std::size_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  pool_.emplace_back();
-  return pool_.size() - 1;
-}
-
-void ExecutionContext::heap_push(HeapEntry e) {
-  // Hole insertion: bubble the hole up, write the entry once at the end.
-  std::size_t i = heap_.size();
-  heap_.push_back(e);
-  if (heap_.size() > queue_peak_) queue_peak_ = heap_.size();
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!entry_before(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = e;
-}
-
-ExecutionContext::HeapEntry ExecutionContext::heap_pop() {
-  const HeapEntry top = heap_.front();
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  const std::size_t size = heap_.size();
-  if (size > 0) {
-    // Sift the hole down from the root, then drop `last` into it.
-    std::size_t i = 0;
-    while (true) {
-      const std::size_t left = 2 * i + 1;
-      if (left >= size) break;
-      const std::size_t right = left + 1;
-      std::size_t best = left;
-      if (right < size && entry_before(heap_[right], heap_[left])) {
-        best = right;
-      }
-      if (!entry_before(heap_[best], last)) break;
-      heap_[i] = heap_[best];
-      i = best;
-    }
-    heap_[i] = last;
-  }
-  return top;
-}
-
 void ExecutionContext::arm_behaviors(std::size_t n,
                                      const Algorithm& algorithm) {
   const bool reusable = algorithm.reusable();
@@ -225,10 +176,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
 
   scheduler_.reset(options.scheduler, options.seed, options.max_delay,
                    link_offset_[n]);
-  pool_.clear();
-  heap_.clear();
-  free_slots_.clear();
-  queue_peak_ = 0;
+  events_.clear();
   std::uint64_t seq = 0;
 
   if (options.trace) {
@@ -326,11 +274,12 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       if (mf.extra_delay > 0) ++result.faults.delayed;
       const int copies = mf.duplicate ? 2 : 1;
       for (int c = 0; c < copies; ++c) {
-        const std::size_t slot = acquire_slot();
-        pool_[slot] = Event{dst.node, dst.port, s.msg, result.informed[v]};
-        heap_push(HeapEntry{scheduler_.delivery_key(now, seq, link) +
-                                static_cast<std::int64_t>(mf.extra_delay),
-                            seq, slot});
+        const std::size_t slot = events_.acquire_slot();
+        events_.slot(slot) =
+            EngineEvent{dst.node, dst.port, s.msg, result.informed[v]};
+        events_.push({scheduler_.delivery_key(now, seq, link) +
+                          static_cast<std::int64_t>(mf.extra_delay),
+                      seq, slot});
         ++seq;
       }
     }
@@ -386,7 +335,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   bool timed_out = false;
   bool events_exhausted = false;
 
-  while (!heap_.empty() && result.violation.empty()) {
+  while (!events_.empty() && result.violation.empty()) {
     if (options.max_events > 0 && processed >= options.max_events) {
       events_exhausted = true;
       break;
@@ -399,11 +348,11 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       break;
     }
     ++processed;
-    const HeapEntry top = heap_pop();
+    const EventHeap::Entry top = events_.pop();
     // Move the event out before recycling its slot: submit() below may
     // acquire slots and grow the pool, invalidating references into it.
-    Event ev = std::move(pool_[top.slot]);
-    free_slots_.push_back(top.slot);
+    EngineEvent ev = std::move(events_.slot(top.slot));
+    events_.release_slot(top.slot);
     // Crash-stop: node v processes events with key strictly below its
     // crash key; anything at or after it lands on a dead node.
     if (faulty && top.key >= fault_plan_.crash_key(ev.to)) {
@@ -470,7 +419,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     result.outputs[v] = behaviors_[v]->output();
   }
   result.all_informed = (result.informed_count() == n);
-  result.metrics.queue_depth_peak = queue_peak_;
+  result.metrics.queue_depth_peak = events_.peak();
   if (timed_out) {
     result.status = RunStatus::kTimeout;
   } else if (events_exhausted || budget_hit) {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/event_heap.h"
 
 namespace oraclesize {
 
@@ -52,33 +53,6 @@ class ExecutionContext {
                 const Algorithm& algorithm, const RunOptions& options);
 
  private:
-  /// One in-flight message's payload, parked in the pool until delivery.
-  struct Event {
-    NodeId to = kNoNode;
-    Port at_port = kNoPort;
-    Message msg;
-    bool sender_informed = false;
-  };
-
-  /// Heap entries carry the ordering fields inline so sifting never
-  /// dereferences the pool: `key` is the delivery priority (lower first)
-  /// and `seq` the global send number — the tie-breaker that makes
-  /// delivery order a total order. `slot` indexes pool_.
-  struct HeapEntry {
-    std::int64_t key;
-    std::uint64_t seq;
-    std::size_t slot;
-  };
-
-  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return a.seq < b.seq;
-  }
-
-  std::size_t acquire_slot();
-  void heap_push(HeapEntry e);
-  HeapEntry heap_pop();
-
   /// (Re)populates behaviors_[0..n) for this run: pooled behaviors are
   /// re-armed with reset() when the algorithm allows it, otherwise fresh
   /// ones are constructed. Updates the pool identity bookkeeping.
@@ -91,11 +65,10 @@ class ExecutionContext {
   std::vector<BitString> corrupted_advice_;
   std::vector<NodeInput> inputs_;
   std::vector<std::unique_ptr<NodeBehavior>> behaviors_;
-  std::vector<Send> sends_;              ///< scratch sink, recycled per event
-  std::vector<Event> pool_;              ///< event storage (slots)
-  std::vector<HeapEntry> heap_;          ///< binary min-heap over the pool
-  std::size_t queue_peak_ = 0;           ///< heap high-water mark, per run
-  std::vector<std::size_t> free_slots_;  ///< recycled pool slots
+  std::vector<Send> sends_;  ///< scratch sink, recycled per event
+  /// Pending events: slot pool + (key, seq) index heap (sim/event_heap.h —
+  /// shared with the sharded engine, which runs one EventHeap per shard).
+  EventHeap events_;
   std::vector<std::uint64_t> link_offset_;  ///< prefix sums of degrees
   /// Behavior-pool identity: behaviors_[v] (v < pool_count_) were produced
   /// by a reusable algorithm named pool_algorithm_ and may be re-armed via

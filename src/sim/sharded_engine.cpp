@@ -1,0 +1,839 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace oraclesize {
+
+namespace {
+
+/// Mailbox totals below this are drained by the coordinator alone: waking
+/// the pool costs more than pushing a couple thousand queue entries.
+constexpr std::size_t kSerialDrainLimit = 2048;
+
+std::uint32_t resolve_shards(std::uint32_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::uint32_t>(hw) : 1u;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker pool: `shards - 1` persistent helper threads plus the calling
+// thread. parallel(tasks, fn) runs fn(0..tasks-1) with atomic work claiming;
+// fn must not throw (callers capture into Shard::error). Generation counting
+// under one mutex keeps the pool TSan-clean: every per-epoch handoff is a
+// locked write followed by locked reads, and the task metadata is only
+// dereferenced by threads that claimed an index for the current generation.
+// ---------------------------------------------------------------------------
+
+class ShardedExecutionContext::Workers {
+ public:
+  explicit Workers(unsigned helpers) {
+    threads_.reserve(helpers);
+    for (unsigned i = 0; i < helpers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Workers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void parallel(std::uint32_t tasks,
+                const std::function<void(std::uint32_t)>& fn) {
+    if (tasks == 0) return;
+    if (tasks == 1 || threads_.empty()) {
+      for (std::uint32_t i = 0; i < tasks; ++i) fn(i);
+      return;
+    }
+    std::uint64_t gen;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      tasks_ = tasks;
+      next_ = 0;
+      done_ = 0;
+      gen = ++generation_;
+    }
+    work_cv_.notify_all();
+    claim(gen);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return done_ == tasks_; });
+    fn_ = nullptr;
+  }
+
+ private:
+  // Claims indices for generation `gen` only: every claim re-checks the
+  // generation under the lock, so a worker that overslept one handoff and
+  // woke during a later one can neither dereference the earlier cycle's
+  // (long-destroyed) fn nor disturb the current cycle's counters. The lock
+  // is not hot — one claim per shard per barrier, each guarding a full
+  // epoch's worth of work.
+  void claim(std::uint64_t gen) {
+    while (true) {
+      const std::function<void(std::uint32_t)>* fn;
+      std::uint32_t i;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (generation_ != gen || fn_ == nullptr || next_ >= tasks_) return;
+        fn = fn_;
+        i = next_++;
+      }
+      (*fn)(i);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (generation_ == gen && ++done_ == tasks_) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock,
+                      [this, seen] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      claim(seen);
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::uint32_t)>* fn_ = nullptr;  // guarded by mu_
+  std::uint32_t tasks_ = 0;                                 // guarded by mu_
+  std::uint32_t next_ = 0;                                  // guarded by mu_
+  std::uint32_t done_ = 0;                                  // guarded by mu_
+  std::uint64_t generation_ = 0;                            // guarded by mu_
+  bool stop_ = false;                                       // guarded by mu_
+};
+
+// ---------------------------------------------------------------------------
+// ShardedExecutionContext
+// ---------------------------------------------------------------------------
+
+ShardedExecutionContext::ShardedExecutionContext(std::uint32_t shards)
+    : shards_(resolve_shards(shards)),
+      scheduler_(SchedulerKind::kSynchronous, 0, 1) {}
+
+ShardedExecutionContext::~ShardedExecutionContext() = default;
+
+RunResult ShardedExecutionContext::run(const PortGraph& g, NodeId source,
+                                       const std::vector<BitString>& advice,
+                                       const Algorithm& algorithm,
+                                       const RunOptions& options) {
+  const std::size_t n = g.num_nodes();
+  if (advice.size() != n) {
+    throw std::invalid_argument("run_execution: advice size != num nodes");
+  }
+  if (source >= n) throw std::invalid_argument("run_execution: bad source");
+
+  stats_ = ShardedRunStats{};
+  PartitionOptions popt;
+  popt.shards = shards_;
+  const Partition part = make_partition(g, popt);
+  if (part.num_shards() <= 1) {
+    return legacy_.run(g, source, advice, algorithm, options);
+  }
+
+  if (!workers_) {
+    workers_ = std::make_unique<Workers>(shards_ - 1);
+  }
+
+  RunResult result;
+  if (attempt(g, source, advice, algorithm, options, part, result)) {
+    return result;
+  }
+  // Divergence from the serial semantics was detected mid-epoch (or a
+  // behavior threw): discard the attempt and replay on the single-threaded
+  // engine, which reproduces the canonical result — or rethrows the
+  // canonical exception — exactly.
+  stats_.fell_back = true;
+  stats_.epochs = 0;
+  stats_.cross_shard_messages = 0;
+  return legacy_.run(g, source, advice, algorithm, options);
+}
+
+bool ShardedExecutionContext::attempt(const PortGraph& g, NodeId source,
+                                      const std::vector<BitString>& advice,
+                                      const Algorithm& algorithm,
+                                      const RunOptions& options,
+                                      const Partition& part,
+                                      RunResult& result) {
+  const std::size_t n = g.num_nodes();
+  const std::uint32_t S = part.num_shards();
+  stats_.shards = S;
+
+  result.informed.assign(n, false);
+  result.informed[source] = true;
+  result.sends_by_node.assign(n, 0);
+  result.informed_at.assign(n, RunResult::kNeverInformed);
+  result.informed_at[source] = 0;
+
+  // The sink stream is buffered for the whole attempt and flushed only on
+  // success: a fallback must leave no trace of the discarded attempt.
+  TraceSink* const sink = options.trace_sink;
+  sink_buf_.clear();
+
+  const bool faulty = options.fault.enabled();
+  const std::vector<BitString>* advice_used = &advice;
+  if (faulty) {
+    fault_plan_.arm(options.fault, n, source);
+    result.faults.crashed_nodes = fault_plan_.num_crashed();
+    if (fault_plan_.corrupts_advice()) {
+      result.faults.advice_bits_flipped =
+          fault_plan_.corrupt_advice(advice, corrupted_advice_);
+      advice_used = &corrupted_advice_;
+    }
+  }
+  const bool message_faulty = faulty && fault_plan_.message_faults();
+
+  // Global link ids: the frozen CSR offsets are exactly the prefix-summed
+  // degrees the engine keys faults and link clocks on; unfrozen test graphs
+  // pay for a computed copy.
+  const std::uint64_t* offsets = g.csr_offsets();
+  if (offsets == nullptr) {
+    link_offset_.resize(n + 1);
+    link_offset_[0] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      link_offset_[v + 1] = link_offset_[v] + g.degree(v);
+    }
+    offsets = link_offset_.data();
+  }
+
+  inputs_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    inputs_[v] = NodeInput{&(*advice_used)[v], v == source,
+                           options.anonymous ? Label{0} : g.label(v),
+                           g.degree(v)};
+  }
+
+  if (sink) {
+    const bool corrupted = advice_used != &advice;
+    for (NodeId v = 0; v < n; ++v) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kAdviceRead;
+      e.node = v;
+      e.aux = (*advice_used)[v].size();
+      e.flag = corrupted;
+      sink_buf_.push_back(e);
+    }
+    if (faulty) {
+      for (NodeId v = 0; v < n; ++v) {
+        const std::int64_t at = fault_plan_.crash_key(v);
+        if (at == FaultPlan::kNoCrash) continue;
+        TraceEvent e;
+        e.kind = TraceEventKind::kCrash;
+        e.node = v;
+        e.key = at;
+        sink_buf_.push_back(e);
+      }
+    }
+  }
+
+  shards_state_.resize(S);
+  for (std::uint32_t s = 0; s < S; ++s) {
+    Shard& sh = shards_state_[s];
+    sh.begin = part.begin(s);
+    sh.end = part.end(s);
+    sh.events.clear();
+    sh.outbox.resize(S);
+    sh.dropped = 0;
+    sh.delayed = 0;
+    sh.cross = 0;
+    sh.error = nullptr;
+  }
+
+  auto any_error = [&](const std::vector<std::uint32_t>* subset) {
+    if (subset) {
+      for (std::uint32_t s : *subset) {
+        if (shards_state_[s].error) return true;
+      }
+      return false;
+    }
+    for (Shard& sh : shards_state_) {
+      if (sh.error) return true;
+    }
+    return false;
+  };
+
+  // Behavior arming, shard-parallel. make_behavior is a const factory and
+  // reset() touches only the behavior itself, so distinct node ranges never
+  // share state. Any exception (reliable decode errors propagate in the
+  // serial engine; faulty ones become structured failures) is routed
+  // through the fallback, which replays the canonical semantics.
+  const bool reusable = algorithm.reusable();
+  const bool pool_matches =
+      reusable && pool_count_ > 0 && pool_algorithm_ == algorithm.name();
+  behaviors_.resize(n);
+  const std::size_t reuse = pool_matches ? std::min(pool_count_, n) : 0;
+  workers_->parallel(S, [&](std::uint32_t s) {
+    Shard& sh = shards_state_[s];
+    try {
+      for (NodeId v = sh.begin; v < sh.end; ++v) {
+        if (v < reuse) {
+          behaviors_[v]->reset(inputs_[v]);
+        } else {
+          behaviors_[v] = algorithm.make_behavior(inputs_[v]);
+        }
+      }
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+  });
+  if (any_error(nullptr)) {
+    // A partial arm leaves behaviors_ inconsistent with the pool
+    // bookkeeping; drop both so the next run rebuilds from scratch.
+    behaviors_.clear();
+    pool_algorithm_.clear();
+    pool_count_ = 0;
+    return false;
+  }
+  if (reusable) {
+    pool_algorithm_ = algorithm.name();
+    pool_count_ = n;
+  } else {
+    pool_algorithm_.clear();
+    pool_count_ = 0;
+  }
+
+  scheduler_.reset(options.scheduler, options.seed, options.max_delay,
+                   offsets[n]);
+
+  const SchedulerKind kind = options.scheduler;
+  // Fast barriers need delivery keys that are pure in (now, seq) and sends
+  // that consume exactly one sequence number each; stream-RNG schedulers,
+  // sinks, the legacy SentRecord trace, and duplication faults force the
+  // serial submit replica.
+  const bool fast = (kind == SchedulerKind::kSynchronous ||
+                     kind == SchedulerKind::kAsyncFifo ||
+                     kind == SchedulerKind::kAsyncLifo) &&
+                    sink == nullptr && !options.trace &&
+                    !(faulty && options.fault.duplicate > 0);
+
+  informed_.assign(n, 0);
+  informed_[source] = 1;
+
+  if (options.trace) {
+    result.trace.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+        options.max_messages, 2 * g.num_edges() + n)));
+  }
+
+  const Endpoint* const csr = g.csr_endpoints();
+  std::uint64_t seq = 0;
+  std::uint64_t inflight = 0;  // emulated single-queue size (V-trajectory)
+  std::uint64_t queue_peak = 0;
+
+  // --- serial barrier finalizer: full submit replica in global order ------
+  auto finalize_serial = [&](const std::vector<std::uint32_t>& parts) {
+    std::vector<std::uint32_t> cursor(parts.size(), 0);
+    while (true) {
+      std::size_t pick = parts.size();
+      std::uint64_t best = 0;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        const Shard& sh = shards_state_[parts[i]];
+        if (cursor[i] >= sh.processed.size()) continue;
+        const std::uint64_t order = sh.processed[cursor[i]].order;
+        if (pick == parts.size() || order < best) {
+          pick = i;
+          best = order;
+        }
+      }
+      if (pick == parts.size()) break;
+      const std::uint32_t p = parts[pick];
+      Shard& sh = shards_state_[p];
+      const ProcessedEvent& pe = sh.processed[cursor[pick]++];
+      if (sink) {
+        for (std::uint32_t t = pe.trace_begin; t < pe.trace_end; ++t) {
+          sink_buf_.push_back(sh.trace[t]);
+        }
+      }
+      if (pe.popped) {
+        --inflight;
+        if (pe.dead) {
+          ++result.faults.dead_deliveries;
+          continue;
+        }
+        ++result.metrics.deliveries;
+        if (pe.now > result.metrics.completion_key) {
+          result.metrics.completion_key = pe.now;
+        }
+      }
+      const NodeId v = pe.node;
+      if (pe.send_end != pe.send_begin && options.enforce_wakeup &&
+          !pe.informed) {
+        return false;  // wakeup violation: canonical run stops mid-epoch
+      }
+      const std::uint64_t deg = offsets[v + 1] - offsets[v];
+      for (std::uint32_t i = pe.send_begin; i < pe.send_end; ++i) {
+        const Send& s = sh.sends[i];
+        if (s.port >= deg) return false;  // invalid send
+        if (result.metrics.messages_total >= options.max_messages) {
+          return false;  // budget crossing mid-epoch
+        }
+        const std::uint64_t link = offsets[v] + s.port;
+        const Endpoint dst = csr ? csr[link] : g.neighbor(v, s.port);
+        result.metrics.count_send(s.msg);
+        ++result.sends_by_node[v];
+        if (options.trace) {
+          result.trace.push_back(
+              SentRecord{v, s.port, dst.node, s.msg.kind, pe.informed, pe.now});
+        }
+        if (sink) {
+          TraceEvent e;
+          e.kind = TraceEventKind::kSend;
+          e.node = v;
+          e.port = s.port;
+          e.peer = dst.node;
+          e.msg = s.msg.kind;
+          e.key = pe.now;
+          e.seq = seq;  // the first copy's sequence number: the fault key
+          e.link = link;
+          e.aux = s.msg.size_bits();
+          e.flag = pe.informed;
+          sink_buf_.push_back(e);
+        }
+        FaultPlan::MessageFault mf;
+        if (message_faulty) mf = fault_plan_.message_fault(seq, link);
+        if (sink && (mf.drop || mf.duplicate || mf.extra_delay > 0)) {
+          TraceEvent e;
+          e.kind = mf.drop ? TraceEventKind::kDrop
+                           : (mf.duplicate ? TraceEventKind::kDuplicate
+                                           : TraceEventKind::kDelay);
+          e.node = v;
+          e.port = s.port;
+          e.peer = dst.node;
+          e.msg = s.msg.kind;
+          e.key = pe.now;
+          e.seq = seq;
+          e.link = link;
+          e.aux = mf.extra_delay;
+          sink_buf_.push_back(e);
+          if (mf.duplicate && mf.extra_delay > 0) {
+            e.kind = TraceEventKind::kDelay;
+            sink_buf_.push_back(e);
+          }
+        }
+        if (mf.drop) {
+          ++result.faults.dropped;
+          ++seq;  // the dropped message still consumes its sequence number
+          continue;
+        }
+        if (mf.duplicate) ++result.faults.duplicated;
+        if (mf.extra_delay > 0) ++result.faults.delayed;
+        const int copies = mf.duplicate ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+          const std::int64_t key =
+              scheduler_.delivery_key(pe.now, seq, link) +
+              static_cast<std::int64_t>(mf.extra_delay);
+          const std::uint32_t d = part.shard_of(dst.node);
+          Shard& dsh = shards_state_[d];
+          const std::size_t slot = dsh.events.acquire_slot();
+          dsh.events.slot(slot) =
+              EngineEvent{dst.node, dst.port, s.msg, pe.informed};
+          dsh.events.push({key, seq, slot});
+          ++inflight;
+          if (inflight > queue_peak) queue_peak = inflight;
+          if (d != p) ++stats_.cross_shard_messages;
+          ++seq;
+        }
+      }
+    }
+    return true;
+  };
+
+  // --- fast barrier finalizer: serial validation, parallel routing --------
+  auto finalize_fast = [&](const std::vector<std::uint32_t>& parts) {
+    // Pass 1 (serial): merge order, violation/budget checks, sequence
+    // bases, and the cheap per-send counting the canonical engine does.
+    merge_order_.clear();
+    std::vector<std::uint32_t> cursor(parts.size(), 0);
+    while (true) {
+      std::size_t pick = parts.size();
+      std::uint64_t best = 0;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        const Shard& sh = shards_state_[parts[i]];
+        if (cursor[i] >= sh.processed.size()) continue;
+        const std::uint64_t order = sh.processed[cursor[i]].order;
+        if (pick == parts.size() || order < best) {
+          pick = i;
+          best = order;
+        }
+      }
+      if (pick == parts.size()) break;
+      const std::uint32_t p = parts[pick];
+      Shard& sh = shards_state_[p];
+      const std::uint32_t idx = cursor[pick]++;
+      ProcessedEvent& pe = sh.processed[idx];
+      merge_order_.emplace_back(p, idx);
+      if (pe.popped) {
+        if (pe.dead) {
+          ++result.faults.dead_deliveries;
+          continue;
+        }
+        ++result.metrics.deliveries;
+        if (pe.now > result.metrics.completion_key) {
+          result.metrics.completion_key = pe.now;
+        }
+      }
+      if (pe.send_end != pe.send_begin && options.enforce_wakeup &&
+          !pe.informed) {
+        return false;
+      }
+      const std::uint64_t deg = offsets[pe.node + 1] - offsets[pe.node];
+      for (std::uint32_t i = pe.send_begin; i < pe.send_end; ++i) {
+        const Send& s = sh.sends[i];
+        if (s.port >= deg) return false;
+        if (result.metrics.messages_total >= options.max_messages) {
+          return false;
+        }
+        result.metrics.count_send(s.msg);
+        ++result.sends_by_node[pe.node];
+      }
+      pe.seq_base = seq;
+      seq += pe.send_end - pe.send_begin;
+    }
+
+    // Pass 2 (parallel per source shard): fault decisions, delivery keys,
+    // routing into per-destination mailboxes. Pure per-send work — fault
+    // decisions are keyed on (seq, link), keys on (now, seq) — so shards
+    // never contend.
+    auto route = [&](std::uint32_t pi) {
+      const std::uint32_t p = parts[pi];
+      Shard& sh = shards_state_[p];
+      try {
+        for (auto& ob : sh.outbox) ob.clear();
+        for (ProcessedEvent& pe : sh.processed) {
+          pe.pushes = 0;
+          if (pe.dead) continue;
+          std::uint64_t sq = pe.seq_base;
+          for (std::uint32_t i = pe.send_begin; i < pe.send_end; ++i) {
+            const Send& s = sh.sends[i];
+            const std::uint64_t link = offsets[pe.node] + s.port;
+            FaultPlan::MessageFault mf;
+            if (message_faulty) mf = fault_plan_.message_fault(sq, link);
+            if (mf.drop) {
+              ++sh.dropped;
+              ++sq;
+              continue;
+            }
+            if (mf.extra_delay > 0) ++sh.delayed;
+            std::int64_t key;
+            switch (kind) {
+              case SchedulerKind::kSynchronous:
+                key = pe.now + 1;
+                break;
+              case SchedulerKind::kAsyncFifo:
+                key = static_cast<std::int64_t>(sq);
+                break;
+              default:  // kAsyncLifo — the only other fast-path kind
+                key = -static_cast<std::int64_t>(sq);
+                break;
+            }
+            key += static_cast<std::int64_t>(mf.extra_delay);
+            const Endpoint dst = csr ? csr[link] : g.neighbor(pe.node, s.port);
+            const std::uint32_t d = part.shard_of(dst.node);
+            sh.outbox[d].push_back(
+                MailboxEntry{key, sq, dst.node, dst.port, pe.informed, s.msg});
+            if (d != p) ++sh.cross;
+            ++pe.pushes;
+            ++sq;
+          }
+        }
+      } catch (...) {
+        sh.error = std::current_exception();
+      }
+    };
+    if (parts.size() == 1) {
+      route(0);
+    } else {
+      workers_->parallel(static_cast<std::uint32_t>(parts.size()), route);
+    }
+    if (any_error(&parts)) return false;
+
+    // Pass 3 (serial): replay the merge order against the effective push
+    // counts to reproduce the single queue's depth trajectory exactly.
+    std::size_t routed = 0;
+    for (const auto& [p, idx] : merge_order_) {
+      const ProcessedEvent& pe = shards_state_[p].processed[idx];
+      if (pe.popped) --inflight;
+      if (pe.pushes > 0) {
+        inflight += pe.pushes;
+        if (inflight > queue_peak) queue_peak = inflight;
+        routed += pe.pushes;
+      }
+    }
+
+    // Drain: move mailboxes into the destination queues. Insertion order
+    // into a queue is irrelevant — (key, seq) pairs are unique, so the pop
+    // sequence is a pure function of the queue's contents.
+    auto drain = [&](std::uint32_t d) {
+      Shard& dsh = shards_state_[d];
+      try {
+        for (std::uint32_t p : parts) {
+          for (MailboxEntry& e : shards_state_[p].outbox[d]) {
+            const std::size_t slot = dsh.events.acquire_slot();
+            dsh.events.slot(slot) = EngineEvent{e.to, e.at_port,
+                                                std::move(e.msg),
+                                                e.sender_informed};
+            dsh.events.push({e.key, e.seq, slot});
+          }
+        }
+      } catch (...) {
+        dsh.error = std::current_exception();
+      }
+    };
+    if (routed <= kSerialDrainLimit) {
+      for (std::uint32_t d = 0; d < S; ++d) drain(d);
+    } else {
+      workers_->parallel(S, drain);
+    }
+    return !any_error(nullptr);
+  };
+
+  // --- start phase: empty-history activations, shard-parallel -------------
+  workers_->parallel(S, [&](std::uint32_t s) {
+    Shard& sh = shards_state_[s];
+    sh.processed.clear();
+    sh.sends.clear();
+    sh.trace.clear();
+    try {
+      for (NodeId v = sh.begin; v < sh.end; ++v) {
+        // A node whose crash key is <= 0 is down before its activation.
+        if (faulty && fault_plan_.crash_key(v) <= 0) continue;
+        sh.scratch.clear();
+        behaviors_[v]->on_start(inputs_[v], sh.scratch);
+        if (sh.scratch.empty()) continue;  // nothing for the barrier to do
+        ProcessedEvent pe;
+        pe.order = v;
+        pe.now = 0;
+        pe.node = v;
+        pe.informed = informed_[v] != 0;
+        pe.trace_begin = pe.trace_end =
+            static_cast<std::uint32_t>(sh.trace.size());
+        pe.send_begin = static_cast<std::uint32_t>(sh.sends.size());
+        sh.sends.insert(sh.sends.end(), sh.scratch.begin(), sh.scratch.end());
+        pe.send_end = static_cast<std::uint32_t>(sh.sends.size());
+        sh.processed.push_back(pe);
+      }
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+  });
+  if (any_error(nullptr)) return false;
+
+  parts_.clear();
+  for (std::uint32_t s = 0; s < S; ++s) parts_.push_back(s);
+  if (!(fast ? finalize_fast(parts_) : finalize_serial(parts_))) return false;
+
+  // --- main loop: one epoch per barrier ------------------------------------
+  const bool has_deadline = options.deadline_ns > 0;
+  std::chrono::steady_clock::time_point deadline_at;
+  if (has_deadline) {
+    deadline_at = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(options.deadline_ns);
+  }
+  std::uint64_t processed = 0;
+  bool timed_out = false;
+  bool events_exhausted = false;
+
+  auto process_epoch = [&](std::uint32_t s, std::int64_t epoch_key) {
+    Shard& sh = shards_state_[s];
+    sh.processed.clear();
+    sh.sends.clear();
+    sh.trace.clear();
+    try {
+      while (!sh.events.empty() && sh.events.top_key() == epoch_key) {
+        const EventHeap::Entry top = sh.events.pop();
+        // Move the event out before recycling its slot: later pushes into
+        // this queue may grow the pool and invalidate references into it.
+        EngineEvent ev = std::move(sh.events.slot(top.slot));
+        sh.events.release_slot(top.slot);
+        ProcessedEvent pe;
+        pe.order = top.seq;
+        pe.now = top.key;
+        pe.node = ev.to;
+        pe.popped = true;
+        pe.trace_begin = static_cast<std::uint32_t>(sh.trace.size());
+        pe.send_begin = pe.send_end =
+            static_cast<std::uint32_t>(sh.sends.size());
+        // Crash-stop: node v processes events with key strictly below its
+        // crash key; anything at or after it lands on a dead node.
+        if (faulty && top.key >= fault_plan_.crash_key(ev.to)) {
+          pe.dead = true;
+          if (sink) {
+            TraceEvent e;
+            e.kind = TraceEventKind::kDeadDelivery;
+            e.node = ev.to;
+            e.port = ev.at_port;
+            e.msg = ev.msg.kind;
+            e.key = top.key;
+            e.seq = top.seq;
+            sh.trace.push_back(e);
+          }
+          pe.trace_end = static_cast<std::uint32_t>(sh.trace.size());
+          sh.processed.push_back(pe);
+          continue;
+        }
+        if (sink) {
+          const Endpoint from = g.neighbor(ev.to, ev.at_port);
+          TraceEvent e;
+          e.kind = TraceEventKind::kDeliver;
+          e.node = ev.to;
+          e.port = ev.at_port;
+          e.peer = from.node;
+          e.msg = ev.msg.kind;
+          e.key = top.key;
+          e.seq = top.seq;
+          e.link = offsets[from.node] + from.port;
+          e.aux = ev.msg.size_bits();
+          e.flag = ev.sender_informed;
+          sh.trace.push_back(e);
+        }
+        // The paper's informing rule: any message from an informed sender
+        // informs the receiver. informed_[v] and informed_at[v] are touched
+        // only by v's owner shard.
+        if (ev.sender_informed && !informed_[ev.to]) {
+          informed_[ev.to] = 1;
+          result.informed_at[ev.to] = top.key;
+          if (sink) {
+            TraceEvent e;
+            e.kind = TraceEventKind::kInformed;
+            e.node = ev.to;
+            e.peer = g.neighbor(ev.to, ev.at_port).node;
+            e.port = ev.at_port;
+            e.key = top.key;
+            e.seq = top.seq;
+            sh.trace.push_back(e);
+          }
+        }
+        sh.scratch.clear();
+        behaviors_[ev.to]->on_receive(inputs_[ev.to], ev.msg, ev.at_port,
+                                      sh.scratch);
+        pe.informed = informed_[ev.to] != 0;
+        sh.sends.insert(sh.sends.end(), sh.scratch.begin(),
+                        sh.scratch.end());
+        pe.send_end = static_cast<std::uint32_t>(sh.sends.size());
+        pe.trace_end = static_cast<std::uint32_t>(sh.trace.size());
+        sh.processed.push_back(pe);
+      }
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+  };
+
+  while (true) {
+    bool any = false;
+    std::int64_t epoch_key = 0;
+    for (std::uint32_t s = 0; s < S; ++s) {
+      const Shard& sh = shards_state_[s];
+      if (sh.events.empty()) continue;
+      const std::int64_t k = sh.events.top_key();
+      if (!any || k < epoch_key) epoch_key = k;
+      any = true;
+    }
+    if (!any) break;
+    if (options.max_events > 0 && processed >= options.max_events) {
+      events_exhausted = true;
+      break;
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline_at) {
+      timed_out = true;
+      break;
+    }
+    parts_.clear();
+    for (std::uint32_t s = 0; s < S; ++s) {
+      const Shard& sh = shards_state_[s];
+      if (!sh.events.empty() && sh.events.top_key() == epoch_key) {
+        parts_.push_back(s);
+      }
+    }
+    if (options.max_events > 0) {
+      // Pre-count the epoch: a budget edge landing inside it would stop the
+      // canonical engine mid-epoch, which only the fallback can reproduce.
+      std::size_t count = 0;
+      for (std::uint32_t s : parts_) {
+        count += shards_state_[s].events.count_key(epoch_key);
+      }
+      if (processed + count > options.max_events) return false;
+    }
+    ++stats_.epochs;
+    if (parts_.size() == 1) {
+      process_epoch(parts_[0], epoch_key);
+    } else {
+      const std::int64_t ek = epoch_key;
+      workers_->parallel(static_cast<std::uint32_t>(parts_.size()),
+                         [&, ek](std::uint32_t i) {
+                           process_epoch(parts_[i], ek);
+                         });
+    }
+    if (any_error(&parts_)) return false;
+    for (std::uint32_t s : parts_) {
+      processed += shards_state_[s].processed.size();
+    }
+    if (!(fast ? finalize_fast(parts_) : finalize_serial(parts_))) {
+      return false;
+    }
+  }
+
+  // --- epilogue (serial) ---------------------------------------------------
+  result.terminated.resize(n);
+  result.outputs.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.terminated[v] = behaviors_[v]->terminated();
+    result.outputs[v] = behaviors_[v]->output();
+    result.informed[v] = informed_[v] != 0;
+  }
+  result.all_informed = (result.informed_count() == n);
+  result.metrics.queue_depth_peak = queue_peak;
+  if (fast) {
+    for (std::uint32_t s = 0; s < S; ++s) {
+      result.faults.dropped += shards_state_[s].dropped;
+      result.faults.delayed += shards_state_[s].delayed;
+      stats_.cross_shard_messages += shards_state_[s].cross;
+    }
+  }
+  if (timed_out) {
+    result.status = RunStatus::kTimeout;
+  } else if (events_exhausted) {
+    result.status = RunStatus::kBudgetExhausted;
+  } else if (!result.all_informed) {
+    result.status = RunStatus::kTaskFailed;
+  } else {
+    result.status = RunStatus::kCompleted;
+  }
+
+  if (sink) {
+    TraceRunInfo info;
+    info.graph = &g;
+    info.advice = &advice;  // the ORIGINAL advice, pre-corruption
+    info.source = source;
+    info.algorithm = algorithm.name();
+    info.options = &options;
+    sink->begin_run(info);
+    for (const TraceEvent& e : sink_buf_) sink->record(e);
+    sink->end_run(result);
+  }
+  return true;
+}
+
+}  // namespace oraclesize

@@ -1,0 +1,127 @@
+// Sharded-engine golden pins: the determinism contract checked against the
+// SAME fixtures the single-threaded engine is pinned on.
+//
+// The replay matrix (tests/test_trace_replay.cpp) — six algorithms, two
+// schedulers, reliable and faulted — re-runs here at shard counts 2, 3,
+// and 8, demanding a bit-identical RunResult AND a bit-identical recorded
+// event stream against the shards=1 baseline for every cell. On top of
+// that, one absolute anchor: the golden wakeup trace digest from
+// tests/test_goldens.cpp must come out of the 8-shard engine unchanged.
+// If a sharded-engine change moves any of these, it changed observable
+// semantics, not just scheduling — there is no legitimate re-pin.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/replay.h"
+#include "core/runner.h"
+#include "core/wakeup.h"
+#include "graph/builders.h"
+#include "oracle/light_broadcast_oracle.h"
+#include "oracle/partial_tree_oracle.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
+#include "sim/execution_context.h"
+#include "sim/sharded_engine.h"
+#include "sim/trace_recorder.h"
+
+namespace oraclesize {
+namespace {
+
+PortGraph matrix_graph() {
+  Rng rng(515151);
+  return make_random_connected(48, 0.12, rng);
+}
+
+std::unique_ptr<Oracle> oracle_for(const std::string& algorithm) {
+  if (algorithm == "broadcast-B") {
+    return std::make_unique<LightBroadcastOracle>();
+  }
+  if (algorithm == "flooding") return std::make_unique<NullOracle>();
+  if (algorithm == "hybrid-wakeup") {
+    return std::make_unique<PartialTreeOracle>(0.5, 7);
+  }
+  return std::make_unique<TreeWakeupOracle>();
+}
+
+struct Recorded {
+  RunResult result;
+  std::uint64_t digest = 0;
+};
+
+TEST(ShardedGoldens, FullMatrixIdenticalAtEveryShardCount) {
+  const PortGraph g = matrix_graph();
+  ExecutionContext baseline;
+  int cells = 0;
+  for (const std::string& name : known_algorithms()) {
+    const Algorithm* algorithm = algorithm_by_name(name);
+    ASSERT_NE(algorithm, nullptr) << name;
+    const std::unique_ptr<Oracle> oracle = oracle_for(name);
+    const std::vector<BitString> advice = oracle->advise(g, 3);
+    for (const SchedulerKind sched :
+         {SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom}) {
+      for (const bool faulty : {false, true}) {
+        RunOptions opts;
+        opts.scheduler = sched;
+        opts.seed = 1234;
+        opts.enforce_wakeup = algorithm->is_wakeup();
+        if (faulty) {
+          opts.fault.seed = 88;
+          opts.fault.drop = 0.05;
+          opts.fault.duplicate = 0.05;
+          opts.fault.delay = 0.08;
+          opts.fault.crash = 0.04;
+          opts.fault.advice_flip = 0.02;
+        }
+        auto record = [&](auto& engine) {
+          TraceRecorder recorder;
+          RunOptions with_sink = opts;
+          with_sink.trace_sink = &recorder;
+          Recorded r;
+          r.result = engine.run(g, 3, advice, *algorithm, with_sink);
+          r.digest = recorder.take().digest();
+          return r;
+        };
+        const Recorded want = record(baseline);
+        for (const std::uint32_t shards : {2u, 3u, 8u}) {
+          ShardedExecutionContext engine(shards);
+          const Recorded got = record(engine);
+          const std::string cell = name + " / " + to_string(sched) +
+                                   (faulty ? " / faulty" : " / reliable") +
+                                   " / shards=" + std::to_string(shards);
+          EXPECT_EQ(got.result, want.result) << cell;
+          EXPECT_EQ(got.digest, want.digest) << cell;
+        }
+        ++cells;
+      }
+    }
+  }
+  EXPECT_EQ(cells, 24);
+}
+
+TEST(ShardedGoldens, GoldenWakeupDigestReproducedAtEightShards) {
+  // The absolute pin: the same constant test_goldens.cpp holds the
+  // single-threaded engine to, produced by the sharded engine.
+  Rng rng(20260706);
+  const PortGraph g = make_random_connected(100, 0.08, rng);
+  const TreeWakeupOracle oracle;
+  const WakeupTreeAlgorithm algorithm;
+  const std::vector<BitString> advice = oracle.advise(g, 0);
+  TraceRecorder recorder;
+  RunOptions opts;
+  opts.enforce_wakeup = true;
+  opts.trace_sink = &recorder;
+  ShardedExecutionContext engine(8);
+  const RunResult result = engine.run(g, 0, advice, algorithm, opts);
+  EXPECT_EQ(result.status, RunStatus::kCompleted);
+  RecordedTrace t = recorder.take();
+  t.header.oracle = oracle.name();
+  EXPECT_EQ(t.digest(), 12482672791752212186ULL);
+  EXPECT_FALSE(engine.last_stats().fell_back);
+  EXPECT_EQ(engine.last_stats().shards, 8u);
+}
+
+}  // namespace
+}  // namespace oraclesize

@@ -8,7 +8,7 @@
 //         wheel N | caterpillar S L | regular N D | gns N T | gnsc N K
 //   run <task> [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]
 //       [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]
-//       [--advice-file F] [--all-sources] [--jobs N] [--json]
+//       [--advice-file F] [--all-sources] [--jobs N] [--shards N] [--json]
 //       [--fault-rate P] [--fault-seed S] [--deadline-ms T] [--retries K]
 //       Read a network from stdin and run a task:
 //         wakeup | broadcast | flooding | census | gossip | hybrid
@@ -17,7 +17,10 @@
 //       are loaded from F (see `advise`).
 //       --all-sources runs the task once per source node through the batch
 //       runner; --jobs N sets its worker-thread count (0 = hardware);
-//       --json prints per-trial records as JSON instead of text.
+//       --shards N partitions each run itself across N workers (0 =
+//       hardware) via the sharded engine — results are bit-identical to
+//       the single-threaded path; --json prints per-trial records as JSON
+//       instead of text.
 //       --fault-rate P drops each message with probability P (seeded by
 //       --fault-seed); --deadline-ms caps each trial's wall clock;
 //       --retries K re-runs transient failures up to K times with
@@ -95,7 +98,8 @@ using namespace oraclesize;
       "  oraclesize_cli run <wakeup|broadcast|flooding|census|gossip|hybrid>\n"
       "      [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]\n"
       "      [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]\n"
-      "      [--advice-file F] [--all-sources] [--jobs N] [--json]\n"
+      "      [--advice-file F] [--all-sources] [--jobs N] [--shards N] "
+      "[--json]\n"
       "      [--fault-rate P] [--fault-seed S] [--deadline-ms T] "
       "[--retries K]\n"
       "      [--trace-file F] [--trace-level messages|full]\n"
@@ -148,6 +152,7 @@ struct Options {
   double fraction = 0.5;
   std::string advice_file;
   std::size_t jobs = 1;
+  std::uint32_t shards = 0;  ///< 0 = single-threaded runs (no sharding)
   bool json = false;
   bool all_sources = false;
   double fault_rate = 0.0;
@@ -181,6 +186,8 @@ std::vector<std::string> extract_options(std::vector<std::string> args,
       opts.advice_file = next();
     } else if (a == "--jobs") {
       opts.jobs = static_cast<std::size_t>(parse_u64(next(), "--jobs"));
+    } else if (a == "--shards") {
+      opts.shards = static_cast<std::uint32_t>(parse_u64(next(), "--shards"));
     } else if (a == "--json") {
       opts.json = true;
     } else if (a == "--all-sources") {
@@ -399,7 +406,14 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   // run is deterministic, so only infrastructure outcomes are retried.
   const RetryPolicy retry{opts.retries, 0x9e3779b97f4a7c15ULL,
                           /*retry_task_failures=*/opts.fault_rate > 0};
-  const BatchRunner runner(opts.jobs, /*advice_cache=*/true, retry);
+  // --shards N runs every trial's execution through the sharded intra-run
+  // engine (bit-identical results; sim/sharded_engine.h).
+  ShardPolicy shard;
+  if (opts.shards != 0) {
+    shard.shards = opts.shards;
+    shard.min_nodes = 2;
+  }
+  const BatchRunner runner(opts.jobs, /*advice_cache=*/true, retry, shard);
 
   std::vector<TaskReport> reports;
   if (opts.advice_file.empty()) {

@@ -1,18 +1,32 @@
 #!/usr/bin/env python3
-"""Performance gate over BENCH_perf_csr.json (bench_perf --csr-compare).
+"""Performance gate over the committed bench JSON baselines.
 
-Compares a freshly measured run against the committed baseline and fails
-when the frozen-CSR advise-phase speedup regresses by more than
---max-regression (default 15%) on any row present in both files. Because
-both sides of every row (legacy nested-vector pipeline vs frozen-CSR
-pipeline) are re-measured on the same machine in the same process, the
-gated quantity is a dimensionless ratio: machine speed cancels, so the
-committed baseline stays meaningful on any hardware.
+Dispatches on the file's "bench" field:
 
-Also enforces the absolute acceptance floors this layout shipped with:
-complete-family rows with n >= --floor-n must show at least --min-speedup
-on both advise tasks, and every row must keep a bytes-per-edge reduction
-of at least --min-mem-saved.
+perf_csr  (bench_perf --csr-compare)
+    Compares a freshly measured run against the committed baseline and
+    fails when the frozen-CSR advise-phase speedup regresses by more than
+    --max-regression (default 15%) on any row present in both files.
+    Because both sides of every row (legacy nested-vector pipeline vs
+    frozen-CSR pipeline) are re-measured on the same machine in the same
+    process, the gated quantity is a dimensionless ratio: machine speed
+    cancels, so the committed baseline stays meaningful on any hardware.
+    Also enforces the absolute acceptance floors this layout shipped with:
+    complete-family rows with n >= --floor-n must show at least
+    --min-speedup on both advise tasks, and every row must keep a
+    bytes-per-edge reduction of at least --min-mem-saved.
+
+perf_shard  (bench_perf --shard-scale)
+    Two checks, with very different portability:
+     * "identical" — the sharded engine reproduced the single-threaded
+       RunResult bit for bit. Machine-independent; a false on ANY host is
+       a correctness failure and always gates.
+     * speedup_vs_1 — only meaningful when the host has at least as many
+       cores as the row's shard count (the committed baseline may come
+       from a small CI box; a 1-core host runs 8 shards at a slowdown,
+       honestly). Rows where either side's recorded hardware_concurrency
+       is below the shard count are printed and SKIPPED, not gated; the
+       rest fail on a >--max-regression drop vs baseline.
 
 Usage:
     python3 tools/perf_gate.py --fresh BENCH_perf_csr.json \
@@ -26,40 +40,18 @@ import sys
 SPEEDUP_KEYS = ("advise_wakeup_speedup", "advise_broadcast_speedup")
 
 
-def load_rows(path):
+def load(path):
     with open(path) as fh:
         data = json.load(fh)
-    if data.get("bench") != "perf_csr":
-        sys.exit(f"{path}: not a bench_perf --csr-compare record")
-    return {(r["family"], r["n"]): r for r in data["rows"]}
+    if data.get("bench") not in ("perf_csr", "perf_shard"):
+        sys.exit(f"{path}: not a perf_gate-gated bench record "
+                 f"(bench = {data.get('bench')!r})")
+    return data
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--fresh", required=True,
-                    help="JSON from the run just measured")
-    ap.add_argument("--baseline", required=True,
-                    help="committed reference JSON")
-    ap.add_argument("--max-regression", type=float, default=0.15,
-                    help="largest tolerated fractional speedup drop vs "
-                         "baseline (default 0.15)")
-    ap.add_argument("--regression-cap", type=float, default=8.0,
-                    help="speedups are clamped to this value before the "
-                         "regression comparison: past it the phase is no "
-                         "longer a bottleneck and the ratio (a huge "
-                         "denominator over a microsecond numerator) is "
-                         "dominated by timer noise")
-    ap.add_argument("--min-speedup", type=float, default=2.0,
-                    help="absolute advise-speedup floor on gated rows")
-    ap.add_argument("--floor-n", type=int, default=2048,
-                    help="complete-family rows with n >= this are held to "
-                         "--min-speedup")
-    ap.add_argument("--min-mem-saved", type=float, default=0.30,
-                    help="bytes-per-edge reduction floor on every row")
-    args = ap.parse_args()
-
-    fresh = load_rows(args.fresh)
-    base = load_rows(args.baseline)
+def gate_csr(fresh_data, base_data, args):
+    fresh = {(r["family"], r["n"]): r for r in fresh_data["rows"]}
+    base = {(r["family"], r["n"]): r for r in base_data["rows"]}
     shared = sorted(set(fresh) & set(base))
     if not shared:
         sys.exit("no (family, n) rows shared between fresh and baseline")
@@ -92,13 +84,117 @@ def main():
                 f"{args.min_mem_saved}")
 
     if failures:
+        return failures
+    print(f"\nperf gate passed on {len(shared)} rows "
+          f"(max regression {args.max_regression:.0%}, "
+          f"floor {args.min_speedup}x on complete n>={args.floor_n})")
+    return []
+
+
+def gate_shard(fresh_data, base_data, args):
+    fresh = {(r["family"], r["n"], r["shards"]): r
+             for r in fresh_data["rows"]}
+    base = {(r["family"], r["n"], r["shards"]): r
+            for r in base_data["rows"]}
+    fresh_cores = int(fresh_data.get("hardware_concurrency", 0))
+    base_cores = int(base_data.get("hardware_concurrency", 0))
+
+    failures = []
+    # Bit-identity is machine-independent: gate every fresh row, shared or
+    # not — a new row that fails identity must not slip in ungated.
+    for key, row in sorted(fresh.items()):
+        family, n, shards = key
+        if shards > 1 and not row.get("identical", False):
+            failures.append(
+                f"{family} n={n} shards={shards}: sharded run NOT "
+                f"bit-identical to the single-threaded engine")
+
+    # Unlike perf_csr, an empty intersection is not an error: CI measures
+    # at a reduced --scale-n, so fresh rows may share no (family, n) with
+    # the committed million-node baseline. The identity check above already
+    # covered every fresh row; only the scaling comparison needs a match.
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        print("no (family, n, shards) rows shared with the baseline — "
+              "scaling comparison skipped (identity still gated on "
+              f"{len(fresh)} fresh rows)")
+        if not failures:
+            print("\nshard gate passed: identity-only")
+        return failures
+    print(f"cores: baseline={base_cores} fresh={fresh_cores}")
+    print(f"{'row':>34} | {'base x':>8} | {'fresh x':>8} | gate")
+    skipped = 0
+    gated_rows = 0
+    for key in shared:
+        family, n, shards = key
+        if shards <= 1:
+            continue
+        got = fresh[key]["speedup_vs_1"]
+        ref = base[key]["speedup_vs_1"]
+        label = f"{family} n={n} s={shards}"
+        if min(fresh_cores, base_cores) < shards:
+            print(f"{label:>34} | {ref:8.2f} | {got:8.2f} | skipped "
+                  f"(host has fewer cores than shards)")
+            skipped += 1
+            continue
+        gated_rows += 1
+        regressed = got < ref * (1.0 - args.max_regression)
+        print(f"{label:>34} | {ref:8.2f} | {got:8.2f} "
+              f"| {'FAIL' if regressed else 'ok'}")
+        if regressed:
+            failures.append(
+                f"{family} n={n} shards={shards}: speedup_vs_1 regressed "
+                f"{ref:.2f} -> {got:.2f} (> {args.max_regression:.0%} drop)")
+
+    if not failures:
+        print(f"\nshard gate passed: identity on {len(fresh)} fresh rows, "
+              f"scaling on {gated_rows} gated rows "
+              f"({skipped} skipped for core count)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="JSON from the run just measured")
+    ap.add_argument("--baseline", required=True,
+                    help="committed reference JSON")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="largest tolerated fractional speedup drop vs "
+                         "baseline (default 0.15)")
+    ap.add_argument("--regression-cap", type=float, default=8.0,
+                    help="speedups are clamped to this value before the "
+                         "regression comparison: past it the phase is no "
+                         "longer a bottleneck and the ratio (a huge "
+                         "denominator over a microsecond numerator) is "
+                         "dominated by timer noise")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="absolute advise-speedup floor on gated rows "
+                         "(perf_csr only)")
+    ap.add_argument("--floor-n", type=int, default=2048,
+                    help="complete-family rows with n >= this are held to "
+                         "--min-speedup (perf_csr only)")
+    ap.add_argument("--min-mem-saved", type=float, default=0.30,
+                    help="bytes-per-edge reduction floor on every row "
+                         "(perf_csr only)")
+    args = ap.parse_args()
+
+    fresh_data = load(args.fresh)
+    base_data = load(args.baseline)
+    if fresh_data["bench"] != base_data["bench"]:
+        sys.exit(f"bench kind mismatch: fresh is {fresh_data['bench']}, "
+                 f"baseline is {base_data['bench']}")
+
+    if fresh_data["bench"] == "perf_shard":
+        failures = gate_shard(fresh_data, base_data, args)
+    else:
+        failures = gate_csr(fresh_data, base_data, args)
+
+    if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         sys.exit(1)
-    print(f"\nperf gate passed on {len(shared)} rows "
-          f"(max regression {args.max_regression:.0%}, "
-          f"floor {args.min_speedup}x on complete n>={args.floor_n})")
 
 
 if __name__ == "__main__":
