@@ -12,11 +12,16 @@
 // record per trial, so it carries its own JSON writer instead of the
 // shared bench_common.h harness. Flags:
 //
-//   --jobs N     worker threads (default: hardware)
-//   --json FILE  output path (default BENCH_e13_faults.json)
-//   --no-json    skip the JSON file
-//   --seeds K    fault seeds per (family, scheme, mode, rate) cell
-//   --smoke      tiny graphs, one rate, 3 seeds — the CI configuration
+//   --jobs N           worker threads (default: hardware)
+//   --json FILE        output path (default BENCH_e13_faults.json)
+//   --no-json          skip the JSON file
+//   --seeds-per-cell K fault seeds per (family, scheme, mode, rate) cell
+//                      (default 8, smoke 3; --seeds is the legacy spelling)
+//   --no-seed-batch    run every trial scalar instead of collapsing each
+//                      cell's seed family onto the lockstep executor
+//                      (identical results either way; see core/batch_runner.h
+//                      SeedBatchPolicy)
+//   --smoke            tiny graphs, one rate, 3 seeds — the CI configuration
 //
 // Invariant asserted by CI: every rate-0 record has completion_rate 1.0
 // (the fault layer is invisible on the reliable network).
@@ -136,6 +141,9 @@ int main(int argc, char** argv) {
   // sharded engine under the full fault matrix — the TSan CI configuration
   // (identical results either way; see core/batch_runner.h ShardPolicy).
   ShardPolicy shard;
+  // Each cell's seeds form one seed family, so by default the sweep rides
+  // the lockstep executor; --no-seed-batch restores the scalar path.
+  SeedBatchPolicy seed_batch;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
@@ -151,10 +159,12 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (a == "--no-json") {
       json_enabled = false;
-    } else if (a == "--seeds") {
+    } else if (a == "--seeds" || a == "--seeds-per-cell") {
       seeds = static_cast<std::size_t>(std::stoull(next()));
     } else if (a == "--smoke") {
       smoke = true;
+    } else if (a == "--no-seed-batch") {
+      seed_batch.enabled = false;
     } else if (a == "--shards") {
       shard.shards = static_cast<std::uint32_t>(std::stoull(next()));
       if (shard.min_nodes == 0) shard.min_nodes = 2;
@@ -163,7 +173,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "error: unknown option '" << a
                 << "' (supported: --jobs N, --json FILE, --no-json, "
-                   "--seeds K, --smoke, --shards N, --shard-min-nodes N)\n";
+                   "--seeds-per-cell K, --smoke, --no-seed-batch, "
+                   "--shards N, --shard-min-nodes N)\n";
       return 2;
     }
   }
@@ -218,11 +229,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  const BatchRunner bare(jobs, /*advice_cache=*/true, RetryPolicy{0}, shard);
+  const BatchRunner bare(jobs, /*advice_cache=*/true, RetryPolicy{0}, shard,
+                         seed_batch);
   const RetryPolicy retry_policy{2, 0x9e3779b97f4a7c15ULL,
                                  /*retry_task_failures=*/true};
   const BatchRunner retrying(jobs, /*advice_cache=*/true, retry_policy,
-                             shard);
+                             shard, seed_batch);
   BatchStats bare_stats;
   const std::vector<TaskReport> bare_reports = bare.run(specs, &bare_stats);
   const std::vector<TaskReport> retry_reports = retrying.run(specs);
@@ -278,6 +290,10 @@ int main(int argc, char** argv) {
                   std::to_string(seeds) + " seeds/cell)");
   std::cout << "advice cache: " << bare_stats.unique_advice
             << " unique vectors served " << specs.size() << " trials\n";
+  std::cout << "seed batching: " << bare_stats.seed_families
+            << " families covered " << bare_stats.batched_lanes
+            << " trials (" << bare_stats.lockstep_shared
+            << " served by shared lockstep passes)\n";
 
   if (json_enabled) {
     std::ofstream out(json_path);

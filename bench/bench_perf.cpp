@@ -20,6 +20,14 @@
 //                                              counts 1/2/4/8, with a
 //                                              bit-identity check per row
 //                                              -> BENCH_perf_shard.json
+//   bench_perf --seed-batch [--lanes R] [--smoke] [--repeat N] [--jobs N]
+//              [--json F | --no-json]          seed-batched lockstep executor
+//                                              vs the scalar BatchRunner path
+//                                              on R-seed families, per
+//                                              (workload, scheme, fault mode)
+//                                              row, with a report-identity
+//                                              check per lane
+//                                              -> BENCH_perf_seedbatch.json
 //
 // With --repeat N >= 2 the sweep duplicates every (graph, oracle, source)
 // trial N times — the shape the advice cache is built for — runs the batch
@@ -41,10 +49,12 @@
 #include "bench_common.h"
 #include "legacy_ref.h"
 #include "core/broadcast_b.h"
+#include "core/flooding.h"
 #include "core/wakeup.h"
 #include "graph/light_tree.h"
 #include "oracle/light_broadcast_oracle.h"
 #include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
 #include "sim/execution_context.h"
 #include "sim/sharded_engine.h"
 #include "util/table.h"
@@ -677,6 +687,270 @@ int run_shard_scale(int argc, char** argv) {
   return all_identical ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --seed-batch: the seed-batched lockstep executor's measurement.
+//
+// Every row is one seed FAMILY: R trials identical up to their fault seed,
+// over one (workload, scheme, fault mode) cell. The scalar pass runs the
+// family through BatchRunner with SeedBatchPolicy disabled (R independent
+// engine runs); the batched pass re-runs the same specs with the policy on
+// (one lockstep pass + scalar replays for diverged lanes). Advice is
+// precomputed per (workload, scheme) and attached via TrialSpec::advice,
+// outside the timed region — the E13 regime the executor targets, where
+// the advice artifact is computed once per cell and reused across every
+// seed — so the timed quantity is run-execution throughput, not advise.
+// Both passes use the same jobs count (default 1), so the measured ratio
+// is pure deduplication, not parallelism — machine-independent, which is
+// what lets tools/perf_gate.py hold the committed baseline to an absolute
+// >= 10x floor on the fault-free rows. Every lane's TaskReport is compared
+// across the passes (RunResult bit-identity + attempt/advice fields);
+// "identical" is false on any mismatch and the binary exits 1.
+//
+// The fault modes ladder the divergence probability: "none" shares every
+// lane (the headline row), the drop/delay/crash/advice-flip rows document
+// how the speedup decays as lanes retire to scalar replay.
+// ---------------------------------------------------------------------------
+
+int run_seed_batch(int argc, char** argv) {
+  // 64 lanes by default: the batched pass costs one lockstep run plus a few
+  // microseconds of fan-out, so on a busy host the measurement needs a large
+  // scalar side to keep scheduler noise out of the ratio. (The ISSUE target
+  // is "R >= 32"; 64 satisfies it and is what CI and the committed baseline
+  // use.)
+  std::size_t lanes = 64;
+  std::size_t repeat = 3;
+  std::size_t jobs = 1;
+  bool smoke = false;
+  std::string json_path = "BENCH_perf_seedbatch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      lanes = std::max<std::size_t>(2, std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max<std::size_t>(1, std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::max<std::size_t>(1, std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      json_path.clear();
+    } else {
+      std::cerr << "error: unknown option '" << argv[i]
+                << "' (seed-batch supports: --lanes R, --smoke, --repeat N, "
+                   "--jobs N, --json FILE, --no-json)\n";
+      return 2;
+    }
+  }
+
+  Rng rng(0xbeefcafeULL);
+  std::vector<bench::Workload> loads;
+  if (smoke) {
+    loads.push_back(bench::timed_workload("complete", 64,
+                                          [] { return make_complete_star(64); }));
+    loads.push_back(bench::timed_workload("grid", 64,
+                                          [] { return make_grid(8, 8); }));
+    loads.push_back(bench::timed_workload(
+        "random-tree", 128, [&] { return make_random_tree(128, rng); }));
+  } else {
+    loads.push_back(bench::timed_workload(
+        "complete", 256, [] { return make_complete_star(256); }));
+    loads.push_back(bench::timed_workload("random(p=8/n)", 512, [&] {
+      return make_random_connected(512, 8.0 / 512.0, rng);
+    }));
+    loads.push_back(bench::timed_workload("grid", 576,
+                                          [] { return make_grid(24, 24); }));
+    loads.push_back(bench::timed_workload(
+        "random-tree", 512, [&] { return make_random_tree(512, rng); }));
+  }
+
+  const TreeWakeupOracle tree_oracle;
+  const LightBroadcastOracle light_oracle;
+  const NullOracle null_oracle;
+  const WakeupTreeAlgorithm wakeup;
+  const BroadcastBAlgorithm broadcast;
+  const FloodingAlgorithm flooding;
+  struct Scheme {
+    const char* name;
+    const Oracle* oracle;
+    const Algorithm* algorithm;
+    SchedulerKind scheduler;
+  };
+  // Only lockstep-eligible schedulers: the bench measures the executor, not
+  // its fallback (the fallback's identity is covered by the fuzz tests).
+  const Scheme schemes[] = {
+      {"wakeup", &tree_oracle, &wakeup, SchedulerKind::kSynchronous},
+      {"broadcast", &light_oracle, &broadcast, SchedulerKind::kAsyncFifo},
+      {"flooding", &null_oracle, &flooding, SchedulerKind::kAsyncLifo},
+  };
+  enum class FaultKind { kNone, kDrop, kDelay, kCrash, kAdviceFlip };
+  struct Mode {
+    const char* name;
+    double rate;
+    FaultKind kind;
+  };
+  const Mode modes[] = {
+      {"none", 0.0, FaultKind::kNone},
+      {"drop", 1e-4, FaultKind::kDrop},
+      {"drop", 1e-3, FaultKind::kDrop},
+      {"drop", 1e-2, FaultKind::kDrop},
+      {"delay", 1e-3, FaultKind::kDelay},
+      {"crash", 1e-3, FaultKind::kCrash},
+      {"advice-flip", 1e-3, FaultKind::kAdviceFlip},
+  };
+
+  const BatchRunner scalar_runner(jobs, true, {}, {}, SeedBatchPolicy{false});
+  const BatchRunner batched_runner(jobs, true, {}, {}, SeedBatchPolicy{true});
+
+  struct Row {
+    std::string family;
+    std::size_t n = 0;
+    std::string scheme;
+    std::string mode;
+    double rate = 0.0;
+    std::uint64_t scalar_ns = 0;
+    std::uint64_t batched_ns = 0;
+    double speedup = 0.0;
+    bool identical = true;
+    std::size_t shared = 0;
+    std::size_t replayed = 0;
+  };
+
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (const bench::Workload& w : loads) {
+    for (const Scheme& s : schemes) {
+      const AdvicePtr advice = std::make_shared<const std::vector<BitString>>(
+          s.oracle->advise(w.graph, 0));
+      for (const Mode& m : modes) {
+        RunOptions base;
+        base.scheduler = s.scheduler;
+        base.enforce_wakeup = s.algorithm->is_wakeup();
+        switch (m.kind) {
+          case FaultKind::kNone:
+            break;
+          case FaultKind::kDrop:
+            base.fault.drop = m.rate;
+            break;
+          case FaultKind::kDelay:
+            base.fault.delay = m.rate;
+            break;
+          case FaultKind::kCrash:
+            base.fault.crash = m.rate;
+            break;
+          case FaultKind::kAdviceFlip:
+            base.fault.advice_flip = m.rate;
+            break;
+        }
+        std::vector<TrialSpec> specs;
+        specs.reserve(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          RunOptions options = base;
+          options.fault.seed = 100 + 7 * l;
+          specs.emplace_back(&w.graph, 0, s.oracle, s.algorithm, options,
+                             advice);
+        }
+
+        Row row;
+        row.family = w.family;
+        row.n = w.graph.num_nodes();
+        row.scheme = s.name;
+        row.mode = m.name;
+        row.rate = m.rate;
+        row.scalar_ns = std::numeric_limits<std::uint64_t>::max();
+        row.batched_ns = std::numeric_limits<std::uint64_t>::max();
+        // One untimed batched run first: warms every allocation on the
+        // row's path and collects the shared/replayed split (deterministic,
+        // so reading it outside the timed runs changes nothing). The timed
+        // runs then pass no BatchStats — metric recording is keyed off the
+        // out-param, and it must not bias either side.
+        BatchStats batched_stats;
+        std::vector<TaskReport> batched_reports =
+            batched_runner.run(specs, &batched_stats);
+        std::vector<TaskReport> scalar_reports;
+        for (std::size_t r = 0; r < repeat; ++r) {
+          const auto t0 = std::chrono::steady_clock::now();
+          scalar_reports = scalar_runner.run(specs);
+          row.scalar_ns = std::min(row.scalar_ns, since_ns(t0));
+          const auto t1 = std::chrono::steady_clock::now();
+          batched_reports = batched_runner.run(specs);
+          row.batched_ns = std::min(row.batched_ns, since_ns(t1));
+        }
+        row.shared = batched_stats.lockstep_shared;
+        row.replayed = batched_stats.batched_lanes >= row.shared
+                           ? batched_stats.batched_lanes - row.shared
+                           : 0;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const TaskReport& a = scalar_reports[l];
+          const TaskReport& b = batched_reports[l];
+          if (!(a.run == b.run) || a.attempts != b.attempts ||
+              a.error != b.error || a.oracle_bits != b.oracle_bits ||
+              a.advice_cached != b.advice_cached) {
+            row.identical = false;
+          }
+        }
+        row.speedup = row.batched_ns > 0
+                          ? static_cast<double>(row.scalar_ns) /
+                                static_cast<double>(row.batched_ns)
+                          : 0.0;
+        all_identical = all_identical && row.identical;
+        rows.push_back(row);
+      }
+    }
+  }
+
+  Table t({"family", "n", "scheme", "mode", "rate", "scalar_ms", "batched_ms",
+           "speedup", "shared", "replayed", "identical"});
+  for (const Row& r : rows) {
+    t.row()
+        .cell(r.family)
+        .cell(r.n)
+        .cell(r.scheme)
+        .cell(r.mode)
+        .cell(r.rate, 4)
+        .cell(static_cast<double>(r.scalar_ns) / 1e6, 3)
+        .cell(static_cast<double>(r.batched_ns) / 1e6, 3)
+        .cell(r.speedup, 2)
+        .cell(r.shared)
+        .cell(r.replayed)
+        .cell(r.identical ? "yes" : "NO");
+  }
+  t.print(std::cout, "seed-batched lockstep vs scalar BatchRunner (" +
+                         std::to_string(lanes) + " lanes, min of " +
+                         std::to_string(repeat) + ", jobs=" +
+                         std::to_string(jobs) + ")");
+  std::cout << "report identity batched vs scalar: "
+            << (all_identical ? "all rows identical" : "MISMATCH") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << json_path << "\n";
+    } else {
+      out << "{\n  \"bench\": \"perf_seedbatch\",\n"
+          << "  \"lanes\": " << lanes << ",\n  \"jobs\": " << jobs
+          << ",\n  \"repeat\": " << repeat << ",\n  \"rows\": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << (i == 0 ? "\n" : ",\n") << "    {\"family\": \"" << r.family
+            << "\", \"n\": " << r.n << ", \"scheme\": \"" << r.scheme
+            << "\", \"mode\": \"" << r.mode << "\", \"rate\": " << r.rate
+            << ", \"lanes\": " << lanes
+            << ", \"scalar_ns\": " << r.scalar_ns
+            << ", \"batched_ns\": " << r.batched_ns
+            << ", \"speedup\": " << r.speedup
+            << ", \"shared\": " << r.shared
+            << ", \"replayed\": " << r.replayed << ", \"identical\": "
+            << (r.identical ? "true" : "false") << "}";
+      }
+      out << "\n  ]\n}\n";
+      std::cerr << "[bench] wrote " << rows.size()
+                << " seed-batch rows to " << json_path << "\n";
+    }
+  }
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -686,6 +960,7 @@ int main(int argc, char** argv) {
   bool sweep = false;
   bool csr_compare = false;
   bool shard_scale = false;
+  bool seed_batch = false;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strcmp(argv[i], "--sweep") == 0) {
       sweep = true;
@@ -693,11 +968,14 @@ int main(int argc, char** argv) {
       csr_compare = true;
     } else if (i > 0 && std::strcmp(argv[i], "--shard-scale") == 0) {
       shard_scale = true;
+    } else if (i > 0 && std::strcmp(argv[i], "--seed-batch") == 0) {
+      seed_batch = true;
     } else {
       rest.push_back(argv[i]);
     }
   }
   int rest_argc = static_cast<int>(rest.size());
+  if (seed_batch) return run_seed_batch(rest_argc, rest.data());
   if (shard_scale) return run_shard_scale(rest_argc, rest.data());
   if (csr_compare) return run_csr_compare(rest_argc, rest.data());
   if (sweep) return run_sweep(rest_argc, rest.data());

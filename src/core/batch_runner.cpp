@@ -12,9 +12,38 @@
 #include <utility>
 
 #include "sim/execution_context.h"
+#include "sim/seed_batch_engine.h"
 #include "sim/sharded_engine.h"
 
 namespace oraclesize {
+
+SeedFamilyKey seed_family_key(const TrialSpec& spec) {
+  SeedFamilyKey key;
+  key.graph = spec.graph;
+  key.source = spec.source;
+  if (spec.oracle != nullptr) key.oracle = spec.oracle->name();
+  key.algorithm = spec.algorithm;
+  key.advice = spec.advice.get();
+  const RunOptions& o = spec.options;
+  key.scheduler = o.scheduler;
+  key.max_delay = o.max_delay;
+  key.max_messages = o.max_messages;
+  key.enforce_wakeup = o.enforce_wakeup;
+  key.anonymous = o.anonymous;
+  key.trace = o.trace;
+  key.deadline_ns = o.deadline_ns;
+  key.max_events = o.max_events;
+  key.trace_sink = o.trace_sink;
+  key.fault_drop = o.fault.drop;
+  key.fault_duplicate = o.fault.duplicate;
+  key.fault_delay = o.fault.delay;
+  key.fault_max_extra_delay = o.fault.max_extra_delay;
+  key.fault_crash = o.fault.crash;
+  key.fault_max_crash_key = o.fault.max_crash_key;
+  key.fault_crash_source = o.fault.crash_source;
+  key.fault_advice_flip = o.fault.advice_flip;
+  return key;
+}
 
 namespace {
 
@@ -197,8 +226,13 @@ TaskReport run_trial(const TrialSpec& spec, const PreparedAdvice& prep,
 }  // namespace
 
 BatchRunner::BatchRunner(std::size_t jobs, bool advice_cache,
-                         RetryPolicy retry, ShardPolicy shard)
-    : jobs_(jobs), advice_cache_(advice_cache), retry_(retry), shard_(shard) {
+                         RetryPolicy retry, ShardPolicy shard,
+                         SeedBatchPolicy seed_batch)
+    : jobs_(jobs),
+      advice_cache_(advice_cache),
+      retry_(retry),
+      shard_(shard),
+      seed_batch_(seed_batch) {
   if (jobs_ == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs_ = hw == 0 ? 1 : hw;
@@ -384,16 +418,145 @@ std::vector<TaskReport> BatchRunner::run_impl(
   // the advise pre-pass), so the most expensive run is never the one the
   // batch tail waits on. Result slots are fixed by spec index, so the
   // reordering is invisible in the returned vector.
+  //
+  // What the shard split leaves is grouped by seed family: specs identical
+  // up to their seeds whose advice is already resolved (shared advice is
+  // what the lockstep pass amortizes — with the cache off every trial
+  // stays scalar, keeping the measurement baseline pure) and whose options
+  // the lockstep engine can honor become one FAMILY unit; everything else
+  // pools as scalar singles. Family membership is a pure function of the
+  // specs, so the unit list — like every result — is jobs-invariant.
   std::vector<std::size_t> pool_work;
   pool_work.reserve(specs.size());
   std::vector<std::size_t> sharded_work;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (shard_.enabled() && specs[i].graph->num_nodes() >= shard_.min_nodes) {
-      sharded_work.push_back(i);
-    } else {
-      pool_work.push_back(i);
+  std::vector<std::vector<std::size_t>> family_work;
+  {
+    std::vector<char> claimed(specs.size(), 0);
+    std::map<SeedFamilyKey, std::vector<std::size_t>> families;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (shard_.enabled() &&
+          specs[i].graph->num_nodes() >= shard_.min_nodes) {
+        sharded_work.push_back(i);
+        claimed[i] = 1;
+        continue;
+      }
+      if (seed_batch_.enabled && prepared[i].advice && !errors[i] &&
+          SeedBatchExecutionContext::lockstep_eligible(specs[i].options)) {
+        families[seed_family_key(specs[i])].push_back(i);
+      }
+    }
+    for (auto& [key, indices] : families) {
+      if (!seed_batch_.enabled_for(indices.size())) continue;
+      for (const std::size_t i : indices) claimed[i] = 1;
+      family_work.push_back(std::move(indices));
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!claimed[i]) pool_work.push_back(i);
     }
   }
+
+  // Per-unit count of trials whose FINAL attempt was served by a shared
+  // lockstep pass. Written only by the worker that owns the unit, summed
+  // serially after the join.
+  std::vector<std::size_t> family_shared(family_work.size(), 0);
+
+  // Executes one family unit: repeated lockstep passes over the lanes
+  // still pending, with the same per-trial retry/fault-isolation semantics
+  // as run_one. Retries shift only the two seeds, so every pass stays one
+  // family; lanes retire from `pending` as their attempts settle — shared
+  // lanes take the pass's RunResult, diverged lanes replay scalar on this
+  // worker's context, reproducing run_one report for report.
+  auto run_family = [&](std::size_t u, ExecutionContext* context,
+                        SeedBatchExecutionContext* batched) {
+    const std::vector<std::size_t>& members = family_work[u];
+    const TrialSpec& proto = specs[members.front()];
+    const AdvicePtr advice = prepared[members.front()].advice;
+    RunOptions base = proto.options;
+    if (proto.algorithm->is_wakeup()) base.enforce_wakeup = true;
+
+    struct LaneState {
+      std::size_t spec;
+      std::uint64_t seed;
+      std::uint64_t fault_seed;
+      std::uint32_t attempt;
+    };
+    std::vector<LaneState> pending;
+    pending.reserve(members.size());
+    for (const std::size_t i : members) {
+      pending.push_back(
+          {i, specs[i].options.seed, specs[i].options.fault.seed, 0});
+    }
+    std::vector<SeedBatchExecutionContext::Lane> lanes;
+    std::vector<SeedBatchExecutionContext::LaneDisposition> disp;
+    std::vector<LaneState> still_pending;
+    while (!pending.empty()) {
+      lanes.clear();
+      for (const LaneState& ls : pending) {
+        lanes.push_back({ls.seed, ls.fault_seed});
+      }
+      const auto started = std::chrono::steady_clock::now();
+      const RunResult& shared =
+          batched->run_lockstep(*proto.graph, proto.source, *advice,
+                                *proto.algorithm, base, lanes, disp);
+      const std::uint64_t lockstep_ns = elapsed_ns(started);
+      std::size_t shared_count = 0;
+      for (const auto d : disp) {
+        shared_count +=
+            d == SeedBatchExecutionContext::LaneDisposition::kShared;
+      }
+      // Shared lanes split the pass's wall clock evenly — timing is the
+      // one field outside the bit-identity contract, and an even split
+      // keeps batch totals comparable with the scalar path.
+      const std::uint64_t shared_ns =
+          shared_count ? lockstep_ns / shared_count : 0;
+      still_pending.clear();
+      for (std::size_t j = 0; j < pending.size(); ++j) {
+        const std::size_t i = pending[j].spec;
+        const bool lane_shared =
+            disp[j] == SeedBatchExecutionContext::LaneDisposition::kShared;
+        TaskReport report;
+        if (lane_shared) {
+          report.oracle_name = specs[i].oracle->name();
+          report.algorithm_name = specs[i].algorithm->name();
+          report.advise_ns = prepared[i].advise_ns;
+          report.advice_cached = prepared[i].cached;
+          report.oracle_bits = oracle_size_bits(*advice);
+          report.max_advice_bits = max_advice_bits(*advice);
+          report.run = shared;
+          report.run_ns = shared_ns;
+          report.wall_ns = report.advise_ns + report.run_ns;
+        } else {
+          TrialSpec attempt_spec = specs[i];
+          attempt_spec.options.seed = pending[j].seed;
+          attempt_spec.options.fault.seed = pending[j].fault_seed;
+          try {
+            report = run_trial(attempt_spec, prepared[i], context, nullptr);
+          } catch (...) {
+            errors[i] = std::current_exception();
+            report = error_report(specs[i], what_of(errors[i]));
+          }
+        }
+        report.attempts = pending[j].attempt + 1;
+        const bool transient =
+            report.failed() || report.run.status == RunStatus::kTimeout ||
+            report.run.status == RunStatus::kBudgetExhausted ||
+            (retry_.retry_task_failures &&
+             report.run.status == RunStatus::kTaskFailed);
+        if (!transient || pending[j].attempt >= retry_.max_retries) {
+          if (!report.failed()) errors[i] = nullptr;
+          if (lane_shared) ++family_shared[u];
+          results[i] = std::move(report);
+          if (trial_metrics) trial_metrics->observe(results[i]);
+        } else {
+          still_pending.push_back(
+              {i, pending[j].seed + retry_.reseed_stride,
+               pending[j].fault_seed + retry_.reseed_stride,
+               pending[j].attempt + 1});
+        }
+      }
+      pending.swap(still_pending);
+    }
+  };
   if (!sharded_work.empty()) {
     std::stable_sort(sharded_work.begin(), sharded_work.end(),
                      [&](std::size_t a, std::size_t b) {
@@ -406,27 +569,54 @@ std::vector<TaskReport> BatchRunner::run_impl(
     }
   }
 
+  // One heterogeneous work list for the pool: family units first (they are
+  // the batch's biggest chunks — a unit landing on the pool last would
+  // serialize the tail behind one worker), then scalar singles in spec
+  // order. Scheduling order affects wall clock only; every result slot is
+  // fixed by spec index.
+  struct WorkItem {
+    bool family;
+    std::size_t index;  ///< family_work index or spec index
+  };
+  std::vector<WorkItem> items;
+  items.reserve(family_work.size() + pool_work.size());
+  for (std::size_t u = 0; u < family_work.size(); ++u) {
+    items.push_back({true, u});
+  }
+  for (const std::size_t i : pool_work) items.push_back({false, i});
+
   const std::size_t pool_workers =
-      pool_work.size() < workers ? pool_work.size() : workers;
+      items.size() < workers ? items.size() : workers;
   if (pool_workers <= 1) {
     ExecutionContext context;
-    for (const std::size_t i : pool_work) {
-      run_and_observe(i, &context, nullptr);
+    SeedBatchExecutionContext batched;
+    for (const WorkItem& item : items) {
+      if (item.family) {
+        run_family(item.index, &context, &batched);
+      } else {
+        run_and_observe(item.index, &context, nullptr);
+      }
     }
   } else {
     // Work-stealing by atomic counter: trial i's RESULT slot is fixed by
     // i, so results are in spec order no matter which worker claims which
-    // trial.
+    // item (a family unit is claimed — and its members' slots written — by
+    // exactly one worker).
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(pool_workers);
     for (std::size_t w = 0; w < pool_workers; ++w) {
       pool.emplace_back([&]() {
         ExecutionContext context;
+        SeedBatchExecutionContext batched;
         while (true) {
           const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
-          if (k >= pool_work.size()) break;
-          run_and_observe(pool_work[k], &context, nullptr);
+          if (k >= items.size()) break;
+          if (items[k].family) {
+            run_family(items[k].index, &context, &batched);
+          } else {
+            run_and_observe(items[k].index, &context, nullptr);
+          }
         }
       });
     }
@@ -435,6 +625,13 @@ std::vector<TaskReport> BatchRunner::run_impl(
 
   // All remaining accounting reads final per-trial reports, so it can run
   // serially after the join (no atomics needed).
+  batch_stats.seed_families = family_work.size();
+  for (const std::vector<std::size_t>& members : family_work) {
+    batch_stats.batched_lanes += members.size();
+  }
+  for (const std::size_t s : family_shared) {
+    batch_stats.lockstep_shared += s;
+  }
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (results[i].failed()) ++batch_stats.failed;
     batch_stats.retries += results[i].attempts - 1;
@@ -452,6 +649,9 @@ std::vector<TaskReport> BatchRunner::run_impl(
     registry.counter("retries").add(batch_stats.retries);
     registry.counter("advice_cache_hits").add(batch_stats.cache_hits);
     registry.counter("advice_unique").add(batch_stats.unique_advice);
+    registry.counter("seed_families").add(batch_stats.seed_families);
+    registry.counter("batched_lanes").add(batch_stats.batched_lanes);
+    registry.counter("lockstep_shared_lanes").add(batch_stats.lockstep_shared);
     batch_stats.metrics = registry.snapshot();
   }
 

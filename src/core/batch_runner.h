@@ -15,6 +15,13 @@
 // `advice_cache = false` to restore per-trial advise() (the measurement
 // baseline for bench_perf --no-advice-cache).
 //
+// Seed-family collapsing: specs identical up to their two randomness seeds
+// (seed_family_key) are additionally grouped into FAMILY units and executed
+// by the seed-batched lockstep engine (sim/seed_batch_engine.h) — one clean
+// pass serves every lane whose fault decisions stay benign, divergent lanes
+// replay scalar inside the unit, and retries re-batch. SeedBatchPolicy
+// turns this off (bench_perf's scalar measurement arm does).
+//
 // Determinism contract: every trial is an independent, deterministic
 // function of its spec, and results are returned IN SPEC ORDER. The
 // RunResult for a given spec is bit-identical to what the single-trial
@@ -28,6 +35,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -64,6 +73,63 @@ struct TrialSpec {
   AdvicePtr advice;
 };
 
+/// Everything that must match for two TrialSpecs to be seed-family peers:
+/// the full spec identity minus the two randomness seeds (options.seed and
+/// options.fault.seed). Two specs with equal keys run the same (graph,
+/// source, oracle, algorithm, advice, options) and differ at most in which
+/// seeds they draw — exactly the shape the seed-batched lockstep executor
+/// (sim/seed_batch_engine.h) collapses into one pass. Identity is by
+/// pointer for the graph/algorithm/advice (keys are meaningful within one
+/// batch, not across processes) and by name for the oracle, matching the
+/// advise pre-pass key so family peers always share one cached advice
+/// artifact.
+struct SeedFamilyKey {
+  const PortGraph* graph = nullptr;
+  NodeId source = 0;
+  std::string oracle;
+  const Algorithm* algorithm = nullptr;
+  const void* advice = nullptr;  ///< TrialSpec::advice identity (may be null)
+  SchedulerKind scheduler = SchedulerKind::kSynchronous;
+  std::uint32_t max_delay = 0;
+  std::uint64_t max_messages = 0;
+  bool enforce_wakeup = false;
+  bool anonymous = false;
+  bool trace = false;
+  std::uint64_t deadline_ns = 0;
+  std::uint64_t max_events = 0;
+  const void* trace_sink = nullptr;
+  /// FaultPlanParams minus its seed.
+  double fault_drop = 0.0;
+  double fault_duplicate = 0.0;
+  double fault_delay = 0.0;
+  std::uint32_t fault_max_extra_delay = 0;
+  double fault_crash = 0.0;
+  std::uint32_t fault_max_crash_key = 0;
+  bool fault_crash_source = false;
+  double fault_advice_flip = 0.0;
+
+  friend bool operator==(const SeedFamilyKey&,
+                         const SeedFamilyKey&) = default;
+
+ private:
+  auto tie() const {
+    return std::tie(graph, source, oracle, algorithm, advice, scheduler,
+                    max_delay, max_messages, enforce_wakeup, anonymous, trace,
+                    deadline_ns, max_events, trace_sink, fault_drop,
+                    fault_duplicate, fault_delay, fault_max_extra_delay,
+                    fault_crash, fault_max_crash_key, fault_crash_source,
+                    fault_advice_flip);
+  }
+
+ public:
+  friend bool operator<(const SeedFamilyKey& a, const SeedFamilyKey& b) {
+    return a.tie() < b.tie();
+  }
+};
+
+/// The spec's seed-family identity. Pure in the spec; see SeedFamilyKey.
+SeedFamilyKey seed_family_key(const TrialSpec& spec);
+
 /// Aggregate accounting of one BatchRunner::run call.
 struct BatchStats {
   std::size_t unique_advice = 0;  ///< distinct advice vectors computed
@@ -72,6 +138,13 @@ struct BatchStats {
   std::uint64_t advise_ns = 0;  ///< total time inside advise() calls
   std::size_t failed = 0;   ///< trials that ended with TaskReport::failed()
   std::size_t retries = 0;  ///< extra attempts consumed across the batch
+  /// Seed-family collapsing (sim/seed_batch_engine.h): families routed
+  /// through the batched context, the trials they covered, and how many of
+  /// those trials' final attempts were served by a shared lockstep pass
+  /// (the rest replayed scalar inside the family unit).
+  std::size_t seed_families = 0;
+  std::size_t batched_lanes = 0;
+  std::size_t lockstep_shared = 0;
   /// Named cross-trial aggregates (sim/metrics_registry.h): trial outcomes,
   /// messages by kind, bits on wire, fault impact, and the queue-depth /
   /// per-node-wakeup-latency histograms. Recorded lock-free by the workers
@@ -89,7 +162,10 @@ struct BatchStats {
 /// failed the task (useful under fault injection, where a different fault
 /// seed can succeed). Each retry RE-SEEDS deterministically: attempt `a`
 /// runs with scheduler and fault seeds shifted by `a * reseed_stride`, so
-/// a retried batch is still a pure function of its specs.
+/// a retried batch is still a pure function of its specs. Because only the
+/// two seeds shift, a retried attempt stays in its spec's seed family
+/// (seed_family_key is seed-blind) — family units re-batch their pending
+/// retries into fresh lockstep passes instead of degrading to scalar.
 struct RetryPolicy {
   std::uint32_t max_retries = 0;  ///< 0 = retry disabled
   std::uint64_t reseed_stride = 0x9e3779b97f4a7c15ULL;
@@ -111,19 +187,42 @@ struct ShardPolicy {
   bool enabled() const noexcept { return min_nodes > 0 && shards != 1; }
 };
 
+/// Automatic seed-family collapsing (ON by default). Specs identical up to
+/// their seeds (seed_family_key) are grouped and routed through one
+/// seed-batched lockstep context (sim/seed_batch_engine.h) as a single
+/// work unit; per-trial TaskReports are fanned back out bit-identical to
+/// the scalar path, so the policy — like ShardPolicy — is purely a
+/// wall-clock decision. Families only form over resolved shared advice:
+/// with the advice cache off (the measurement baseline) every trial stays
+/// scalar. Trials claimed by ShardPolicy are never batched.
+struct SeedBatchPolicy {
+  bool enabled = true;
+  /// Smallest family routed through the batched context; families below it
+  /// (and every spec without family peers) run scalar. Minimum meaningful
+  /// value is 2.
+  std::size_t min_lanes = 2;
+
+  bool enabled_for(std::size_t lanes) const noexcept {
+    return enabled && lanes >= (min_lanes < 2 ? 2 : min_lanes);
+  }
+};
+
 class BatchRunner {
  public:
   /// `jobs` = number of worker threads; 0 picks the hardware concurrency.
   /// `advice_cache` toggles the batch-wide advice memoization pre-pass.
   /// `retry` bounds re-execution of transient trial failures.
   /// `shard` routes oversized trials through the sharded intra-run engine.
+  /// `seed_batch` collapses seed families onto the lockstep executor.
   explicit BatchRunner(std::size_t jobs = 0, bool advice_cache = true,
-                       RetryPolicy retry = {}, ShardPolicy shard = {});
+                       RetryPolicy retry = {}, ShardPolicy shard = {},
+                       SeedBatchPolicy seed_batch = {});
 
   std::size_t jobs() const noexcept { return jobs_; }
   bool advice_cache() const noexcept { return advice_cache_; }
   const RetryPolicy& retry() const noexcept { return retry_; }
   const ShardPolicy& shard() const noexcept { return shard_; }
+  const SeedBatchPolicy& seed_batch() const noexcept { return seed_batch_; }
 
   /// Executes every spec and returns one TaskReport per spec, in spec
   /// order. Throws std::invalid_argument on a null graph/oracle/algorithm
@@ -152,6 +251,7 @@ class BatchRunner {
   bool advice_cache_;
   RetryPolicy retry_;
   ShardPolicy shard_;
+  SeedBatchPolicy seed_batch_;
 };
 
 }  // namespace oraclesize

@@ -55,11 +55,24 @@ void FaultPlan::arm(const FaultPlanParams& params, std::size_t num_nodes,
   }
 }
 
+std::uint64_t FaultPlan::message_prekey(std::uint64_t seq,
+                                        std::uint64_t link) noexcept {
+  // keyed_rng(seed, kMessageTag, seq, link) seeds with
+  // mix64(seed ^ mix64(kMessageTag ^ mix64(seq ^ mix64(link)))); everything
+  // inside the outer mix except the seed is this prekey.
+  return mix64(kMessageTag ^ mix64(seq ^ mix64(link)));
+}
+
 FaultPlan::MessageFault FaultPlan::message_fault(std::uint64_t seq,
                                                  std::uint64_t link) const {
+  return message_fault_prekeyed(message_prekey(seq, link));
+}
+
+FaultPlan::MessageFault FaultPlan::message_fault_prekeyed(
+    std::uint64_t prekey) const {
   MessageFault fault;
   if (!message_faults_) return fault;
-  Rng rng = keyed_rng(params_.seed, kMessageTag, seq, link);
+  Rng rng(mix64(params_.seed ^ prekey));
   if (params_.drop > 0 && rng.chance(params_.drop)) {
     fault.drop = true;
     return fault;  // a lost message can be neither duplicated nor delayed
@@ -70,6 +83,17 @@ FaultPlan::MessageFault FaultPlan::message_fault(std::uint64_t seq,
         1 + static_cast<std::uint32_t>(rng.below(params_.max_extra_delay));
   }
   return fault;
+}
+
+bool FaultPlan::corrupts_any_bit(const std::vector<BitString>& in) const {
+  if (params_.advice_flip <= 0) return false;
+  for (NodeId v = 0; v < in.size(); ++v) {
+    Rng rng = keyed_rng(params_.seed, kAdviceTag, v, in[v].size());
+    for (std::size_t i = 0; i < in[v].size(); ++i) {
+      if (rng.chance(params_.advice_flip)) return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t FaultPlan::corrupt_advice(const std::vector<BitString>& in,

@@ -98,6 +98,19 @@ class FaultPlan {
   /// dense directed-link index `link`. Pure in (params, seq, link).
   MessageFault message_fault(std::uint64_t seq, std::uint64_t link) const;
 
+  /// The seed-independent half of the message keying: one mix chain over
+  /// (seq, link), shared by every plan consulted about the same message.
+  /// The seed-batched executor (sim/seed_batch_engine.h) computes this once
+  /// per message and asks each lane's plan via message_fault_prekeyed, so an
+  /// R-lane fault mask costs one shared chain plus one mix per lane instead
+  /// of R full chains. message_fault(seq, link) is defined as
+  /// message_fault_prekeyed(message_prekey(seq, link)) — bit-identical.
+  static std::uint64_t message_prekey(std::uint64_t seq,
+                                      std::uint64_t link) noexcept;
+
+  /// message_fault with the (seq, link) half of the keying precomputed.
+  MessageFault message_fault_prekeyed(std::uint64_t prekey) const;
+
   /// Scheduler key at which node v crash-stops (it processes events with
   /// key strictly below this); kNoCrash for healthy nodes.
   std::int64_t crash_key(NodeId v) const noexcept {
@@ -113,6 +126,12 @@ class FaultPlan {
   /// batched trials share immutable advice vectors.
   std::uint64_t corrupt_advice(const std::vector<BitString>& in,
                                std::vector<BitString>& out) const;
+
+  /// True when corrupt_advice(in, ...) would flip at least one bit. Draws
+  /// the same per-(node, bit) decisions as corrupt_advice but stops at the
+  /// first flip and writes nothing — the seed-batched executor's cheap
+  /// "does this lane's advice stay clean?" eligibility probe.
+  bool corrupts_any_bit(const std::vector<BitString>& in) const;
 
  private:
   FaultPlanParams params_;

@@ -1,0 +1,357 @@
+#include "sim/seed_batch_engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace oraclesize {
+
+namespace {
+
+// Cold formatting helpers, duplicated from the scalar engine so violation
+// strings in the shared result match ExecutionContext's byte for byte (the
+// bit-identity contract covers RunResult::violation).
+[[gnu::cold]] std::string format_wakeup_violation(NodeId v) {
+  std::ostringstream os;
+  os << "wakeup violation: uninformed node " << v << " transmitted";
+  return os.str();
+}
+
+[[gnu::cold]] std::string format_invalid_send(NodeId v, Port port,
+                                              std::size_t degree) {
+  std::ostringstream os;
+  os << "invalid send: node " << v << " port " << port << " (degree " << degree
+     << ")";
+  return os.str();
+}
+
+[[gnu::cold]] std::string format_behavior_exception(const char* what) {
+  std::string s = "behavior exception: ";
+  s += what;
+  return s;
+}
+
+}  // namespace
+
+bool SeedBatchExecutionContext::lockstep_eligible(
+    const RunOptions& base) noexcept {
+  switch (base.scheduler) {
+    case SchedulerKind::kSynchronous:
+    case SchedulerKind::kAsyncFifo:
+    case SchedulerKind::kAsyncLifo:
+      break;
+    default:
+      // kAsyncRandom / kAsyncLinkFifo consume a seeded stream in draw
+      // order; two lanes with different engine seeds share no stream.
+      return false;
+  }
+  return !base.trace && base.trace_sink == nullptr && base.deadline_ns == 0;
+}
+
+void SeedBatchExecutionContext::arm_behaviors(std::size_t n,
+                                              const Algorithm& algorithm) {
+  const bool reusable = algorithm.reusable();
+  const bool pool_matches =
+      reusable && pool_count_ > 0 && pool_algorithm_ == algorithm.name();
+  behaviors_.resize(n);
+  const std::size_t reuse = pool_matches ? std::min(pool_count_, n) : 0;
+  for (NodeId v = 0; v < reuse; ++v) {
+    behaviors_[v]->reset(inputs_[v]);
+  }
+  for (NodeId v = reuse; v < n; ++v) {
+    behaviors_[v] = algorithm.make_behavior(inputs_[v]);
+  }
+  if (reusable) {
+    pool_algorithm_ = algorithm.name();
+    pool_count_ = n;
+  } else {
+    pool_algorithm_.clear();
+    pool_count_ = 0;
+  }
+}
+
+const RunResult& SeedBatchExecutionContext::run_lockstep(
+    const PortGraph& g, NodeId source, const std::vector<BitString>& advice,
+    const Algorithm& algorithm, const RunOptions& base,
+    const std::vector<Lane>& lanes,
+    std::vector<LaneDisposition>& dispositions) {
+  const std::size_t n = g.num_nodes();
+  if (advice.size() != n) {
+    throw std::invalid_argument("run_execution: advice size != num nodes");
+  }
+  if (source >= n) throw std::invalid_argument("run_execution: bad source");
+
+  stats_ = SeedBatchStats{};
+  stats_.lanes = static_cast<std::uint32_t>(lanes.size());
+  result_ = RunResult();
+  dispositions.assign(lanes.size(), LaneDisposition::kShared);
+  if (lanes.empty()) return result_;
+
+  if (!lockstep_eligible(base)) {
+    dispositions.assign(lanes.size(), LaneDisposition::kReplay);
+    stats_.replayed = stats_.lanes;
+    return result_;
+  }
+  stats_.lockstep_ran = true;
+
+  // The fault rates are family-shared (only the seed is per-lane), so
+  // either every lane runs a fault plan or none does — and likewise the
+  // message-fault mask is armed for all enabled lanes or for none.
+  const bool family_faulty = base.fault.enabled();
+  std::uint32_t shared = static_cast<std::uint32_t>(lanes.size());
+  active_mask_lanes_.clear();
+  if (family_faulty) {
+    lane_plans_.resize(lanes.size());
+    for (std::uint32_t l = 0; l < lanes.size(); ++l) {
+      FaultPlanParams params = base.fault;
+      params.seed = lanes[l].fault_seed;
+      lane_plans_[l].arm(params, n, source);
+      // A lane leaves the clean stream the moment any fault materializes:
+      // a scheduled crash or a flipped advice bit is known at arm time, so
+      // such lanes retire before the pass even starts.
+      if (lane_plans_[l].num_crashed() > 0 ||
+          (lane_plans_[l].corrupts_advice() &&
+           lane_plans_[l].corrupts_any_bit(advice))) {
+        dispositions[l] = LaneDisposition::kReplay;
+        --shared;
+        continue;
+      }
+      if (lane_plans_[l].message_faults()) active_mask_lanes_.push_back(l);
+    }
+  }
+  bool aborted = shared == 0;
+
+  result_.informed.assign(n, false);
+  result_.informed[source] = true;
+  result_.sends_by_node.assign(n, 0);
+  result_.informed_at.assign(n, RunResult::kNeverInformed);
+  result_.informed_at[source] = 0;
+
+  auto fail = [&](std::string what) {
+    if (result_.violation.empty()) result_.violation = std::move(what);
+  };
+
+  inputs_.resize(n);
+  link_offset_.resize(n + 1);
+  link_offset_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    // Shared lanes read the ORIGINAL advice: fault lanes that would have
+    // decoded a corrupted copy retired at arm time, and a zero-flip copy is
+    // content-identical to the original.
+    inputs_[v] = NodeInput{&advice[v], v == source,
+                           base.anonymous ? Label{0} : g.label(v),
+                           g.degree(v)};
+    link_offset_[v + 1] = link_offset_[v] + g.degree(v);
+  }
+
+  // Behavior exceptions (advice decoders, scheme bugs) follow the scalar
+  // engine's split: a fault-enabled lane absorbs them into a kTaskFailed
+  // result, a fault-disabled lane propagates them from run(). The shared
+  // pass always catches — on a fault-free family it then retires every
+  // lane, whose scalar replays rethrow the exception canonically.
+  auto drop_clean_lanes = [&]() {
+    if (family_faulty) return;
+    for (std::uint32_t l = 0; l < dispositions.size(); ++l) {
+      dispositions[l] = LaneDisposition::kReplay;
+    }
+    shared = 0;
+    aborted = true;
+  };
+
+  bool armed = true;
+  if (!aborted) {
+    try {
+      arm_behaviors(n, algorithm);
+    } catch (const std::exception& e) {
+      behaviors_.clear();
+      pool_algorithm_.clear();
+      pool_count_ = 0;
+      drop_clean_lanes();
+      fail(format_behavior_exception(e.what()));
+      armed = false;
+    }
+  }
+  if (aborted || !armed) {
+    if (!armed && shared > 0) {
+      result_.terminated.assign(n, false);
+      result_.outputs.assign(n, 0);
+      result_.status = RunStatus::kTaskFailed;
+    }
+    stats_.shared = shared;
+    stats_.replayed = stats_.lanes - shared;
+    return result_;
+  }
+
+  events_.clear();
+  std::uint64_t seq = 0;
+  bool budget_hit = false;
+
+  const Endpoint* const csr = g.csr_endpoints();
+  const SchedulerKind kind = base.scheduler;
+
+  // The eligible schedulers are pure in (now, seq) — inlined here so the
+  // clean pass carries no Scheduler state at all.
+  auto delivery_key = [kind](std::int64_t now, std::uint64_t seq_in) {
+    switch (kind) {
+      case SchedulerKind::kAsyncFifo:
+        return static_cast<std::int64_t>(seq_in);
+      case SchedulerKind::kAsyncLifo:
+        return -static_cast<std::int64_t>(seq_in);
+      default:
+        return now + 1;
+    }
+  };
+
+  // Validates and enqueues one batch of sends from node v — the scalar
+  // submit path minus fault materialization, plus the R-wide mask: each
+  // message's seed-independent prekey is computed once, then every lane
+  // still on the clean stream is asked for its decision; any non-benign
+  // answer retires that lane.
+  auto submit = [&](NodeId v, const std::vector<Send>& sends,
+                    std::int64_t now) {
+    if (!sends.empty() && base.enforce_wakeup && !result_.informed[v]) {
+      fail(format_wakeup_violation(v));
+      return;
+    }
+    for (const Send& s : sends) {
+      if (s.port >= link_offset_[v + 1] - link_offset_[v]) {
+        fail(format_invalid_send(v, s.port, g.degree(v)));
+        return;
+      }
+      if (result_.metrics.messages_total >= base.max_messages) {
+        budget_hit = true;
+        fail("message budget exceeded");
+        return;
+      }
+      const std::uint64_t link = link_offset_[v] + s.port;
+      const Endpoint dst = csr ? csr[link] : g.neighbor(v, s.port);
+      result_.metrics.count_send(s.msg);
+      ++result_.sends_by_node[v];
+      if (!active_mask_lanes_.empty()) {
+        const std::uint64_t prekey = FaultPlan::message_prekey(seq, link);
+        for (std::size_t k = 0; k < active_mask_lanes_.size();) {
+          const std::uint32_t l = active_mask_lanes_[k];
+          const FaultPlan::MessageFault mf =
+              lane_plans_[l].message_fault_prekeyed(prekey);
+          if (mf.drop || mf.duplicate || mf.extra_delay > 0) {
+            dispositions[l] = LaneDisposition::kReplay;
+            --shared;
+            active_mask_lanes_[k] = active_mask_lanes_.back();
+            active_mask_lanes_.pop_back();
+          } else {
+            ++k;
+          }
+        }
+        if (shared == 0) {
+          aborted = true;
+          return;
+        }
+      }
+      const std::size_t slot = events_.acquire_slot();
+      events_.slot(slot) =
+          EngineEvent{dst.node, dst.port, s.msg, result_.informed[v]};
+      events_.push({delivery_key(now, seq), seq, slot});
+      ++seq;
+    }
+  };
+
+  auto invoke_start = [&](NodeId v) {
+    try {
+      behaviors_[v]->on_start(inputs_[v], sends_);
+      return true;
+    } catch (const std::exception& e) {
+      drop_clean_lanes();
+      fail(format_behavior_exception(e.what()));
+      return false;
+    }
+  };
+  auto invoke_receive = [&](NodeId v, const Message& msg, Port at_port) {
+    try {
+      behaviors_[v]->on_receive(inputs_[v], msg, at_port, sends_);
+      return true;
+    } catch (const std::exception& e) {
+      drop_clean_lanes();
+      fail(format_behavior_exception(e.what()));
+      return false;
+    }
+  };
+
+  for (NodeId v = 0; v < n && result_.violation.empty() && !aborted; ++v) {
+    sends_.clear();
+    if (!invoke_start(v)) break;
+    submit(v, sends_, 0);
+  }
+
+  std::uint64_t processed = 0;
+  bool events_exhausted = false;
+
+  while (!events_.empty() && result_.violation.empty() && !aborted) {
+    if (base.max_events > 0 && processed >= base.max_events) {
+      events_exhausted = true;
+      break;
+    }
+    ++processed;
+    const EventHeap::Entry top = events_.pop();
+    EngineEvent ev = std::move(events_.slot(top.slot));
+    events_.release_slot(top.slot);
+    // No crash-stop check: lanes with a non-empty crash schedule never
+    // reach the pass, so the clean stream has no dead deliveries.
+    ++result_.metrics.deliveries;
+    if (top.key > result_.metrics.completion_key) {
+      result_.metrics.completion_key = top.key;
+    }
+    if (ev.sender_informed && !result_.informed[ev.to]) {
+      result_.informed[ev.to] = true;
+      result_.informed_at[ev.to] = top.key;
+    }
+    sends_.clear();
+    if (!invoke_receive(ev.to, ev.msg, ev.at_port)) break;
+    submit(ev.to, sends_, top.key);
+  }
+
+  stats_.lockstep_events = processed;
+  stats_.shared = shared;
+  stats_.replayed = stats_.lanes - shared;
+  if (shared == 0) return result_;  // nobody reads the aborted state
+
+  result_.terminated.resize(n);
+  result_.outputs.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result_.terminated[v] = behaviors_[v]->terminated();
+    result_.outputs[v] = behaviors_[v]->output();
+  }
+  result_.all_informed = (result_.informed_count() == n);
+  result_.metrics.queue_depth_peak = events_.peak();
+  if (events_exhausted || budget_hit) {
+    result_.status = RunStatus::kBudgetExhausted;
+  } else if (!result_.violation.empty() || !result_.all_informed) {
+    result_.status = RunStatus::kTaskFailed;
+  } else {
+    result_.status = RunStatus::kCompleted;
+  }
+  return result_;
+}
+
+std::vector<RunResult> SeedBatchExecutionContext::run(
+    const PortGraph& g, NodeId source, const std::vector<BitString>& advice,
+    const Algorithm& algorithm, const RunOptions& base,
+    const std::vector<Lane>& lanes) {
+  std::vector<LaneDisposition> dispositions;
+  const RunResult& shared =
+      run_lockstep(g, source, advice, algorithm, base, lanes, dispositions);
+  std::vector<RunResult> out(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    if (dispositions[l] == LaneDisposition::kShared) {
+      out[l] = shared;
+    } else {
+      RunOptions options = base;
+      options.seed = lanes[l].seed;
+      options.fault.seed = lanes[l].fault_seed;
+      out[l] = scalar_.run(g, source, advice, algorithm, options);
+    }
+  }
+  return out;
+}
+
+}  // namespace oraclesize

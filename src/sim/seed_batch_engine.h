@@ -1,0 +1,169 @@
+// Seed-batched lockstep execution: R seeds of one spec, one engine pass.
+//
+// Every statistical sweep in this repo (the BENCH_e13 fault grid, retry
+// policies, tradeoff repeats) replays the same (graph, source, advice,
+// algorithm, options) spec with only RunOptions::seed / fault.seed varying.
+// ExecutionContext charges each of those R trials the full per-run price —
+// event-heap traffic, behavior arming, per-node bookkeeping — even though
+// under the deterministic fault keying most lanes take *exactly the same
+// execution*. SeedBatchExecutionContext exploits that:
+//
+//  * faults are counter-keyed (sim/fault_plan.h): the fate of the message
+//    with global send sequence `seq` on directed link `link` is a pure
+//    function of (lane fault seed, seq, link), independent of draw order;
+//  * the pure schedulers (kSynchronous, kAsyncFifo, kAsyncLifo) assign
+//    delivery keys from (now, seq) alone, so two lanes whose fault
+//    decisions all come up benign produce byte-for-byte the same event
+//    stream — the CLEAN stream, the one a disabled plan follows;
+//  * therefore ONE lockstep pass over the clean stream serves every lane
+//    that stays benign on it. State is laid out struct-of-arrays across
+//    lanes: one shared node/message state plane (the clean run) plus flat
+//    per-lane arrays — armed FaultPlans, the compacted active-lane index
+//    set, and dispositions. Per message the engine computes the
+//    seed-independent fault prekey once and asks each still-active faulty
+//    lane for its decision (one mix + at most three draws per lane, the
+//    R-wide mask); a lane whose decision is anything but benign RETIRES
+//    from the active set on the spot. When every lane has retired the pass
+//    aborts early — no wasted clean-stream tail.
+//
+// Why retirement means full scalar replay rather than per-lane patch-up: a
+// single dropped message shifts that lane's global send-sequence stream,
+// which decorrelates every later (seq, link)-keyed decision — after the
+// first divergence the lane shares nothing bit-exact with the clean run,
+// and behaviors are opaque (not clonable), so there is no cheaper resume
+// point than the start. Hence the same fallback-not-divergence policy as
+// sim/sharded_engine.h: lanes the lockstep pass cannot serve — diverged
+// lanes, lanes with a non-empty crash schedule or a materialized advice
+// flip, or whole families using features the pass doesn't honor (stream-RNG
+// schedulers, trace sinks, legacy tracing, wall-clock deadlines) — are
+// REPLAYED on the scalar ExecutionContext, which is the definition of
+// correct.
+//
+// Determinism contract: for every lane, the result handed back (the shared
+// clean-run RunResult for lanes that stayed benign, the scalar replay
+// otherwise) is bit-identical (RunResult::operator==) to what
+// ExecutionContext::run produces for that lane's exact options. Pinned by
+// tests/test_seed_batch_engine.cpp (40-seed fuzz across every algorithm)
+// and enforced per bench row by tools/perf_gate.py.
+//
+// Throughput model: a family of R lanes with D divergent lanes costs one
+// clean pass plus D scalar replays, so the speedup over R scalar runs is
+// ~R/(1+D) — ~R× at fault rate 0 (the BENCH_perf_seedbatch gate rows) and
+// honestly degrading toward 1× as the per-message fault rate times the
+// message count approaches 1. The ratio is algorithmic (deduplication, not
+// parallelism), so it holds on any host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/event_heap.h"
+#include "sim/execution_context.h"
+
+namespace oraclesize {
+
+/// How the last run_lockstep call used the machinery. Reported out-of-band
+/// (never inside RunResult — result equality with the scalar engine is the
+/// contract).
+struct SeedBatchStats {
+  std::uint32_t lanes = 0;     ///< lanes submitted
+  std::uint32_t shared = 0;    ///< lanes served by the clean lockstep pass
+  std::uint32_t replayed = 0;  ///< lanes needing a scalar replay
+  std::uint64_t lockstep_events = 0;  ///< events the clean pass processed
+  bool lockstep_ran = false;  ///< false when the family was ineligible
+
+  friend bool operator==(const SeedBatchStats&,
+                         const SeedBatchStats&) = default;
+};
+
+/// A reusable seed-batched engine. Like ExecutionContext, one instance
+/// plays many families and retains its storage across them. Not
+/// thread-safe: one SeedBatchExecutionContext per worker thread
+/// (core/batch_runner.cpp gives each pool worker its own).
+class SeedBatchExecutionContext {
+ public:
+  /// The two per-lane randomness overrides; every other RunOptions field is
+  /// shared by the family (core/batch_runner.h's seed_family_key is exactly
+  /// this split).
+  struct Lane {
+    std::uint64_t seed = 1;        ///< RunOptions::seed
+    std::uint64_t fault_seed = 0;  ///< RunOptions::fault.seed
+  };
+
+  enum class LaneDisposition : std::uint8_t {
+    kShared,  ///< served by the clean pass: result == the shared RunResult
+    kReplay,  ///< must be re-run on the scalar engine with its exact options
+  };
+
+  /// True when a family under `base` can take the lockstep pass at all:
+  /// the scheduler must be RNG-free (kSynchronous / kAsyncFifo /
+  /// kAsyncLifo — kAsyncRandom and kAsyncLinkFifo consume a seeded stream
+  /// in draw order, which differs per lane), and the run must not be
+  /// observed (trace sinks, legacy tracing) or race a wall clock
+  /// (deadline_ns). Ineligible families replay every lane.
+  static bool lockstep_eligible(const RunOptions& base) noexcept;
+
+  /// One lockstep pass over the clean stream. `base` carries the family's
+  /// shared options; lanes[i] overrides the two seeds. On return
+  /// dispositions[i] says whether lane i is served by the returned shared
+  /// RunResult or must be replayed by the caller on a scalar
+  /// ExecutionContext with (base + lanes[i]) — the returned reference is
+  /// meaningful only while at least one lane is kShared, and only until the
+  /// next run on this context. Throws the scalar engine's precondition
+  /// errors (advice size / source range); scheme-level behavior exceptions
+  /// follow the scalar engine's fault semantics (absorbed into a
+  /// kTaskFailed shared result for fault-enabled lanes, a replay for
+  /// fault-disabled lanes, which rethrow scalar-style from their replays).
+  const RunResult& run_lockstep(const PortGraph& g, NodeId source,
+                                const std::vector<BitString>& advice,
+                                const Algorithm& algorithm,
+                                const RunOptions& base,
+                                const std::vector<Lane>& lanes,
+                                std::vector<LaneDisposition>& dispositions);
+
+  /// Convenience: run_lockstep plus scalar replays on the embedded
+  /// ExecutionContext, returning one RunResult per lane in lane order.
+  /// Replays propagate exceptions exactly as ExecutionContext::run would
+  /// for that lane. This is the whole-family equivalent of R scalar runs.
+  std::vector<RunResult> run(const PortGraph& g, NodeId source,
+                             const std::vector<BitString>& advice,
+                             const Algorithm& algorithm,
+                             const RunOptions& base,
+                             const std::vector<Lane>& lanes);
+
+  /// Usage accounting of the most recent run_lockstep / run call.
+  const SeedBatchStats& last_stats() const noexcept { return stats_; }
+
+  /// The embedded scalar engine (used by run() for replays); exposed so a
+  /// caller driving run_lockstep directly can reuse it.
+  ExecutionContext& scalar() noexcept { return scalar_; }
+
+ private:
+  /// Mirrors ExecutionContext::arm_behaviors, including the reusable-pool
+  /// bookkeeping, so a worker alternating between batched and scalar runs
+  /// keeps zero steady-state behavior allocations.
+  void arm_behaviors(std::size_t n, const Algorithm& algorithm);
+
+  ExecutionContext scalar_;
+  SeedBatchStats stats_;
+  RunResult result_;  ///< the shared clean-run result (storage for the ref)
+
+  // Clean-pass state, mirroring ExecutionContext's reuse discipline.
+  std::vector<NodeInput> inputs_;
+  std::vector<std::unique_ptr<NodeBehavior>> behaviors_;
+  std::vector<Send> sends_;  ///< scratch sink, recycled per event
+  EventHeap events_;
+  std::vector<std::uint64_t> link_offset_;  ///< prefix sums of degrees
+
+  // SoA lane plane: one armed plan per fault-enabled lane, plus the
+  // compacted index set of lanes still answering the per-message mask.
+  std::vector<FaultPlan> lane_plans_;
+  std::vector<std::uint32_t> active_mask_lanes_;
+
+  std::string pool_algorithm_;
+  std::size_t pool_count_ = 0;
+};
+
+}  // namespace oraclesize

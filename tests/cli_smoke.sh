@@ -86,6 +86,23 @@ strip_timing() { sed -E 's/"(wall|advise|run)_ns": [0-9]+/"\1_ns": X/g' "$1"; }
 [ "$(strip_timing "$TMP/f1.json")" = "$(strip_timing "$TMP/f2.json")" ] \
   || fail "faulty run not reproducible"
 
+# --seed-sweep K fans one trial out into K fault seeds and reports the
+# seed-family batching; --no-seed-batch must reproduce the same records on
+# the scalar path (the lockstep executor's determinism contract).
+"$CLI" run broadcast --fault-rate 0.05 --fault-seed 5 --seed-sweep 6 \
+  < "$TMP/net.txt" > "$TMP/sweep.txt" 2>&1 || true
+[ "$(grep -c '^source 0 fault-seed' "$TMP/sweep.txt")" -eq 6 ] \
+  || fail "seed-sweep trial count"
+grep -q '^seed batching: 1 family, 6 lanes' "$TMP/sweep.txt" \
+  || fail "seed-sweep batching banner"
+"$CLI" run broadcast --fault-rate 0.05 --fault-seed 5 --seed-sweep 6 --json \
+  < "$TMP/net.txt" > "$TMP/s1.json" 2>&1 || true
+"$CLI" run broadcast --fault-rate 0.05 --fault-seed 5 --seed-sweep 6 --json \
+  --no-seed-batch < "$TMP/net.txt" > "$TMP/s2.json" 2>&1 || true
+grep -q '"fault_seed": 5' "$TMP/s1.json" || fail "json fault_seed field"
+[ "$(strip_timing "$TMP/s1.json")" = "$(strip_timing "$TMP/s2.json")" ] \
+  || fail "seed-sweep batched vs scalar records differ"
+
 # A deadline terminates structurally (timeout is a failed task, not a crash).
 set +e
 "$CLI" run broadcast --deadline-ms 1 < "$TMP/net.txt" >/dev/null 2>&1

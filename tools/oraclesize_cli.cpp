@@ -10,6 +10,7 @@
 //       [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]
 //       [--advice-file F] [--all-sources] [--jobs N] [--shards N] [--json]
 //       [--fault-rate P] [--fault-seed S] [--deadline-ms T] [--retries K]
+//       [--seed-sweep K] [--no-seed-batch]
 //       Read a network from stdin and run a task:
 //         wakeup | broadcast | flooding | census | gossip | hybrid
 //       Prints the task report (oracle bits, messages, violations).
@@ -25,6 +26,12 @@
 //       --fault-seed); --deadline-ms caps each trial's wall clock;
 //       --retries K re-runs transient failures up to K times with
 //       deterministically re-seeded schedules.
+//       --seed-sweep K runs the task K times with fault seeds
+//       --fault-seed .. --fault-seed+K-1. The K specs differ only in that
+//       seed, so the batch runner collapses them into one seed family and
+//       serves the benign lanes from a single lockstep pass
+//       (sim/seed_batch_engine.h); --no-seed-batch forces the scalar path
+//       (results are bit-identical either way).
 //       Exit code: 0 = every trial solved its task; 1 = some trial failed
 //       the task (a reportable result, e.g. under faults); 2 = an
 //       infrastructure error (bad input, exception, crashed trial).
@@ -102,6 +109,7 @@ using namespace oraclesize;
       "[--json]\n"
       "      [--fault-rate P] [--fault-seed S] [--deadline-ms T] "
       "[--retries K]\n"
+      "      [--seed-sweep K] [--no-seed-batch]\n"
       "      [--trace-file F] [--trace-level messages|full]\n"
       "  oraclesize_cli trace record <task> --trace-file F [run options]\n"
       "  oraclesize_cli trace replay <F>\n"
@@ -159,6 +167,8 @@ struct Options {
   std::uint64_t fault_seed = 0;
   std::uint64_t deadline_ms = 0;
   std::uint32_t retries = 0;
+  std::uint64_t seed_sweep = 0;  ///< 0 = no sweep (one fault seed)
+  bool no_seed_batch = false;
   std::string trace_file;
   TraceLevel trace_level = TraceLevel::kFull;
 };
@@ -203,6 +213,10 @@ std::vector<std::string> extract_options(std::vector<std::string> args,
       opts.deadline_ms = parse_u64(next(), "--deadline-ms");
     } else if (a == "--retries") {
       opts.retries = static_cast<std::uint32_t>(parse_u64(next(), "--retries"));
+    } else if (a == "--seed-sweep") {
+      opts.seed_sweep = parse_u64(next(), "--seed-sweep");
+    } else if (a == "--no-seed-batch") {
+      opts.no_seed_batch = true;
     } else if (a == "--trace-file") {
       opts.trace_file = next();
     } else if (a == "--trace-level") {
@@ -401,6 +415,22 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
     sources.push_back(opts.source);
   }
 
+  // --seed-sweep K fans the single-source trial out into K fault seeds.
+  // The specs differ only in fault.seed, so they form one seed family and
+  // the batch runner serves the benign lanes from a single lockstep pass.
+  std::vector<std::uint64_t> sweep_seeds;
+  if (opts.seed_sweep > 0) {
+    if (opts.all_sources) {
+      usage("run: --seed-sweep cannot be combined with --all-sources");
+    }
+    if (!opts.trace_file.empty()) {
+      usage("run: --seed-sweep cannot be combined with --trace-file");
+    }
+    for (std::uint64_t k = 0; k < opts.seed_sweep; ++k) {
+      sweep_seeds.push_back(opts.fault_seed + k);
+    }
+  }
+
   // Under faults, a task failure is often transient in the fault seed —
   // retrying with a re-seeded schedule is meaningful. Without faults the
   // run is deterministic, so only infrastructure outcomes are retried.
@@ -413,15 +443,37 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
     shard.shards = opts.shards;
     shard.min_nodes = 2;
   }
-  const BatchRunner runner(opts.jobs, /*advice_cache=*/true, retry, shard);
+  SeedBatchPolicy seed_batch;
+  seed_batch.enabled = !opts.no_seed_batch;
+  const BatchRunner runner(opts.jobs, /*advice_cache=*/true, retry, shard,
+                           seed_batch);
 
+  // One spec per (source, sweep seed); without --seed-sweep this is the
+  // single-seed spec list the CLI always built.
+  auto fan_out = [&](TrialSpec spec) {
+    std::vector<TrialSpec> specs;
+    if (sweep_seeds.empty()) {
+      specs.push_back(spec);
+    } else {
+      for (std::uint64_t s : sweep_seeds) {
+        spec.options.fault.seed = s;
+        specs.push_back(spec);
+      }
+    }
+    return specs;
+  };
+
+  BatchStats batch_stats;
   std::vector<TaskReport> reports;
   if (opts.advice_file.empty()) {
     std::vector<TrialSpec> specs;
     for (NodeId v : sources) {
-      specs.push_back({&g, v, oracle, algorithm, run_opts});
+      for (TrialSpec& spec :
+           fan_out(TrialSpec{&g, v, oracle, algorithm, run_opts})) {
+        specs.push_back(std::move(spec));
+      }
     }
-    reports = runner.run(specs);
+    reports = runner.run(specs, &batch_stats);
   } else {
     std::ifstream in(opts.advice_file);
     if (!in) usage("cannot open advice file '" + opts.advice_file + "'");
@@ -433,8 +485,10 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
     TrialSpec spec{&g, opts.source, oracle, algorithm, run_opts};
     spec.advice = std::make_shared<const std::vector<BitString>>(
         std::move(advice));
-    reports = runner.run({spec});
-    reports.front().oracle_name = "file:" + opts.advice_file;
+    reports = runner.run(fan_out(spec), &batch_stats);
+    for (TaskReport& r : reports) {
+      r.oracle_name = "file:" + opts.advice_file;
+    }
   }
 
   bool all_ok = true;
@@ -466,8 +520,13 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
               << BatchRunner(opts.jobs).jobs() << ",\n  \"trials\": [";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const TaskReport& r = reports[i];
+      const NodeId src = sweep_seeds.empty() ? sources[i] : opts.source;
       std::cout << (i == 0 ? "\n" : ",\n")
-                << "    {\"source\": " << sources[i]
+                << "    {\"source\": " << src;
+      if (!sweep_seeds.empty()) {
+        std::cout << ", \"fault_seed\": " << sweep_seeds[i];
+      }
+      std::cout
                 << ", \"oracle_bits\": " << r.oracle_bits
                 << ", \"messages_total\": " << r.run.metrics.messages_total
                 << ", \"bits_sent\": " << r.run.metrics.bits_sent
@@ -486,12 +545,22 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
               << "\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const TaskReport& report = reports[i];
-      std::cout << "source " << sources[i] << ": " << report.summary()
-                << "\n";
-      if ((task == "census" || task == "gossip") && report.ok()) {
-        std::cout << task << " output at source: "
-                  << report.run.outputs[sources[i]] << "\n";
+      const NodeId src = sweep_seeds.empty() ? sources[i] : opts.source;
+      std::cout << "source " << src;
+      if (!sweep_seeds.empty()) {
+        std::cout << " fault-seed " << sweep_seeds[i];
       }
+      std::cout << ": " << report.summary() << "\n";
+      if ((task == "census" || task == "gossip") && report.ok()) {
+        std::cout << task << " output at source: " << report.run.outputs[src]
+                  << "\n";
+      }
+    }
+    if (!sweep_seeds.empty()) {
+      std::cout << "seed batching: " << batch_stats.seed_families
+                << " family, " << batch_stats.batched_lanes << " lanes, "
+                << batch_stats.lockstep_shared
+                << " served by shared lockstep passes\n";
     }
   }
   // 0 = task solved everywhere; 1 = some task failed (reportable result);

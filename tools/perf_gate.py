@@ -28,6 +28,19 @@ perf_shard  (bench_perf --shard-scale)
        is below the shard count are printed and SKIPPED, not gated; the
        rest fail on a >--max-regression drop vs baseline.
 
+perf_seedbatch  (bench_perf --seed-batch)
+    Gates the seed-batched lockstep executor:
+     * "identical" — the batched pass reproduced every lane's scalar
+       TaskReport. Machine-independent, gated on every fresh row.
+     * speedup — the scalar/batched wall ratio. Both passes run on the
+       same host with the same jobs count, so the ratio measures
+       deduplication (shared lockstep passes), not parallelism, and
+       ports across machines: fault-free ("none") rows are held to the
+       absolute --min-batch-speedup floor, and rows shared with the
+       baseline fail on a >--max-regression drop (both sides clamped to
+       --batch-regression-cap first: past that the replay tail has
+       vanished and the ratio is timer noise over microseconds).
+
 Usage:
     python3 tools/perf_gate.py --fresh BENCH_perf_csr.json \
         --baseline BENCH_perf_csr.json.committed
@@ -43,7 +56,7 @@ SPEEDUP_KEYS = ("advise_wakeup_speedup", "advise_broadcast_speedup")
 def load(path):
     with open(path) as fh:
         data = json.load(fh)
-    if data.get("bench") not in ("perf_csr", "perf_shard"):
+    if data.get("bench") not in ("perf_csr", "perf_shard", "perf_seedbatch"):
         sys.exit(f"{path}: not a perf_gate-gated bench record "
                  f"(bench = {data.get('bench')!r})")
     return data
@@ -153,6 +166,63 @@ def gate_shard(fresh_data, base_data, args):
     return failures
 
 
+def gate_seedbatch(fresh_data, base_data, args):
+    fresh = {(r["family"], r["n"], r["scheme"], r["mode"], r["rate"]): r
+             for r in fresh_data["rows"]}
+    base = {(r["family"], r["n"], r["scheme"], r["mode"], r["rate"]): r
+            for r in base_data["rows"]}
+
+    failures = []
+    # Report identity is machine-independent: gate every fresh row, shared
+    # with the baseline or not. A single non-identical lane means the
+    # lockstep executor broke its determinism contract.
+    for key, row in sorted(fresh.items()):
+        family, n, scheme, mode, rate = key
+        if not row.get("identical", False):
+            failures.append(
+                f"{family} n={n} {scheme} {mode}@{rate}: batched reports "
+                f"NOT identical to the scalar BatchRunner")
+
+    # The dedup ratio is also portable (same host, same jobs on both sides
+    # of each row), so the fault-free rows carry an absolute floor: a clean
+    # R-lane family must run at least --min-batch-speedup times faster than
+    # R scalar runs. Faulty rows have an honestly divergence-dependent
+    # ratio, so they are only regression-gated against the baseline.
+    print(f"{'row':>44} | {'base x':>8} | {'fresh x':>8} | gate")
+    floor_rows = 0
+    gated_rows = 0
+    for key in sorted(fresh):
+        family, n, scheme, mode, rate = key
+        got = fresh[key]["speedup"]
+        label = f"{family} n={n} {scheme} {mode}@{rate}"
+        ref = base[key]["speedup"] if key in base else float("nan")
+        verdicts = []
+        if mode == "none":
+            floor_rows += 1
+            if got < args.min_batch_speedup:
+                verdicts.append("FLOOR")
+                failures.append(
+                    f"{label}: speedup {got:.2f} below the "
+                    f"{args.min_batch_speedup}x fault-free floor")
+        if key in base:
+            gated_rows += 1
+            got_c = min(got, args.batch_regression_cap)
+            ref_c = min(ref, args.batch_regression_cap)
+            if got_c < ref_c * (1.0 - args.max_regression):
+                verdicts.append("REGRESSED")
+                failures.append(
+                    f"{label}: speedup regressed {ref:.2f} -> {got:.2f} "
+                    f"(> {args.max_regression:.0%} drop)")
+        print(f"{label:>44} | {ref:8.2f} | {got:8.2f} "
+              f"| {' '.join(verdicts) if verdicts else 'ok'}")
+
+    if not failures:
+        print(f"\nseed-batch gate passed: identity on {len(fresh)} fresh "
+              f"rows, {args.min_batch_speedup}x floor on {floor_rows} "
+              f"fault-free rows, regression on {gated_rows} shared rows")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True,
@@ -177,6 +247,14 @@ def main():
     ap.add_argument("--min-mem-saved", type=float, default=0.30,
                     help="bytes-per-edge reduction floor on every row "
                          "(perf_csr only)")
+    ap.add_argument("--min-batch-speedup", type=float, default=10.0,
+                    help="absolute scalar/batched speedup floor on "
+                         "fault-free rows (perf_seedbatch only)")
+    ap.add_argument("--batch-regression-cap", type=float, default=64.0,
+                    help="seed-batch speedups are clamped to this before "
+                         "the regression comparison: past it the batched "
+                         "side is a few microseconds and the ratio is "
+                         "timer noise (perf_seedbatch only)")
     args = ap.parse_args()
 
     fresh_data = load(args.fresh)
@@ -187,6 +265,8 @@ def main():
 
     if fresh_data["bench"] == "perf_shard":
         failures = gate_shard(fresh_data, base_data, args)
+    elif fresh_data["bench"] == "perf_seedbatch":
+        failures = gate_seedbatch(fresh_data, base_data, args)
     else:
         failures = gate_csr(fresh_data, base_data, args)
 
