@@ -42,6 +42,15 @@ SeedFamilyKey seed_family_key(const TrialSpec& spec) {
   key.fault_max_crash_key = o.fault.max_crash_key;
   key.fault_crash_source = o.fault.crash_source;
   key.fault_advice_flip = o.fault.advice_flip;
+  key.adv_seed = o.adversary.seed;
+  key.adv_rate = o.adversary.byz_rate;
+  key.adv_nodes = o.adversary.byz_nodes;
+  key.adv_source = o.adversary.byz_source;
+  key.adv_strategy = o.adversary.strategy;
+  key.adv_forge = o.adversary.forge;
+  key.adv_equivocate = o.adversary.equivocate;
+  key.adv_advice_lie = o.adversary.advice_lie;
+  key.adv_replay_window = o.adversary.replay_window;
   return key;
 }
 
@@ -94,6 +103,7 @@ struct TrialMetrics {
         timeout(reg.counter("trials_timeout")),
         budget_exhausted(reg.counter("trials_budget_exhausted")),
         crashed(reg.counter("trials_crashed")),
+        byzantine_detected(reg.counter("trials_byzantine_detected")),
         messages_total(reg.counter("messages_total")),
         messages_source(reg.counter("messages_source")),
         messages_hello(reg.counter("messages_hello")),
@@ -106,6 +116,12 @@ struct TrialMetrics {
         faults_crashed_nodes(reg.counter("faults_crashed_nodes")),
         faults_dead_deliveries(reg.counter("faults_dead_deliveries")),
         faults_advice_flips(reg.counter("faults_advice_bits_flipped")),
+        byz_lying_nodes(reg.counter("byz_lying_nodes")),
+        byz_forged(reg.counter("byz_forged")),
+        byz_equivocated(reg.counter("byz_equivocated")),
+        byz_replayed(reg.counter("byz_replayed")),
+        byz_structured_lies(reg.counter("byz_structured_lies")),
+        byz_advice_lies(reg.counter("byz_advice_lies")),
         sharded_trials(reg.counter("sharded_trials")),
         sharded_epochs(reg.counter("sharded_epochs")),
         cross_shard_messages(reg.counter("cross_shard_messages")),
@@ -124,6 +140,7 @@ struct TrialMetrics {
       case RunStatus::kTimeout: timeout.add(); break;
       case RunStatus::kBudgetExhausted: budget_exhausted.add(); break;
       case RunStatus::kCrashed: crashed.add(); break;
+      case RunStatus::kByzantineDetected: byzantine_detected.add(); break;
     }
     if (report.failed()) return;  // crashed trials carry no valid run
     const Metrics& m = report.run.metrics;
@@ -140,6 +157,13 @@ struct TrialMetrics {
     faults_crashed_nodes.add(f.crashed_nodes);
     faults_dead_deliveries.add(f.dead_deliveries);
     faults_advice_flips.add(f.advice_bits_flipped);
+    const AdversaryCounters& a = report.run.adversary;
+    byz_lying_nodes.add(a.lying_nodes);
+    byz_forged.add(a.forged);
+    byz_equivocated.add(a.equivocated);
+    byz_replayed.add(a.replayed);
+    byz_structured_lies.add(a.structured_lies);
+    byz_advice_lies.add(a.advice_lies);
     if (report.shards > 1) {
       sharded_trials.add();
       sharded_epochs.add(report.epochs);
@@ -159,6 +183,7 @@ struct TrialMetrics {
   Counter& timeout;
   Counter& budget_exhausted;
   Counter& crashed;
+  Counter& byzantine_detected;
   Counter& messages_total;
   Counter& messages_source;
   Counter& messages_hello;
@@ -171,6 +196,12 @@ struct TrialMetrics {
   Counter& faults_crashed_nodes;
   Counter& faults_dead_deliveries;
   Counter& faults_advice_flips;
+  Counter& byz_lying_nodes;
+  Counter& byz_forged;
+  Counter& byz_equivocated;
+  Counter& byz_replayed;
+  Counter& byz_structured_lies;
+  Counter& byz_advice_lies;
   Counter& sharded_trials;
   Counter& sharded_epochs;
   Counter& cross_shard_messages;

@@ -107,6 +107,20 @@ struct SeedFamilyKey {
   std::uint32_t fault_max_crash_key = 0;
   bool fault_crash_source = false;
   double fault_advice_flip = 0.0;
+  /// AdversaryPlanParams INCLUDING its seed: the Byzantine regime is part
+  /// of the family identity (lanes with different adversary seeds face
+  /// different colluding sets, which the lockstep executor cannot share —
+  /// and Byzantine families are ineligible anyway, so keeping the seed in
+  /// the key just keeps the grouping honest).
+  std::uint64_t adv_seed = 0;
+  double adv_rate = 0.0;
+  std::uint32_t adv_nodes = 0;
+  bool adv_source = false;
+  ByzantineStrategy adv_strategy = ByzantineStrategy::kRandomBits;
+  double adv_forge = 0.0;
+  double adv_equivocate = 0.0;
+  double adv_advice_lie = 0.0;
+  std::uint32_t adv_replay_window = 0;
 
   friend bool operator==(const SeedFamilyKey&,
                          const SeedFamilyKey&) = default;
@@ -118,7 +132,9 @@ struct SeedFamilyKey {
                     deadline_ns, max_events, trace_sink, fault_drop,
                     fault_duplicate, fault_delay, fault_max_extra_delay,
                     fault_crash, fault_max_crash_key, fault_crash_source,
-                    fault_advice_flip);
+                    fault_advice_flip, adv_seed, adv_rate, adv_nodes,
+                    adv_source, adv_strategy, adv_forge, adv_equivocate,
+                    adv_advice_lie, adv_replay_window);
   }
 
  public:

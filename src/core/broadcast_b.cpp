@@ -1,5 +1,7 @@
 #include "core/broadcast_b.h"
 
+#include <stdexcept>
+
 #include "bitio/codecs.h"
 #include "util/flat_set.h"
 
@@ -41,7 +43,14 @@ class BroadcastBBehavior final : public NodeBehavior {
         }
         break;
       case MsgKind::kControl:
-        break;  // scheme B never sends these; ignore defensively
+        // Scheme B never sends control messages, so receiving one is proof
+        // of a misbehaving peer — the scheme's one checkable protocol
+        // invariant. On guarded runs the engine absorbs the throw into a
+        // structured violation (kByzantineDetected under the adversary
+        // plan); on reliable runs no control message can ever arrive here.
+        throw std::runtime_error(
+            "broadcast-B: control message received — no honest node sends "
+            "these");
     }
   }
 

@@ -15,7 +15,15 @@ class HybridBehavior final : public NodeBehavior {
 
   void on_receive(const NodeInput& input, const Message& msg, Port from_port,
                   std::vector<Send>& out) override {
-    if (msg.kind != MsgKind::kSource || done_) return;
+    if (done_) return;
+    // Trust model split (see header): an advised node relays on the first
+    // delivery of any kind — its certified advice says where to forward, so
+    // forged content cannot suppress the tree relay. An unadvised node must
+    // recognize the source message itself before it can flood it onward; a
+    // Byzantine sender that rewrites the kind silences that node's relay.
+    // Reliable networks carry only kSource messages, so both rules match
+    // the legacy behavior byte for byte there.
+    if (input.advice->empty() && msg.kind != MsgKind::kSource) return;
     relay(input, from_port, out);
   }
 

@@ -8,6 +8,16 @@
 // (flood covers all neighbors), the child hears from it. Messages
 // interpolate between n-1 (everyone advised) and 2m-(n-1) (nobody advised),
 // tracing the upper-bound side of the oracle-size/message tradeoff.
+//
+// Trust model: advised nodes are advice-certified — they relay on the first
+// delivery of any kind, since their advice (not the message content) tells
+// them where to forward. Unadvised nodes have nothing to substitute for
+// trust in the channel: they flood only when they recognize the genuine
+// source message. Under the Byzantine layer (sim/adversary_plan.h) the
+// advised fraction is therefore immune to content forging while the
+// flooding fraction is not — so the PartialTreeOracle fraction knob traces
+// an advice-bits-versus-robustness curve (experiment E16), not just the
+// reliable-network bits-versus-messages curve (E11).
 #pragma once
 
 #include "sim/scheme.h"

@@ -79,6 +79,9 @@ TraceDiff diff_traces(const RecordedTrace& a, const RecordedTrace& b) {
   if (!(a.header.fault == b.header.fault)) {
     out.push_back("header.fault: params differ");
   }
+  if (!(a.header.adversary == b.header.adversary)) {
+    out.push_back("header.adversary: params differ");
+  }
   note_if(out, "header.level", std::string(to_string(a.header.level)),
           std::string(to_string(b.header.level)));
   if (a.graph_text != b.graph_text) out.push_back("graph: text differs");
@@ -129,6 +132,17 @@ TraceDiff diff_traces(const RecordedTrace& a, const RecordedTrace& b) {
           b.faults.dead_deliveries);
   note_if(out, "faults.advice_bits_flipped", a.faults.advice_bits_flipped,
           b.faults.advice_bits_flipped);
+  note_if(out, "byzantine.lying_nodes", a.adversary.lying_nodes,
+          b.adversary.lying_nodes);
+  note_if(out, "byzantine.forged", a.adversary.forged, b.adversary.forged);
+  note_if(out, "byzantine.equivocated", a.adversary.equivocated,
+          b.adversary.equivocated);
+  note_if(out, "byzantine.replayed", a.adversary.replayed,
+          b.adversary.replayed);
+  note_if(out, "byzantine.structured_lies", a.adversary.structured_lies,
+          b.adversary.structured_lies);
+  note_if(out, "byzantine.advice_lies", a.adversary.advice_lies,
+          b.adversary.advice_lies);
 
   diff.equal = out.empty();
   return diff;

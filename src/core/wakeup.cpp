@@ -13,9 +13,15 @@ class WakeupTreeBehavior final : public NodeBehavior {
     forward(input, out);
   }
 
-  void on_receive(const NodeInput& input, const Message& msg,
+  void on_receive(const NodeInput& input, const Message& /*msg*/,
                   Port /*from_port*/, std::vector<Send>& out) override {
-    if (msg.kind != MsgKind::kSource || done_) return;
+    // Advice-certified relay: the oracle's port list, not the message
+    // content, carries the forwarding instruction, so the first delivery of
+    // ANY kind wakes the tree-cast. Byzantine content forging cannot
+    // suppress the relay (only the sender's own silence could). On a
+    // reliable network every message is kSource, so this is byte-identical
+    // to the content-trusting rule there.
+    if (done_) return;
     forward(input, out);
   }
 

@@ -6,6 +6,14 @@
 // node stays silent until M arrives, then forwards M on its own child ports
 // once. Exactly n-1 messages, valid under total asynchrony, never reads
 // id(v) (anonymous-safe), only ever sends the constant-size message M.
+//
+// Trust model: the relay is advice-certified — a node forwards on the first
+// delivery of ANY kind, because the oracle's port list (not the message
+// content) is the forwarding instruction. Under the Byzantine layer
+// (sim/adversary_plan.h) this makes the full-advice tree-cast immune to
+// content forging, the "extra advice bits buy back robustness" end of the
+// E16 sweep. On reliable networks only kSource messages exist, so the rule
+// is byte-identical to a content-trusting relay there.
 #pragma once
 
 #include "sim/scheme.h"

@@ -18,6 +18,8 @@ const char* to_string(RunStatus status) {
       return "budget_exhausted";
     case RunStatus::kCrashed:
       return "crashed";
+    case RunStatus::kByzantineDetected:
+      return "byzantine_detected";
   }
   return "unknown";
 }

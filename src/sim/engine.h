@@ -17,6 +17,7 @@
 
 #include "bitio/bitstring.h"
 #include "graph/port_graph.h"
+#include "sim/adversary_plan.h"
 #include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
@@ -37,13 +38,20 @@ class TraceSink;  // sim/trace_recorder.h
 ///  * kTimeout         — RunOptions::deadline_ns elapsed mid-run;
 ///  * kBudgetExhausted — the event or message budget ran out;
 ///  * kCrashed         — the trial infrastructure itself threw (set by
-///                       BatchRunner, never by the engine).
+///                       BatchRunner, never by the engine);
+///  * kByzantineDetected — the adversary plan was active and the run ended
+///                       with an observable symptom (a violation, or a
+///                       behavior that threw on forged content). A fooled
+///                       run that terminates cleanly with a wrong answer
+///                       stays kTaskFailed — the silent-wrong-answer case
+///                       the detected case is distinguished from.
 enum class RunStatus : std::uint8_t {
   kCompleted,
   kTaskFailed,
   kTimeout,
   kBudgetExhausted,
   kCrashed,
+  kByzantineDetected,
 };
 
 const char* to_string(RunStatus status);
@@ -59,6 +67,10 @@ struct RunOptions {
   /// Deterministic fault injection (sim/fault_plan.h). The default plan is
   /// disabled: the run takes the legacy reliable-network path bit for bit.
   FaultPlanParams fault;
+  /// Deterministic Byzantine injection (sim/adversary_plan.h): lying node
+  /// sets, forged/equivocated/replayed messages, per-link advice lies. The
+  /// default plan is disabled and costs nothing on the hot path.
+  AdversaryPlanParams adversary;
   /// Wall-clock cap on one run; 0 = none. A run that exceeds it stops with
   /// RunStatus::kTimeout. NOTE: the only machine-dependent knob — runs
   /// racing a deadline are not reproducible across hosts.
@@ -78,6 +90,7 @@ struct RunResult {
   Metrics metrics;
   RunStatus status = RunStatus::kCompleted;  ///< structured outcome
   FaultCounters faults;  ///< what the fault plan did (all zero when disabled)
+  AdversaryCounters adversary;  ///< what the Byzantine layer did (zero when off)
   std::vector<bool> informed;  ///< per node
   bool all_informed = false;   ///< the task's success criterion
   /// Empty when the run is clean; otherwise the first violation detected

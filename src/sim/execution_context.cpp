@@ -111,6 +111,19 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   }
   const bool message_faulty = faulty && fault_plan_.message_faults();
 
+  // The Byzantine layer rides the same gate discipline: a disabled plan is
+  // never armed, never consulted, and the run stays bit-identical to the
+  // reliable path (tests/test_goldens.cpp ZeroAdversaryPlanIsInvisible).
+  const bool byz = options.adversary.enabled();
+  if (byz) {
+    adversary_plan_.arm(options.adversary, n, source);
+    result.adversary.lying_nodes = adversary_plan_.num_lying();
+  }
+  // Behaviors may throw on forged content as well as on corrupted advice;
+  // either adversarial regime absorbs the exception into a structured
+  // outcome instead of the legacy propagate-to-caller contract.
+  const bool guarded = faulty || byz;
+
   inputs_.resize(n);
   link_offset_.resize(n + 1);
   link_offset_[0] = 0;
@@ -169,7 +182,9 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   if (!armed) {
     result.terminated.assign(n, false);
     result.outputs.assign(n, 0);
-    result.status = RunStatus::kTaskFailed;
+    result.status = byz && !result.violation.empty()
+                        ? RunStatus::kByzantineDetected
+                        : RunStatus::kTaskFailed;
     if (sink) sink->end_run(result);
     return result;
   }
@@ -197,10 +212,18 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   // checked accessor.
   const Endpoint* const csr = g.csr_endpoints();
 
+  // Logical send-batch counter for the Byzantine layer: one behavior
+  // invocation = one group, so equivocation ("different lies to different
+  // neighbors in the same logical send") keys forged content per link
+  // within a group while the forge decision itself is per group.
+  std::uint64_t send_group = 0;
+
   // Validates and enqueues one batch of sends from node v, triggered while
   // processing an event with key `now`.
   auto submit = [&](NodeId v, const std::vector<Send>& sends,
                     std::int64_t now) {
+    const std::uint64_t group = send_group++;
+    const bool lying = byz && adversary_plan_.lying(v);
     if (!sends.empty() && options.enforce_wakeup && !result.informed[v]) {
       fail(format_wakeup_violation(v));
       return;
@@ -220,10 +243,47 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       }
       const std::uint64_t link = link_offset_[v] + s.port;
       const Endpoint dst = csr ? csr[link] : g.neighbor(v, s.port);
-      result.metrics.count_send(s.msg);
+      // Byzantine rewrite: a lying node's content is forged BEFORE the
+      // network sees it — metrics, traces, and fault decisions all act on
+      // the wire content. Ground truth (result.informed / sender_informed)
+      // rides outside the message and is never forged, so a fake kSource
+      // can fool the receiving behavior but never truly informs it.
+      const Message* wire = &s.msg;
+      Message forged_msg;
+      if (lying) {
+        forged_msg = s.msg;
+        const AdversaryPlan::ForgeOutcome fo =
+            adversary_plan_.forge(v, group, link, g.degree(v), forged_msg);
+        if (fo.forged || fo.advice_lie) {
+          wire = &forged_msg;
+          if (fo.forged) ++result.adversary.forged;
+          if (fo.equivocated) ++result.adversary.equivocated;
+          if (fo.replayed) ++result.adversary.replayed;
+          if (fo.structured) ++result.adversary.structured_lies;
+          if (fo.advice_lie) ++result.adversary.advice_lies;
+          if (sink) {
+            TraceEvent e;
+            e.kind = fo.replayed      ? TraceEventKind::kReplayAttack
+                     : fo.equivocated ? TraceEventKind::kEquivocate
+                     : fo.forged      ? TraceEventKind::kForge
+                                      : TraceEventKind::kAdviceLie;
+            e.node = v;
+            e.port = s.port;
+            e.peer = dst.node;
+            e.msg = wire->kind;
+            e.key = now;
+            e.seq = seq;
+            e.link = link;
+            e.aux = wire->payload;  // the lied content, for diffability
+            e.flag = fo.advice_lie;
+            sink->record(e);
+          }
+        }
+      }
+      result.metrics.count_send(*wire);
       ++result.sends_by_node[v];
       if (options.trace) {
-        result.trace.push_back(SentRecord{v, s.port, dst.node, s.msg.kind,
+        result.trace.push_back(SentRecord{v, s.port, dst.node, wire->kind,
                                           result.informed[v], now});
       }
       if (sink) {
@@ -232,11 +292,11 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
         e.node = v;
         e.port = s.port;
         e.peer = dst.node;
-        e.msg = s.msg.kind;
+        e.msg = wire->kind;
         e.key = now;
         e.seq = seq;  // the first copy's sequence number: the fault key
         e.link = link;
-        e.aux = s.msg.size_bits();
+        e.aux = wire->size_bits();
         e.flag = result.informed[v];
         sink->record(e);
       }
@@ -253,7 +313,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
         e.node = v;
         e.port = s.port;
         e.peer = dst.node;
-        e.msg = s.msg.kind;
+        e.msg = wire->kind;
         e.key = now;
         e.seq = seq;
         e.link = link;
@@ -276,7 +336,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       for (int c = 0; c < copies; ++c) {
         const std::size_t slot = events_.acquire_slot();
         events_.slot(slot) =
-            EngineEvent{dst.node, dst.port, s.msg, result.informed[v]};
+            EngineEvent{dst.node, dst.port, *wire, result.informed[v]};
         events_.push({scheduler_.delivery_key(now, seq, link) +
                           static_cast<std::int64_t>(mf.extra_delay),
                       seq, slot});
@@ -289,7 +349,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
   // decoder); absorb it into a structured violation there. Reliable runs
   // keep the legacy propagate-to-caller contract.
   auto invoke_start = [&](NodeId v) {
-    if (!faulty) {
+    if (!guarded) {
       behaviors_[v]->on_start(inputs_[v], sends_);
       return true;
     }
@@ -302,7 +362,7 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     }
   };
   auto invoke_receive = [&](NodeId v, const Message& msg, Port at_port) {
-    if (!faulty) {
+    if (!guarded) {
       behaviors_[v]->on_receive(inputs_[v], msg, at_port, sends_);
       return true;
     }
@@ -391,6 +451,9 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
       e.flag = ev.sender_informed;
       sink->record(e);
     }
+    // Deliveries to colluding nodes feed the shared replay buffer: the
+    // adversary replays genuine traffic its members have seen.
+    if (byz && adversary_plan_.lying(ev.to)) adversary_plan_.observe(ev.msg);
     // The paper's informing rule: any message from an informed sender
     // informs the receiver (M can ride along on it).
     if (ev.sender_informed && !result.informed[ev.to]) {
@@ -424,6 +487,11 @@ RunResult ExecutionContext::run(const PortGraph& g, NodeId source,
     result.status = RunStatus::kTimeout;
   } else if (events_exhausted || budget_hit) {
     result.status = RunStatus::kBudgetExhausted;
+  } else if (byz && !result.violation.empty()) {
+    // An adversarial run that produced an observable symptom (violation or
+    // behavior exception on forged content) was DETECTED. A fooled run that
+    // ends cleanly but wrong stays kTaskFailed — the silent case.
+    result.status = RunStatus::kByzantineDetected;
   } else if (!result.violation.empty() || !result.all_informed) {
     result.status = RunStatus::kTaskFailed;
   } else {

@@ -60,6 +60,7 @@ class ExecutionContext {
 
   Scheduler scheduler_;
   FaultPlan fault_plan_;
+  AdversaryPlan adversary_plan_;
   /// Scratch for FaultPlan::corrupt_advice — trials share immutable advice
   /// vectors, so corruption writes a private copy here instead.
   std::vector<BitString> corrupted_advice_;

@@ -16,14 +16,26 @@
 //  * kAsyncLinkFifo — messages on the same directed link arrive in send
 //    order (the classic asynchronous message-passing model with FIFO
 //    channels), but different links race with independent random delays.
+//  * kAsyncAdversarial — the Lemma 2.1 game played online: each directed
+//    link's first use is a *probe* answered by the edge-discovery
+//    CountingAdversary (lowerbound/counting_adversary.h), and links the
+//    adversary marks special are slowed twice as hard as regular ones.
+//    The adversary answers by majority to keep the active instance family
+//    large, so the links it deems load-bearing — the ones a scheme must
+//    discover — are exactly the ones it starves. Fully deterministic: no
+//    RNG stream is consumed, every key is a pure function of the probe
+//    history, which is itself a function of the execution.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/rng.h"
 
 namespace oraclesize {
+
+class CountingAdversary;  // lowerbound/counting_adversary.h
 
 enum class SchedulerKind {
   kSynchronous,
@@ -31,6 +43,7 @@ enum class SchedulerKind {
   kAsyncFifo,
   kAsyncLifo,
   kAsyncLinkFifo,
+  kAsyncAdversarial,
 };
 
 const char* to_string(SchedulerKind kind);
@@ -40,6 +53,7 @@ const char* to_string(SchedulerKind kind);
 class Scheduler {
  public:
   Scheduler(SchedulerKind kind, std::uint64_t seed, std::uint32_t max_delay);
+  ~Scheduler();  // out-of-line: unique_ptr of a forward-declared type
 
   /// Re-arms the scheduler for a fresh run without releasing the link-clock
   /// storage. `num_links` sizes the per-link clock table up front (pass the
@@ -66,6 +80,14 @@ class Scheduler {
   /// "nothing delivered yet" — identical to the map-based default the
   /// original implementation relied on.
   std::vector<std::int64_t> link_clock_;
+
+  /// kAsyncAdversarial state: the online Lemma 2.1 adversary, a per-link
+  /// probe record (0 = unprobed, 1 = regular, 2 = special), and how many
+  /// probes it has answered (it throws past resolution, so we guard).
+  std::unique_ptr<CountingAdversary> adversary_;
+  std::vector<std::uint8_t> link_state_;
+  std::uint64_t probes_ = 0;
+  std::size_t num_candidates_ = 0;
 };
 
 }  // namespace oraclesize

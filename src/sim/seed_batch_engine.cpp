@@ -44,9 +44,14 @@ bool SeedBatchExecutionContext::lockstep_eligible(
     default:
       // kAsyncRandom / kAsyncLinkFifo consume a seeded stream in draw
       // order; two lanes with different engine seeds share no stream.
+      // kAsyncAdversarial's probe history is execution-dependent.
       return false;
   }
-  return !base.trace && base.trace_sink == nullptr && base.deadline_ns == 0;
+  // Byzantine families are ineligible outright: the replay buffer evolves
+  // with delivery order, so lanes can't share a clean-stream pass. They
+  // route to scalar replay (fallback-not-divergence), never diverge.
+  return !base.trace && base.trace_sink == nullptr &&
+         base.deadline_ns == 0 && !base.adversary.enabled();
 }
 
 void SeedBatchExecutionContext::arm_behaviors(std::size_t n,

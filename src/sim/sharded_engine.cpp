@@ -148,6 +148,15 @@ RunResult ShardedExecutionContext::run(const PortGraph& g, NodeId source,
   if (source >= n) throw std::invalid_argument("run_execution: bad source");
 
   stats_ = ShardedRunStats{};
+  // Byzantine runs and the adversarial scheduler are inherently serial
+  // (replay-buffer state and probe history follow global delivery order):
+  // the existing fallback-not-divergence policy routes them to the scalar
+  // engine up front, so every shard count returns the canonical answer.
+  if (options.adversary.enabled() ||
+      options.scheduler == SchedulerKind::kAsyncAdversarial) {
+    stats_.fell_back = true;
+    return legacy_.run(g, source, advice, algorithm, options);
+  }
   PartitionOptions popt;
   popt.shards = shards_;
   const Partition part = make_partition(g, popt);

@@ -68,7 +68,16 @@ SchedulerKind scheduler_from_string(const std::string& s, std::size_t line) {
   if (s == "async-fifo") return SchedulerKind::kAsyncFifo;
   if (s == "async-lifo") return SchedulerKind::kAsyncLifo;
   if (s == "async-link-fifo") return SchedulerKind::kAsyncLinkFifo;
+  if (s == "async-adversarial") return SchedulerKind::kAsyncAdversarial;
   parse_fail(line, "unknown scheduler '" + s + "'");
+}
+
+ByzantineStrategy strategy_from_string(const std::string& s,
+                                       std::size_t line) {
+  if (s == "random-bits") return ByzantineStrategy::kRandomBits;
+  if (s == "replay") return ByzantineStrategy::kReplay;
+  if (s == "structured-lie") return ByzantineStrategy::kStructuredLie;
+  parse_fail(line, "unknown byzantine strategy '" + s + "'");
 }
 
 TraceEventKind event_kind_from_string(const std::string& s,
@@ -82,6 +91,10 @@ TraceEventKind event_kind_from_string(const std::string& s,
   if (s == "dead") return TraceEventKind::kDeadDelivery;
   if (s == "informed") return TraceEventKind::kInformed;
   if (s == "advice") return TraceEventKind::kAdviceRead;
+  if (s == "forge") return TraceEventKind::kForge;
+  if (s == "equivocate") return TraceEventKind::kEquivocate;
+  if (s == "replay") return TraceEventKind::kReplayAttack;
+  if (s == "advlie") return TraceEventKind::kAdviceLie;
   parse_fail(line, "unknown event kind '" + s + "'");
 }
 
@@ -98,6 +111,7 @@ RunStatus status_from_string(const std::string& s, std::size_t line) {
   if (s == "timeout") return RunStatus::kTimeout;
   if (s == "budget_exhausted") return RunStatus::kBudgetExhausted;
   if (s == "crashed") return RunStatus::kCrashed;
+  if (s == "byzantine_detected") return RunStatus::kByzantineDetected;
   parse_fail(line, "unknown run status '" + s + "'");
 }
 
@@ -144,6 +158,10 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kDeadDelivery: return "dead";
     case TraceEventKind::kInformed: return "informed";
     case TraceEventKind::kAdviceRead: return "advice";
+    case TraceEventKind::kForge: return "forge";
+    case TraceEventKind::kEquivocate: return "equivocate";
+    case TraceEventKind::kReplayAttack: return "replay";
+    case TraceEventKind::kAdviceLie: return "advlie";
   }
   return "unknown";
 }
@@ -175,6 +193,7 @@ RunOptions TraceHeader::to_run_options() const {
   o.enforce_wakeup = enforce_wakeup;
   o.anonymous = anonymous;
   o.fault = fault;
+  o.adversary = adversary;
   return o;
 }
 
@@ -207,6 +226,17 @@ std::uint64_t RecordedTrace::digest() const {
   fnv_u64(h, faults.crashed_nodes);
   fnv_u64(h, faults.dead_deliveries);
   fnv_u64(h, faults.advice_bits_flipped);
+  // Adversary counters fold in only when the run saw Byzantine activity:
+  // the zero case hashes nothing extra, so every pre-Byzantine pinned
+  // golden digest (tests/test_goldens.cpp) is preserved.
+  if (!(adversary == AdversaryCounters{})) {
+    fnv_u64(h, adversary.lying_nodes);
+    fnv_u64(h, adversary.forged);
+    fnv_u64(h, adversary.equivocated);
+    fnv_u64(h, adversary.replayed);
+    fnv_u64(h, adversary.structured_lies);
+    fnv_u64(h, adversary.advice_lies);
+  }
   return h;
 }
 
@@ -235,6 +265,21 @@ void save_trace(std::ostream& os, const RecordedTrace& t) {
   os << " " << f.max_crash_key << " " << (f.crash_source ? 1 : 0) << " ";
   write_double(os, f.advice_flip);
   os << "\n";
+  // The adversary line exists only on Byzantine traces: older readers (and
+  // older files) never see or miss it.
+  if (t.header.adversary.enabled()) {
+    const AdversaryPlanParams& a = t.header.adversary;
+    os << "adversary " << a.seed << " ";
+    write_double(os, a.byz_rate);
+    os << " " << a.byz_nodes << " " << (a.byz_source ? 1 : 0) << " "
+       << to_string(a.strategy) << " ";
+    write_double(os, a.forge);
+    os << " ";
+    write_double(os, a.equivocate);
+    os << " ";
+    write_double(os, a.advice_lie);
+    os << " " << a.replay_window << "\n";
+  }
 
   std::size_t graph_lines = 0;
   for (char c : t.graph_text) graph_lines += (c == '\n') ? 1 : 0;
@@ -264,6 +309,12 @@ void save_trace(std::ostream& os, const RecordedTrace& t) {
   os << "faults " << fc.dropped << " " << fc.duplicated << " " << fc.delayed
      << " " << fc.crashed_nodes << " " << fc.dead_deliveries << " "
      << fc.advice_bits_flipped << "\n";
+  if (!(t.adversary == AdversaryCounters{})) {
+    const AdversaryCounters& ac = t.adversary;
+    os << "byzantine " << ac.lying_nodes << " " << ac.forged << " "
+       << ac.equivocated << " " << ac.replayed << " " << ac.structured_lies
+       << " " << ac.advice_lies << "\n";
+  }
   os << "digest " << std::hex << t.digest() << std::dec << "\n";
 }
 
@@ -328,6 +379,20 @@ RecordedTrace load_trace(std::istream& is) {
           static_cast<std::uint32_t>(tok_u64(in, lineno, "max_crash_key"));
       f.crash_source = tok_u64(in, lineno, "crash_source") != 0;
       f.advice_flip = tok_double(in, lineno, "advice_flip");
+    } else if (tag == "adversary") {
+      AdversaryPlanParams& a = t.header.adversary;
+      a.seed = tok_u64(in, lineno, "adversary seed");
+      a.byz_rate = tok_double(in, lineno, "byz_rate");
+      a.byz_nodes =
+          static_cast<std::uint32_t>(tok_u64(in, lineno, "byz_nodes"));
+      a.byz_source = tok_u64(in, lineno, "byz_source") != 0;
+      a.strategy =
+          strategy_from_string(tok_word(in, lineno, "strategy"), lineno);
+      a.forge = tok_double(in, lineno, "forge");
+      a.equivocate = tok_double(in, lineno, "equivocate");
+      a.advice_lie = tok_double(in, lineno, "advice_lie");
+      a.replay_window =
+          static_cast<std::uint32_t>(tok_u64(in, lineno, "replay_window"));
     } else if (tag == "graph") {
       const std::uint64_t lines = tok_u64(in, lineno, "graph line count");
       std::string text;
@@ -396,6 +461,14 @@ RecordedTrace load_trace(std::istream& is) {
       fc.crashed_nodes = tok_u64(in, lineno, "crashed_nodes");
       fc.dead_deliveries = tok_u64(in, lineno, "dead_deliveries");
       fc.advice_bits_flipped = tok_u64(in, lineno, "advice_bits_flipped");
+    } else if (tag == "byzantine") {
+      AdversaryCounters& ac = t.adversary;
+      ac.lying_nodes = tok_u64(in, lineno, "lying_nodes");
+      ac.forged = tok_u64(in, lineno, "forged");
+      ac.equivocated = tok_u64(in, lineno, "equivocated");
+      ac.replayed = tok_u64(in, lineno, "replayed");
+      ac.structured_lies = tok_u64(in, lineno, "structured_lies");
+      ac.advice_lies = tok_u64(in, lineno, "advice_lies");
     } else if (tag == "digest") {
       std::uint64_t stored = 0;
       in >> std::hex >> stored >> std::dec;
@@ -453,6 +526,7 @@ void TraceRecorder::begin_run(const TraceRunInfo& info) {
     trace_.header.enforce_wakeup = o.enforce_wakeup;
     trace_.header.anonymous = o.anonymous;
     trace_.header.fault = o.fault;
+    trace_.header.adversary = o.adversary;
   }
   trace_.graph_text.clear();
   if (info.graph != nullptr) trace_.graph_text = to_text(*info.graph);
@@ -473,6 +547,7 @@ void TraceRecorder::end_run(const RunResult& result) {
   trace_.status = result.status;
   trace_.metrics = result.metrics;
   trace_.faults = result.faults;
+  trace_.adversary = result.adversary;
   complete_ = true;
 }
 

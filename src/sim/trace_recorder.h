@@ -47,6 +47,10 @@ enum class TraceEventKind : std::uint8_t {
   kDeadDelivery,  ///< delivery suppressed: receiver already crashed
   kInformed,      ///< node transitioned to informed (the paper's predicate)
   kAdviceRead,    ///< node's advice string bound at arm time (aux = bits)
+  kForge,         ///< Byzantine rewrite of outgoing content (aux = payload)
+  kEquivocate,    ///< forged content keyed per link within one send batch
+  kReplayAttack,  ///< forged content served from the stale replay buffer
+  kAdviceLie,     ///< per-link persistent advice lie (no content forge)
 };
 
 const char* to_string(TraceEventKind kind);
@@ -94,6 +98,9 @@ struct TraceHeader {
   bool enforce_wakeup = false;
   bool anonymous = false;
   FaultPlanParams fault;
+  /// Byzantine regime the run was recorded under. Serialized only when
+  /// enabled(), so pre-adversary trace files load unchanged.
+  AdversaryPlanParams adversary;
   TraceLevel level = TraceLevel::kFull;
 
   /// Rebuilds the RunOptions this header describes (no sink attached).
@@ -113,9 +120,12 @@ struct RecordedTrace {
   RunStatus status = RunStatus::kCompleted;
   Metrics metrics;
   FaultCounters faults;
+  AdversaryCounters adversary;
 
   /// FNV-1a over the event stream, the status, the metrics, and the fault
   /// counters. Pure integer arithmetic: stable across platforms/compilers.
+  /// Adversary counters fold in only when nonzero, so every pre-Byzantine
+  /// golden digest is unchanged.
   std::uint64_t digest() const;
 };
 

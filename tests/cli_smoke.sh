@@ -146,4 +146,69 @@ set -e
 "$CLI" trace replay "$TMP/f.trace" | grep -q 'replay OK' \
   || fail "faulty trace replay"
 
+# Byzantine adversary flags. Rate 0 is the honest network: exit 0, and the
+# JSON record must be byte-identical to a run without any --byz flag (the
+# byz_* fields only appear once the adversary is enabled).
+"$CLI" run broadcast --byz-rate 0 --byz-seed 99 --json < "$TMP/net.txt" \
+  > "$TMP/z.json" || fail "byz-rate 0"
+"$CLI" run broadcast --json < "$TMP/net.txt" > "$TMP/plain.json"
+[ "$(strip_timing "$TMP/z.json")" = "$(strip_timing "$TMP/plain.json")" ] \
+  || fail "byz-rate 0 record differs from plain run"
+grep -q byz "$TMP/z.json" && fail "byz fields leaked into a zero-byz record"
+
+# Random-bits forging hands scheme B a control message it can prove no
+# honest node sends: a DETECTED Byzantine failure, reportable (exit 1).
+set +e
+"$CLI" run broadcast --byz-rate 0.3 --byz-seed 7 < "$TMP/net.txt" \
+  > "$TMP/out.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "detected byz run should exit 1 (got $rc)"
+grep -q 'status: byzantine_detected' "$TMP/out.txt" || fail "byz status"
+
+# Structured lies against flooding on a tree (every path runs through the
+# liars) fail SILENTLY: task_failed, no violation — the fooled case.
+"$CLI" gen tree 64 --seed 5 > "$TMP/tree.txt"
+set +e
+"$CLI" run flooding --byz-rate 0.3 --byz-seed 7 \
+  --byz-strategy structured-lie < "$TMP/tree.txt" > "$TMP/out.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "fooled byz run should exit 1 (got $rc)"
+grep -q 'status: task_failed' "$TMP/out.txt" || fail "fooled byz status"
+grep -q 'byzantine_detected' "$TMP/out.txt" && fail "fooled run not silent"
+
+# A fooled/detected run is a reproducible experiment: same seeds, same
+# record, adversary counters included.
+set +e
+"$CLI" run broadcast --byz-rate 0.3 --byz-seed 7 --json < "$TMP/net.txt" \
+  > "$TMP/y1.json" 2>&1
+"$CLI" run broadcast --byz-rate 0.3 --byz-seed 7 --json < "$TMP/net.txt" \
+  > "$TMP/y2.json" 2>&1
+set -e
+grep -q '"byz_lying_nodes":' "$TMP/y1.json" || fail "json byz counters"
+grep -q '"byz_forged":' "$TMP/y1.json" || fail "json byz_forged field"
+[ "$(strip_timing "$TMP/y1.json")" = "$(strip_timing "$TMP/y2.json")" ] \
+  || fail "byzantine run not reproducible"
+
+# --byz-nodes pins an exact colluding-set size; strategies parse.
+set +e
+"$CLI" run broadcast --byz-nodes 8 --byz-seed 7 --byz-strategy replay \
+  < "$TMP/net.txt" > "$TMP/out.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -le 1 ] || fail "byz-nodes run should be reportable (got $rc)"
+if "$CLI" run broadcast --byz-strategy bogus --byz-rate 0.1 \
+    < "$TMP/net.txt" >/dev/null 2>&1; then
+  fail "unknown byz strategy accepted"
+fi
+
+# Byzantine traces replay bit-identically (forge events included).
+"$CLI" run broadcast --byz-rate 0.3 --byz-seed 7 \
+  --trace-file "$TMP/byz.trace" < "$TMP/net.txt" >/dev/null 2>&1 || true
+"$CLI" trace replay "$TMP/byz.trace" | grep -q 'replay OK' \
+  || fail "byzantine trace replay"
+"$CLI" trace diff "$TMP/byz.trace" "$TMP/byz.trace" | grep -q 'identical' \
+  || fail "byzantine trace self-diff"
+
 echo "cli smoke: all checks passed"

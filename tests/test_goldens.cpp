@@ -90,6 +90,42 @@ TEST(Goldens, ZeroFaultPlanIsInvisible) {
   EXPECT_EQ(b.run.faults, FaultCounters{});
 }
 
+TEST(Goldens, ZeroAdversaryPlanIsInvisible) {
+  // The Byzantine layer's "costs nothing, changes nothing" contract: an
+  // adversary plan with a seed but no colluding set (zero rate, zero node
+  // count) must leave every golden above untouched.
+  const PortGraph g = golden_graph();
+  RunOptions opts;
+  opts.adversary.seed = 123456789;
+  const TaskReport b =
+      run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm(), opts);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.run.status, RunStatus::kCompleted);
+  EXPECT_EQ(b.oracle_bits, 396u);
+  EXPECT_EQ(b.run.metrics.messages_total, 197u);
+  EXPECT_EQ(b.run.metrics.messages_hello, 98u);
+  EXPECT_EQ(b.run.adversary, AdversaryCounters{});
+}
+
+TEST(Goldens, ByzantineBroadcastRun) {
+  // One pinned Byzantine execution: moves only if the adversary keying
+  // (colluding-set selection, forge/equivocation draws) or the engine's
+  // delivery order changes. Random-bits forging eventually hands scheme B
+  // a control message, which it treats as proof of misbehavior.
+  const PortGraph g = golden_graph();
+  RunOptions opts;
+  opts.adversary.seed = 2026;
+  opts.adversary.byz_rate = 0.1;
+  const TaskReport b =
+      run_task(g, 0, LightBroadcastOracle(), BroadcastBAlgorithm(), opts);
+  EXPECT_EQ(b.run.status, RunStatus::kByzantineDetected);
+  EXPECT_EQ(b.run.adversary.lying_nodes, 10u);
+  EXPECT_EQ(b.run.adversary.forged, 10u);
+  EXPECT_EQ(b.run.adversary.equivocated, 1u);
+  EXPECT_EQ(b.run.adversary.advice_lies, 2u);
+  EXPECT_EQ(b.run.metrics.messages_total, 99u);
+}
+
 TEST(Goldens, FaultyBroadcastRun) {
   // One pinned faulty execution: moves only if the fault keying, the
   // scheduler interaction, or the engine's delivery order changes.
@@ -227,6 +263,21 @@ TEST(GoldenTraces, ZeroFaultRateTraceMatchesDisabledPlan) {
   // (not the header), so the two recordings hash identically.
   RunOptions zero;
   zero.fault.seed = 987654321;  // armed seed, zero probabilities
+  const std::uint64_t with_zero_plan =
+      record_golden_trace(LightBroadcastOracle(), BroadcastBAlgorithm(), zero)
+          .digest();
+  const std::uint64_t with_no_plan =
+      record_golden_trace(LightBroadcastOracle(), BroadcastBAlgorithm())
+          .digest();
+  EXPECT_EQ(with_zero_plan, with_no_plan);
+}
+
+TEST(GoldenTraces, ZeroAdversaryTraceMatchesDisabledPlan) {
+  // Same stream-level contract for the Byzantine layer: a seeded but empty
+  // adversary plan (no rate, no node count) produces the SAME event stream
+  // as no plan at all — no forge events, no digest movement.
+  RunOptions zero;
+  zero.adversary.seed = 987654321;  // junk seed, zero rates: disabled
   const std::uint64_t with_zero_plan =
       record_golden_trace(LightBroadcastOracle(), BroadcastBAlgorithm(), zero)
           .digest();

@@ -239,6 +239,42 @@ TEST(SeedBatchEngine, EligibilityGates) {
   base = RunOptions{};
   base.deadline_ns = 1;
   EXPECT_FALSE(SeedBatchExecutionContext::lockstep_eligible(base));
+  // Byzantine runs always execute scalar: forged content depends on the
+  // delivery order of observed traffic, which lockstep cannot share.
+  base = RunOptions{};
+  base.adversary.byz_rate = 0.1;
+  EXPECT_FALSE(SeedBatchExecutionContext::lockstep_eligible(base));
+  base = RunOptions{};
+  base.adversary.byz_nodes = 2;
+  EXPECT_FALSE(SeedBatchExecutionContext::lockstep_eligible(base));
+  base = RunOptions{};
+  base.adversary.seed = 99;  // seeded but empty: still the honest network
+  EXPECT_TRUE(SeedBatchExecutionContext::lockstep_eligible(base));
+}
+
+TEST(SeedBatchEngine, ByzantineFamilyReplaysEveryLaneIdenticallyToScalar) {
+  const PortGraph g = fuzz_graph();
+  const LightBroadcastOracle oracle;
+  const std::vector<BitString> advice = oracle.advise(g, 0);
+  const Algorithm* broadcast = algorithm_by_name("broadcast-B");
+  ASSERT_NE(broadcast, nullptr);
+  RunOptions base;
+  base.adversary.seed = 42;
+  base.adversary.byz_rate = 0.2;
+  std::vector<Lane> lanes = {{1, 0}, {2, 0}, {3, 0}};
+  SeedBatchExecutionContext batched;
+  const std::vector<RunResult> got =
+      batched.run(g, 0, advice, *broadcast, base, lanes);
+  EXPECT_FALSE(batched.last_stats().lockstep_ran);
+  EXPECT_EQ(batched.last_stats().replayed, 3u);
+  ExecutionContext scalar;
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    RunOptions options = base;
+    options.seed = lanes[l].seed;
+    const RunResult want = scalar.run(g, 0, advice, *broadcast, options);
+    EXPECT_EQ(got[l], want) << "lane " << l;
+    EXPECT_GT(want.adversary.lying_nodes, 0u) << "lane " << l;
+  }
 }
 
 TEST(SeedBatchEngine, IneligibleFamilyReplaysEveryLane) {
@@ -492,6 +528,22 @@ TEST(SeedFamily, KeyIsSeedBlindAndOtherwiseSensitive) {
   l.advice = std::make_shared<const std::vector<BitString>>(
       oracle.advise(g, 3));
   EXPECT_NE(seed_family_key(a), seed_family_key(l));
+
+  // The Byzantine regime is part of the family identity — INCLUDING its
+  // seed (different adversary seeds mean different colluding sets, which
+  // lockstep could never share even if Byzantine families were eligible).
+  TrialSpec m = a;
+  m.options.adversary.byz_rate = 0.1;
+  EXPECT_NE(seed_family_key(a), seed_family_key(m));
+  TrialSpec n = m;
+  n.options.adversary.seed = 1;
+  EXPECT_NE(seed_family_key(m), seed_family_key(n));
+  TrialSpec o = m;
+  o.options.adversary.strategy = ByzantineStrategy::kStructuredLie;
+  EXPECT_NE(seed_family_key(m), seed_family_key(o));
+  TrialSpec p = m;
+  p.options.adversary.byz_nodes = 3;
+  EXPECT_NE(seed_family_key(m), seed_family_key(p));
 }
 
 /// Everything deterministic in a TaskReport (the timing fields are the

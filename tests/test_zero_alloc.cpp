@@ -110,8 +110,23 @@ int audit() {
     opts.enforce_wakeup = true;
     const auto advice_small = oracle.advise(small, 0);
     const auto advice_big = oracle.advise(big, 0);
-    check("wakeup", count_steady_run(small, advice_small, algorithm, opts),
-          count_steady_run(big, advice_big, algorithm, opts));
+    const std::size_t w_small =
+        count_steady_run(small, advice_small, algorithm, opts);
+    const std::size_t w_big =
+        count_steady_run(big, advice_big, algorithm, opts);
+    check("wakeup", w_small, w_big);
+
+    // A seeded-but-empty adversary plan must be allocation-free too: the
+    // disabled plan is never consulted, so the steady state is the SAME
+    // workload, not merely a similarly-flat one.
+    RunOptions zeroed = opts;
+    zeroed.adversary.seed = 123456789;  // junk seed, zero rates: disabled
+    const std::size_t z_small =
+        count_steady_run(small, advice_small, algorithm, zeroed);
+    const std::size_t z_big =
+        count_steady_run(big, advice_big, algorithm, zeroed);
+    check("wakeup+0byz", z_small, z_big);
+    check("0byz==off", w_big, z_big);
   }
   {
     const LightBroadcastOracle oracle;

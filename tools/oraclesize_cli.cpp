@@ -6,11 +6,13 @@
 //         path N | cycle N | star N | grid R C | hypercube D | complete N |
 //         tree N | random N P | lollipop N | torus R C | bipartite A B |
 //         wheel N | caterpillar S L | regular N D | gns N T | gnsc N K
-//   run <task> [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]
+//   run <task> [--source S]
+//       [--scheduler sync|random|fifo|lifo|linkfifo|adversarial]
 //       [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]
 //       [--advice-file F] [--all-sources] [--jobs N] [--shards N] [--json]
 //       [--fault-rate P] [--fault-seed S] [--deadline-ms T] [--retries K]
 //       [--seed-sweep K] [--no-seed-batch]
+//       [--byz-rate P] [--byz-nodes K] [--byz-seed S] [--byz-strategy X]
 //       Read a network from stdin and run a task:
 //         wakeup | broadcast | flooding | census | gossip | hybrid
 //       Prints the task report (oracle bits, messages, violations).
@@ -32,6 +34,12 @@
 //       serves the benign lanes from a single lockstep pass
 //       (sim/seed_batch_engine.h); --no-seed-batch forces the scalar path
 //       (results are bit-identical either way).
+//       --byz-rate P / --byz-nodes K seed a Byzantine colluding set whose
+//       outgoing messages are forged by --byz-strategy
+//       (random-bits | replay | structured-lie), keyed by --byz-seed
+//       (sim/adversary_plan.h). `--scheduler adversarial` plays the
+//       Lemma 2.1 edge-discovery game online to starve the links the
+//       adversary deems load-bearing. A fooled or detected run exits 1.
 //       Exit code: 0 = every trial solved its task; 1 = some trial failed
 //       the task (a reportable result, e.g. under faults); 2 = an
 //       infrastructure error (bad input, exception, crashed trial).
@@ -103,13 +111,16 @@ using namespace oraclesize;
       "usage:\n"
       "  oraclesize_cli gen <family> <args...> [--seed S]\n"
       "  oraclesize_cli run <wakeup|broadcast|flooding|census|gossip|hybrid>\n"
-      "      [--source S] [--scheduler sync|random|fifo|lifo|linkfifo]\n"
+      "      [--source S] [--scheduler "
+      "sync|random|fifo|lifo|linkfifo|adversarial]\n"
       "      [--tree bfs|dfs|kruskal|light] [--seed S] [--anonymous]\n"
       "      [--advice-file F] [--all-sources] [--jobs N] [--shards N] "
       "[--json]\n"
       "      [--fault-rate P] [--fault-seed S] [--deadline-ms T] "
       "[--retries K]\n"
       "      [--seed-sweep K] [--no-seed-batch]\n"
+      "      [--byz-rate P] [--byz-nodes K] [--byz-seed S]\n"
+      "      [--byz-strategy random-bits|replay|structured-lie]\n"
       "      [--trace-file F] [--trace-level messages|full]\n"
       "  oraclesize_cli trace record <task> --trace-file F [run options]\n"
       "  oraclesize_cli trace replay <F>\n"
@@ -169,6 +180,10 @@ struct Options {
   std::uint32_t retries = 0;
   std::uint64_t seed_sweep = 0;  ///< 0 = no sweep (one fault seed)
   bool no_seed_batch = false;
+  double byz_rate = 0.0;
+  std::uint32_t byz_nodes = 0;
+  std::uint64_t byz_seed = 0;
+  ByzantineStrategy byz_strategy = ByzantineStrategy::kRandomBits;
   std::string trace_file;
   TraceLevel trace_level = TraceLevel::kFull;
 };
@@ -217,6 +232,27 @@ std::vector<std::string> extract_options(std::vector<std::string> args,
       opts.seed_sweep = parse_u64(next(), "--seed-sweep");
     } else if (a == "--no-seed-batch") {
       opts.no_seed_batch = true;
+    } else if (a == "--byz-rate") {
+      opts.byz_rate = parse_double(next(), "--byz-rate");
+      if (opts.byz_rate < 0.0 || opts.byz_rate > 1.0) {
+        usage("--byz-rate must be in [0, 1]");
+      }
+    } else if (a == "--byz-nodes") {
+      opts.byz_nodes =
+          static_cast<std::uint32_t>(parse_u64(next(), "--byz-nodes"));
+    } else if (a == "--byz-seed") {
+      opts.byz_seed = parse_u64(next(), "--byz-seed");
+    } else if (a == "--byz-strategy") {
+      const std::string v = next();
+      if (v == "random-bits") {
+        opts.byz_strategy = ByzantineStrategy::kRandomBits;
+      } else if (v == "replay") {
+        opts.byz_strategy = ByzantineStrategy::kReplay;
+      } else if (v == "structured-lie") {
+        opts.byz_strategy = ByzantineStrategy::kStructuredLie;
+      } else {
+        usage("unknown byzantine strategy '" + v + "'");
+      }
     } else if (a == "--trace-file") {
       opts.trace_file = next();
     } else if (a == "--trace-level") {
@@ -240,6 +276,8 @@ std::vector<std::string> extract_options(std::vector<std::string> args,
         opts.scheduler = SchedulerKind::kAsyncLifo;
       } else if (v == "linkfifo") {
         opts.scheduler = SchedulerKind::kAsyncLinkFifo;
+      } else if (v == "adversarial") {
+        opts.scheduler = SchedulerKind::kAsyncAdversarial;
       } else {
         usage("unknown scheduler '" + v + "'");
       }
@@ -390,6 +428,10 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
   run_opts.anonymous = opts.anonymous;
   run_opts.fault.drop = opts.fault_rate;
   run_opts.fault.seed = opts.fault_seed;
+  run_opts.adversary.byz_rate = opts.byz_rate;
+  run_opts.adversary.byz_nodes = opts.byz_nodes;
+  run_opts.adversary.seed = opts.byz_seed;
+  run_opts.adversary.strategy = opts.byz_strategy;
   run_opts.deadline_ns = opts.deadline_ms * 1'000'000;
 
   const std::string& task = args[0];
@@ -536,8 +578,17 @@ int cmd_run(const std::vector<std::string>& args, const Options& opts) {
                 << ", \"run_ns\": " << r.run_ns << ", \"advice_cached\": "
                 << (r.advice_cached ? "true" : "false") << ", \"status\": \""
                 << to_string(r.run.status) << "\", \"attempts\": "
-                << r.attempts << ", \"ok\": " << (r.ok() ? "true" : "false")
-                << "}";
+                << r.attempts << ", \"ok\": " << (r.ok() ? "true" : "false");
+      if (opts.byz_rate > 0 || opts.byz_nodes > 0) {
+        const AdversaryCounters& a = r.run.adversary;
+        std::cout << ", \"byz_lying_nodes\": " << a.lying_nodes
+                  << ", \"byz_forged\": " << a.forged
+                  << ", \"byz_equivocated\": " << a.equivocated
+                  << ", \"byz_replayed\": " << a.replayed
+                  << ", \"byz_structured_lies\": " << a.structured_lies
+                  << ", \"byz_advice_lies\": " << a.advice_lies;
+      }
+      std::cout << "}";
     }
     std::cout << (reports.empty() ? "]\n" : "\n  ]\n") << "}\n";
   } else {

@@ -56,7 +56,8 @@ SPEEDUP_KEYS = ("advise_wakeup_speedup", "advise_broadcast_speedup")
 def load(path):
     with open(path) as fh:
         data = json.load(fh)
-    if data.get("bench") not in ("perf_csr", "perf_shard", "perf_seedbatch"):
+    if data.get("bench") not in ("perf_csr", "perf_shard", "perf_seedbatch",
+                                 "e16_byzantine"):
         sys.exit(f"{path}: not a perf_gate-gated bench record "
                  f"(bench = {data.get('bench')!r})")
     return data
@@ -223,6 +224,77 @@ def gate_seedbatch(fresh_data, base_data, args):
     return failures
 
 
+def gate_e16(fresh_data, base_data, args):
+    """Gates the Byzantine sweep (bench_e16_byzantine).
+
+    Everything here is machine-independent: the sweep runs under the
+    synchronous scheduler with pinned adversary seeds, so completion rates
+    are exact integers over trials, not measurements.
+     * every fresh byz_fraction-0 record must complete at 1.0 AND be
+       field-for-field identical to the untouched-options reliable run —
+       the disabled adversary plan is invisible;
+     * rows shared with the committed baseline must agree on
+       completion_rate exactly (a drift means the counter-keyed adversary
+       or an algorithm changed under a pinned seed);
+     * the neutrality ratio (zeroed-params reliable matrix over
+       untouched-options wall time) must stay under --max-neutrality;
+     * the sweep must still exhibit at least one advice-buyback row and the
+       adversarial scheduler must not cost completion.
+    """
+    failures = []
+    for row in fresh_data["records"]:
+        label = (f"{row['family']} n={row['n']} {row['scheme']} "
+                 f"{row['strategy']}@{row['byz_fraction']}")
+        if row["byz_fraction"] == 0:
+            if row["completion_rate"] != 1.0:
+                failures.append(
+                    f"{label}: byz-0 completion_rate "
+                    f"{row['completion_rate']} != 1.0")
+            if not row.get("identical", False):
+                failures.append(
+                    f"{label}: byz-0 run NOT identical to the "
+                    f"untouched-options reliable run")
+
+    fresh = {(r["family"], r["n"], r["scheme"], r["strategy"],
+              r["byz_fraction"]): r for r in fresh_data["records"]}
+    base = {(r["family"], r["n"], r["scheme"], r["strategy"],
+             r["byz_fraction"]): r for r in base_data["records"]}
+    shared = sorted(set(fresh) & set(base))
+    drifted = 0
+    for key in shared:
+        got = fresh[key]["completion_rate"]
+        ref = base[key]["completion_rate"]
+        if got != ref:
+            drifted += 1
+            family, n, scheme, strategy, fraction = key
+            failures.append(
+                f"{family} n={n} {scheme} {strategy}@{fraction}: "
+                f"completion_rate drifted {ref} -> {got} under a pinned "
+                f"adversary seed")
+
+    ratio = fresh_data["neutrality"]["ratio"]
+    if ratio > args.max_neutrality:
+        failures.append(
+            f"neutrality ratio {ratio:.3f} above {args.max_neutrality} — "
+            f"the disabled adversary branch is no longer free")
+    if not fresh_data["buyback"]:
+        failures.append(
+            "no buyback rows: no bits-richer oracle restores completion "
+            "over a bits-poorer one anywhere in the sweep")
+    for row in fresh_data["scheduler_records"]:
+        if not (row["adversarial_ok"] and row["random_ok"]):
+            failures.append(
+                f"{row['family']} n={row['n']} {row['scheme']}: run under "
+                f"the adversarial/random scheduler did not complete")
+
+    if not failures:
+        print(f"e16 gate passed: {len(fresh)} fresh records "
+              f"(byz-0 identity, exact completion on {len(shared)} shared "
+              f"rows, neutrality {ratio:.3f} <= {args.max_neutrality}, "
+              f"{len(fresh_data['buyback'])} buyback rows)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True,
@@ -255,6 +327,11 @@ def main():
                          "the regression comparison: past it the batched "
                          "side is a few microseconds and the ratio is "
                          "timer noise (perf_seedbatch only)")
+    ap.add_argument("--max-neutrality", type=float, default=1.30,
+                    help="largest tolerated zeroed-params/untouched-options "
+                         "wall-time ratio on the reliable matrix "
+                         "(e16_byzantine only; the matrix runs in "
+                         "microseconds, so the bound is loose)")
     args = ap.parse_args()
 
     fresh_data = load(args.fresh)
@@ -267,6 +344,8 @@ def main():
         failures = gate_shard(fresh_data, base_data, args)
     elif fresh_data["bench"] == "perf_seedbatch":
         failures = gate_seedbatch(fresh_data, base_data, args)
+    elif fresh_data["bench"] == "e16_byzantine":
+        failures = gate_e16(fresh_data, base_data, args)
     else:
         failures = gate_csr(fresh_data, base_data, args)
 
