@@ -4,6 +4,22 @@
 #include <utility>
 
 namespace oraclesize {
+namespace {
+
+// Fixed bookkeeping charge per entry: map node, key tuple, shared-future
+// control block, LRU list node. An estimate, but a deterministic one — the
+// budget semantics only need sizes that are stable across runs.
+constexpr std::uint64_t kEntryOverheadBytes = 160;
+
+}  // namespace
+
+std::uint64_t AdviceCache::advice_bytes(const std::vector<BitString>& advice) {
+  std::uint64_t total = sizeof(std::vector<BitString>);
+  for (const BitString& bits : advice) {
+    total += sizeof(BitString) + ((bits.size() + 63) / 64) * 8;
+  }
+  return total;
+}
 
 AdviceCache::Lookup AdviceCache::lookup(const PortGraph& g,
                                         const Oracle& oracle, NodeId source) {
@@ -18,16 +34,20 @@ AdviceCache::Lookup AdviceCache::lookup(const PortGraph& g,
       owner = true;
       ++misses_;
       future = promise.get_future().share();
-      entries_.emplace(std::move(key), future);
+      entries_.emplace(key, Entry{future, 0, false, lru_.end()});
     } else {
       ++hits_;
-      future = it->second;
+      future = it->second.future;
+      if (it->second.completed && it->second.lru != lru_.begin()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+      }
     }
   }
 
   if (owner) {
     // Compute outside the lock so concurrent lookups of other keys proceed
     // and same-key lookups block on the future, not the mutex.
+    std::uint64_t entry_bytes = kEntryOverheadBytes + std::get<1>(key).size();
     try {
       const auto started = std::chrono::steady_clock::now();
       auto advice = std::make_shared<const std::vector<BitString>>(
@@ -36,13 +56,20 @@ AdviceCache::Lookup AdviceCache::lookup(const PortGraph& g,
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - started)
               .count());
+      entry_bytes += advice_bytes(*advice);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         advise_ns_ += ns;
+        complete_entry_locked(key, entry_bytes);
       }
       promise.set_value(Computed{std::move(advice), ns});
     } catch (...) {
       promise.set_exception(std::current_exception());
+      // Poisoned entries stay resident (repeat lookups rethrow) but are
+      // charged only their bookkeeping, and remain evictable like any
+      // other completed entry.
+      std::lock_guard<std::mutex> lock(mutex_);
+      complete_entry_locked(key, entry_bytes);
     }
   }
 
@@ -50,16 +77,52 @@ AdviceCache::Lookup AdviceCache::lookup(const PortGraph& g,
   return Lookup{computed.advice, owner ? computed.advise_ns : 0, !owner};
 }
 
+void AdviceCache::complete_entry_locked(const Key& key,
+                                        std::uint64_t entry_bytes) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // clear() raced the computation
+  it->second.bytes = entry_bytes;
+  it->second.completed = true;
+  lru_.push_front(key);
+  it->second.lru = lru_.begin();
+  bytes_ += entry_bytes;
+  evict_to_budget_locked();
+}
+
+void AdviceCache::evict_to_budget_locked() {
+  if (budget_ == 0) return;
+  // A single oversized entry may be evicted immediately after insertion —
+  // its waiters are unaffected (they hold the shared future), and the next
+  // lookup of that key recomputes. Under a tiny budget this degenerates to
+  // deliberate churn, which the stress tests lean on.
+  while (bytes_ > budget_ && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
 AdviceCache::Stats AdviceCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{entries_.size(), hits_, misses_, advise_ns_};
+  return Stats{entries_.size(), hits_,   misses_,
+               advise_ns_,      bytes_,  evictions_};
+}
+
+std::uint64_t AdviceCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
 }
 
 void AdviceCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
   advise_ns_ = 0;
 }
 

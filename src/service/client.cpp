@@ -1,0 +1,115 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace oraclesize::service {
+
+std::uint64_t ServiceClient::Reply::field_u64(const std::string& key) const {
+  const std::string v = field(key);
+  if (v.empty()) return 0;
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+ServiceClient::ServiceClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw ServiceError("socket path unusable: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw ServiceError(std::string("socket(): ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ServiceError("cannot connect to '" + socket_path + "': " + err);
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServiceClient::Reply ServiceClient::request(std::uint8_t opcode,
+                                            const std::string& body) {
+  std::string payload(1, static_cast<char>(opcode));
+  payload += body;
+  try {
+    write_frame(fd_, payload);
+  } catch (const FrameError& e) {
+    throw ServiceError(std::string("send failed: ") + e.what());
+  }
+  Reply reply;
+  if (!read_reply(reply)) {
+    throw ServiceError("server closed the connection mid-request");
+  }
+  return reply;
+}
+
+bool ServiceClient::read_reply(Reply& reply) {
+  std::string payload;
+  try {
+    if (!read_frame(fd_, payload, kDefaultMaxFrameBytes)) return false;
+  } catch (const FrameError& e) {
+    throw ServiceError(std::string("receive failed: ") + e.what());
+  }
+  if (payload.empty()) return false;
+  reply.status = static_cast<std::uint8_t>(payload[0]);
+  reply.body = payload.substr(1);
+  reply.kv = parse_kv(reply.body);
+  return true;
+}
+
+void ServiceClient::send_raw(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w >= 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw ServiceError(std::string("raw send failed: ") +
+                       std::strerror(errno));
+  }
+}
+
+ServiceClient::Reply ServiceClient::ping() { return request(kOpPing, ""); }
+
+ServiceClient::Reply ServiceClient::upload(const std::string& graph_text) {
+  return request(kOpUpload, graph_text);
+}
+
+ServiceClient::Reply ServiceClient::advise(const TaskRequest& req) {
+  return request(kOpAdvise, encode_task_request(req, /*run=*/false));
+}
+
+ServiceClient::Reply ServiceClient::run(const TaskRequest& req) {
+  return request(kOpRun, encode_task_request(req, /*run=*/true));
+}
+
+ServiceClient::Reply ServiceClient::metrics() {
+  return request(kOpMetrics, "");
+}
+
+ServiceClient::Reply ServiceClient::stats() { return request(kOpStats, ""); }
+
+ServiceClient::Reply ServiceClient::shutdown_server() {
+  return request(kOpShutdown, "");
+}
+
+}  // namespace oraclesize::service

@@ -1,0 +1,77 @@
+// Client side of the advice-service protocol.
+//
+// A thin, blocking wrapper over one connected unix-socket stream: each
+// helper sends one frame and waits for the one response frame. The class
+// is intentionally not thread-safe — the protocol is strictly
+// request/response per connection, so concurrent callers must each open
+// their own client (the load generator does exactly that, one per worker).
+//
+// The raw accessors (fd(), send_raw(), read_reply()) exist for the
+// malformed-frame tests: they let a test write a forged length prefix or
+// half a payload and observe the server's rejection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/task_catalog.h"
+
+namespace oraclesize::service {
+
+/// Connection or protocol-transport failure (distinct from an error
+/// RESPONSE, which arrives as Reply::status == kStatusError).
+class ServiceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ServiceClient {
+ public:
+  struct Reply {
+    std::uint8_t status = kStatusError;  ///< the 0/1/2 ladder byte
+    std::string body;                    ///< raw text after the status byte
+    std::map<std::string, std::string> kv;  ///< parse_kv(body)
+
+    bool ok() const { return status == kStatusOk; }
+    /// kv value or "" — responses are text either way.
+    std::string field(const std::string& key) const {
+      auto it = kv.find(key);
+      return it == kv.end() ? std::string() : it->second;
+    }
+    std::uint64_t field_u64(const std::string& key) const;
+  };
+
+  /// Connects; throws ServiceError when the socket cannot be reached.
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  Reply ping();
+  Reply upload(const std::string& graph_text);
+  Reply advise(const TaskRequest& request);
+  Reply run(const TaskRequest& request);
+  Reply metrics();
+  Reply stats();
+  Reply shutdown_server();
+
+  /// One request frame -> one response frame. Throws ServiceError when
+  /// the connection dies mid-exchange.
+  Reply request(std::uint8_t opcode, const std::string& body);
+
+  // ---- Raw access for protocol tests ----
+  int fd() const noexcept { return fd_; }
+  /// Writes bytes verbatim (no framing). Throws ServiceError on failure.
+  void send_raw(const void* data, std::size_t n);
+  /// Reads one response frame; false on EOF (server hung up).
+  bool read_reply(Reply& reply);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace oraclesize::service

@@ -1,0 +1,35 @@
+#include "service/graph_store.h"
+
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace oraclesize::service {
+
+GraphStore::Inserted GraphStore::insert(const std::string& graph_text,
+                                        const ParseLimits& limits) {
+  PortGraph parsed = from_text(graph_text, limits);  // throws on bad input
+  const std::string canonical = to_text(parsed);
+  const std::string digest = digest_hex(fnv1a64(canonical));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(digest);
+  if (it != graphs_.end()) return Inserted{digest, it->second, false};
+  auto stored = std::make_shared<const PortGraph>(std::move(parsed));
+  graphs_.emplace(digest, stored);
+  return Inserted{digest, std::move(stored), true};
+}
+
+std::shared_ptr<const PortGraph> GraphStore::find(
+    const std::string& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(digest);
+  return it == graphs_.end() ? nullptr : it->second;
+}
+
+std::size_t GraphStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace oraclesize::service

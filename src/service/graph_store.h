@@ -1,0 +1,49 @@
+// Content-addressed network storage for the advice service.
+//
+// Clients upload a network once; every later advise/run request names it
+// by digest. The digest is computed over the CANONICAL serialization
+// (graph/io.h to_text of the parsed graph), so two uploads that differ
+// only in comments, whitespace, or line order of the same structure
+// resolve to the same entry.
+//
+// Graphs are held as shared_ptr<const PortGraph> and are pinned for the
+// store's lifetime. That pin is load-bearing: core/advice_cache.h keys
+// advice by graph ADDRESS, so a stored graph must never move or die while
+// the service's cache may reference it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/io.h"
+
+namespace oraclesize::service {
+
+class GraphStore {
+ public:
+  struct Inserted {
+    std::string digest;  ///< 16 lowercase hex chars
+    std::shared_ptr<const PortGraph> graph;
+    bool fresh = false;  ///< true when this upload created the entry
+  };
+
+  /// Parses, validates, canonicalizes, and stores the network. Throws
+  /// GraphParseError (std::invalid_argument) on malformed input; the store
+  /// is unchanged in that case. Re-uploading an existing network is a
+  /// cheap no-op that returns fresh == false.
+  Inserted insert(const std::string& graph_text, const ParseLimits& limits);
+
+  /// The graph for a digest, or nullptr when unknown.
+  std::shared_ptr<const PortGraph> find(const std::string& digest) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const PortGraph>> graphs_;
+};
+
+}  // namespace oraclesize::service

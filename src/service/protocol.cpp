@@ -1,0 +1,124 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace oraclesize::service {
+namespace {
+
+/// Reads exactly n bytes. Returns the byte count actually read: n on
+/// success, less on EOF. Throws FrameError on a hard read error.
+std::size_t read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got;  // EOF
+    if (errno == EINTR) continue;
+    throw FrameError(std::string("read failed: ") + std::strerror(errno));
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload, std::uint32_t max_frame_bytes) {
+  char header[4];
+  const std::size_t got = read_exact(fd, header, sizeof header);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof header) throw FrameError("truncated length prefix");
+  const std::uint32_t len = static_cast<std::uint32_t>(
+      static_cast<unsigned char>(header[0]) |
+      (static_cast<unsigned char>(header[1]) << 8) |
+      (static_cast<unsigned char>(header[2]) << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]))
+       << 24));
+  if (len == 0) throw FrameError("empty frame");
+  if (len > max_frame_bytes) {
+    throw FrameError("oversized frame: " + std::to_string(len) +
+                     " bytes exceeds the " + std::to_string(max_frame_bytes) +
+                     "-byte cap");
+  }
+  payload.resize(len);
+  if (read_exact(fd, payload.data(), len) < len) {
+    throw FrameError("truncated payload");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char header[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  auto write_all = [fd](const char* p, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      // MSG_NOSIGNAL: a vanished peer yields EPIPE, not a process signal.
+      const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+      if (w >= 0) {
+        sent += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      throw FrameError(std::string("write failed: ") + std::strerror(errno));
+    }
+  };
+  write_all(header, sizeof header);
+  write_all(payload.data(), payload.size());
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_kv(std::string_view body) {
+  std::map<std::string, std::string> kv;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) eol = body.size();
+    const std::string_view line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    kv[std::string(line.substr(0, eq))] = std::string(line.substr(eq + 1));
+  }
+  return kv;
+}
+
+void append_kv(std::string& out, std::string_view key,
+               std::string_view value) {
+  out.append(key);
+  out.push_back('=');
+  out.append(value);
+  out.push_back('\n');
+}
+
+void append_kv(std::string& out, std::string_view key, std::uint64_t value) {
+  append_kv(out, key, std::string_view(std::to_string(value)));
+}
+
+}  // namespace oraclesize::service

@@ -1,0 +1,80 @@
+// Wire protocol of the advice service: length-prefixed frames over a local
+// stream socket.
+//
+// A frame is a 4-byte little-endian payload length followed by exactly that
+// many payload bytes. Request payloads start with a one-byte opcode;
+// response payloads start with a one-byte status from the CLI's exit
+// ladder (0 = solved / ok, 1 = the task failed — a reportable result,
+// 2 = infrastructure error). The rest of the payload is text: either a
+// raw document (an uploaded network, a Prometheus scrape) or newline-
+// separated `key=value` fields.
+//
+// Networks are content-addressed: Upload parses the text, re-serializes it
+// canonically, and replies with the FNV-1a 64 digest of the canonical
+// bytes. Advise/Run requests then name graphs by digest only — a graph
+// crosses the wire once, however many requests reference it.
+//
+// Framing violations (empty frame, length prefix above the negotiated cap,
+// a payload cut short) raise FrameError; the server answers with one
+// best-effort error frame and drops the connection, so a confused or
+// hostile peer cannot wedge a worker on a half-frame.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace oraclesize::service {
+
+// Request opcodes (first payload byte).
+inline constexpr std::uint8_t kOpPing = 1;
+inline constexpr std::uint8_t kOpUpload = 2;
+inline constexpr std::uint8_t kOpAdvise = 3;
+inline constexpr std::uint8_t kOpRun = 4;
+inline constexpr std::uint8_t kOpMetrics = 5;
+inline constexpr std::uint8_t kOpStats = 6;
+inline constexpr std::uint8_t kOpShutdown = 7;
+
+// Response status (first payload byte) — the CLI exit ladder.
+inline constexpr std::uint8_t kStatusOk = 0;
+inline constexpr std::uint8_t kStatusTaskFailed = 1;
+inline constexpr std::uint8_t kStatusError = 2;
+
+/// Default cap on one frame's payload. Large enough for a multi-megabyte
+/// network upload, small enough that a forged length prefix cannot drive
+/// an allocation anywhere near memory exhaustion.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// A malformed or truncated frame, or a socket-level failure mid-frame.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads one complete frame payload from a connected stream socket.
+/// Returns false on clean EOF (no bytes of a new frame); throws FrameError
+/// on an empty frame, a length prefix above `max_frame_bytes`, EOF inside
+/// a frame, or a read error.
+bool read_frame(int fd, std::string& payload, std::uint32_t max_frame_bytes);
+
+/// Writes one frame (length prefix + payload). Throws FrameError when the
+/// peer is gone or the write fails.
+void write_frame(int fd, std::string_view payload);
+
+/// FNV-1a 64-bit over the bytes — the content digest Upload replies with.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// The digest as 16 lowercase hex characters (the wire spelling).
+std::string digest_hex(std::uint64_t digest);
+
+/// Parses newline-separated `key=value` fields. Lines without '=' and
+/// empty lines are ignored; a repeated key keeps the last value.
+std::map<std::string, std::string> parse_kv(std::string_view body);
+
+/// Appends one `key=value\n` field.
+void append_kv(std::string& out, std::string_view key, std::string_view value);
+void append_kv(std::string& out, std::string_view key, std::uint64_t value);
+
+}  // namespace oraclesize::service

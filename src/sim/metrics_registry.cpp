@@ -84,6 +84,46 @@ void MetricsSnapshot::write_json(std::ostream& out) const {
   out << "}}";
 }
 
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+void MetricsSnapshot::write_prometheus(std::ostream& out) const {
+  for (const auto& [name, value] : counters) {
+    const std::string n = prometheus_name(name);
+    out << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = prometheus_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [width, count] : h.buckets) {
+      cumulative += count;
+      // Bucket b holds integer values in [2^(b-1), 2^b), so the inclusive
+      // upper boundary is 2^b - 1; width 0 holds exactly the zeros.
+      const std::uint64_t le =
+          width == 0 ? 0
+                     : (width >= 64 ? ~0ULL : (1ULL << width) - 1);
+      out << n << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+        << n << "_sum " << h.sum << '\n'
+        << n << "_count " << h.count << '\n';
+  }
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mu_);
   return counters_[name];

@@ -114,6 +114,16 @@ struct MetricsSnapshot {
   /// byte-identically.
   void write_json(std::ostream& out) const;
 
+  /// Prometheus text exposition format (version 0.0.4). Counters become
+  /// `# TYPE <name> counter` samples; histograms become cumulative-bucket
+  /// families with `le` boundaries at 2^b - 1 (the inclusive upper edge of
+  /// power-of-two bucket b, since observed values are integers), plus the
+  /// conventional `+Inf`, `_sum` and `_count` samples. Names are sanitized
+  /// to the Prometheus charset ([a-zA-Z0-9_:], leading digit prefixed with
+  /// '_'). Sorted-key iteration keeps equal snapshots byte-identical here
+  /// too.
+  void write_prometheus(std::ostream& out) const;
+
   friend bool operator==(const MetricsSnapshot&,
                          const MetricsSnapshot&) = default;
 };

@@ -1,0 +1,213 @@
+// The LRU byte-budget extension of core/advice_cache.h: accounting,
+// least-recently-used eviction order, shared_ptr pinning across eviction,
+// the exactly-once-per-generation recompute guarantee, and the regression
+// pin that the unbounded default behaves exactly like the historical
+// cache. The multi-thread churn tests are in the TSan/ASan CI net (the
+// sanitizer jobs run everything matching 'Lru').
+#include "core/advice_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "graph/builders.h"
+#include "oracle/tree_wakeup_oracle.h"
+#include "oracle/trivial_oracles.h"
+
+namespace oraclesize {
+namespace {
+
+// Counts advise() calls so tests can pin per-generation recompute counts.
+class CountingOracle final : public Oracle {
+ public:
+  explicit CountingOracle(const Oracle& inner) : inner_(inner) {}
+  std::vector<BitString> advise(const PortGraph& g,
+                                NodeId source) const override {
+    ++calls;
+    return inner_.advise(g, source);
+  }
+  std::string name() const override { return inner_.name(); }
+
+  mutable std::atomic<std::size_t> calls{0};
+
+ private:
+  const Oracle& inner_;
+};
+
+/// The accounted cost of one (graph, oracle, source) entry, measured on a
+/// throwaway unbounded cache. NullOracle advice is size-uniform across
+/// sources, so every key of the same graph costs the same.
+std::uint64_t measured_entry_bytes(const PortGraph& g, const Oracle& oracle) {
+  AdviceCache probe;
+  probe.lookup(g, oracle, 0);
+  return probe.bytes();
+}
+
+TEST(AdviceCacheLru, UnboundedDefaultKeepsLegacyBehavior) {
+  const PortGraph g = make_grid(6, 6);
+  const TreeWakeupOracle inner;
+  const CountingOracle oracle(inner);
+
+  AdviceCache cache;  // default: budget 0, no eviction ever
+  EXPECT_EQ(cache.byte_budget(), 0u);
+  const auto first = cache.lookup(g, oracle, 0);
+  std::vector<AdvicePtr> seen;
+  for (NodeId src = 0; src < 12; ++src) {
+    cache.lookup(g, oracle, src);
+  }
+  for (NodeId src = 0; src < 12; ++src) {
+    seen.push_back(cache.lookup(g, oracle, src).advice);
+  }
+  // Every repeat lookup is a hit on the ORIGINAL entry — same shared
+  // vector, one advise() per key, nothing ever dropped.
+  EXPECT_EQ(seen[0], first.advice);
+  EXPECT_EQ(oracle.calls.load(), 12u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 12u);
+  EXPECT_EQ(stats.misses, 12u);
+  EXPECT_EQ(stats.hits, 13u);
+  EXPECT_EQ(stats.evictions, 0u);
+  // And the content matches a fresh advise bit for bit.
+  const auto fresh = inner.advise(g, 0);
+  ASSERT_EQ(first.advice->size(), fresh.size());
+  for (std::size_t v = 0; v < fresh.size(); ++v) {
+    EXPECT_EQ((*first.advice)[v], fresh[v]) << "node " << v;
+  }
+}
+
+TEST(AdviceCacheLru, ByteAccountingIsDeterministicAndResets) {
+  const PortGraph g = make_grid(5, 5);
+  const TreeWakeupOracle oracle;
+
+  AdviceCache a;
+  AdviceCache b;
+  const auto lookup = a.lookup(g, oracle, 0);
+  b.lookup(g, oracle, 0);
+  // Identical inserts account identical bytes, and the charge covers at
+  // least the advice payload itself.
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_GE(a.bytes(), AdviceCache::advice_bytes(*lookup.advice));
+  EXPECT_EQ(a.stats().bytes, a.bytes());
+
+  a.lookup(g, oracle, 1);
+  EXPECT_GT(a.bytes(), b.bytes());  // two entries cost more than one
+  a.clear();
+  EXPECT_EQ(a.bytes(), 0u);
+  EXPECT_EQ(a.stats().entries, 0u);
+}
+
+TEST(AdviceCacheLru, EvictsLeastRecentlyUsedFirst) {
+  const PortGraph g = make_path(16);
+  const NullOracle inner;
+  const CountingOracle oracle(inner);
+  const std::uint64_t entry = measured_entry_bytes(g, inner);
+
+  // Room for two entries, not three.
+  AdviceCache cache(2 * entry + entry / 2);
+  cache.lookup(g, oracle, 0);  // A
+  cache.lookup(g, oracle, 1);  // B
+  cache.lookup(g, oracle, 0);  // touch A: B is now the LRU entry
+  cache.lookup(g, oracle, 2);  // C evicts B
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  const std::size_t calls_before = oracle.calls.load();
+  EXPECT_TRUE(cache.lookup(g, oracle, 0).hit);   // A survived
+  EXPECT_TRUE(cache.lookup(g, oracle, 2).hit);   // C survived
+  EXPECT_FALSE(cache.lookup(g, oracle, 1).hit);  // B was evicted: recompute
+  EXPECT_EQ(oracle.calls.load(), calls_before + 1);
+}
+
+TEST(AdviceCacheLru, PinnedAdviceSurvivesEviction) {
+  const PortGraph g = make_grid(4, 4);
+  const TreeWakeupOracle inner;
+  const std::uint64_t entry = measured_entry_bytes(g, inner);
+
+  // Budget below a single entry: every insert is immediately evicted —
+  // maximal churn. A holder's shared_ptr must keep its artifact alive.
+  AdviceCache cache(entry / 2);
+  const AdvicePtr pinned = cache.lookup(g, inner, 0).advice;
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.bytes(), 0u);
+
+  cache.lookup(g, inner, 1);  // more churn while we hold the pin
+  cache.lookup(g, inner, 2);
+
+  const auto fresh = inner.advise(g, 0);
+  ASSERT_EQ(pinned->size(), fresh.size());
+  for (std::size_t v = 0; v < fresh.size(); ++v) {
+    EXPECT_EQ((*pinned)[v], fresh[v]) << "node " << v;
+  }
+  // A re-lookup is a new generation: a distinct vector with equal content.
+  const AdvicePtr regenerated = cache.lookup(g, inner, 0).advice;
+  EXPECT_NE(regenerated, pinned);
+  EXPECT_EQ(*regenerated, *pinned);
+}
+
+TEST(AdviceCacheLru, ExactlyOnceRecomputePerGeneration) {
+  const PortGraph g = make_path(24);
+  const NullOracle inner;
+  const CountingOracle oracle(inner);
+  const std::uint64_t entry = measured_entry_bytes(g, inner);
+
+  // One-entry budget over three keys: every round-robin lookup is a fresh
+  // generation, and generations map 1:1 onto advise() calls.
+  AdviceCache cache(entry + entry / 2);
+  for (int round = 0; round < 5; ++round) {
+    for (NodeId src = 0; src < 3; ++src) {
+      EXPECT_FALSE(cache.lookup(g, oracle, src).hit);
+    }
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(oracle.calls.load(), stats.misses);
+  EXPECT_EQ(stats.misses, 15u);
+  EXPECT_GE(stats.evictions, 14u);
+}
+
+TEST(AdviceCacheLru, TinyBudgetChurnStress) {
+  const PortGraph g = make_grid(6, 6);
+  const TreeWakeupOracle inner;
+  const CountingOracle oracle(inner);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kKeys = 4;
+  constexpr int kRounds = 40;
+
+  // Reference advice per key, computed uncached.
+  std::vector<std::vector<BitString>> reference;
+  for (NodeId src = 0; src < kKeys; ++src) {
+    reference.push_back(inner.advise(g, src));
+  }
+
+  // Budget of roughly one entry across four hot keys hammered by eight
+  // threads: constant evict/recompute churn. The sanitizers watch for
+  // use-after-evict; the assertions pin determinism and exactly-once.
+  const std::uint64_t entry = measured_entry_bytes(g, inner);
+  AdviceCache cache(entry + entry / 2);
+  std::atomic<std::size_t> mismatches{0};
+  {
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          const NodeId src = static_cast<NodeId>((t + round) % kKeys);
+          const AdvicePtr advice = cache.lookup(g, oracle, src).advice;
+          // Deterministic responses: whatever generation served us, the
+          // content is the reference advice, bit for bit.
+          if (*advice != reference[src]) ++mismatches;
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto stats = cache.stats();
+  // Exactly-once per generation: each miss elected one computing owner,
+  // and nobody advised outside the cache's election.
+  EXPECT_EQ(oracle.calls.load(), stats.misses);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace oraclesize
