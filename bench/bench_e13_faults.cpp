@@ -3,7 +3,8 @@
 //
 // Sweeps one fault family at a time (message drop, duplication, extra
 // delay, crash-stop nodes, advice bit-flips) over the paper's scheme x
-// graph matrix, at several fault rates and several fault seeds per cell.
+// graph matrix, at several fault rates and several fault seeds per cell,
+// under both the synchronous and the counter-keyed async-random schedule.
 // Every cell is executed twice: once bare (retries = 0, measuring raw
 // completion rate) and once under the BatchRunner's re-seeded retry
 // policy (measuring how much bounded retry recovers).
@@ -23,8 +24,11 @@
 //                      SeedBatchPolicy)
 //   --smoke            tiny graphs, one rate, 3 seeds — the CI configuration
 //
-// Invariant asserted by CI: every rate-0 record has completion_rate 1.0
-// (the fault layer is invisible on the reliable network).
+// Invariants asserted here and by CI: every rate-0 record has
+// completion_rate 1.0 (the fault layer is invisible on the reliable
+// network), and — unless --no-seed-batch — the async-random families
+// report lockstep_shared > 0 (the counter-keyed scheduler batches; a
+// zero would mean every async lane silently fell back to scalar).
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -67,14 +71,20 @@ struct FaultMode {
   void (*apply)(FaultPlanParams&, double rate);
 };
 
-/// One (family, scheme, mode, rate) cell of the sweep, aggregated over
-/// `trials` fault seeds.
+struct Sched {
+  std::string name;
+  SchedulerKind kind;
+};
+
+/// One (scheduler, family, scheme, mode, rate) cell of the sweep,
+/// aggregated over `trials` fault seeds.
 struct Cell {
+  std::size_t sched = 0;
   std::size_t load = 0;
   std::size_t scheme = 0;
   std::size_t mode = 0;
   double rate = 0.0;
-  std::size_t first = 0;   ///< index of the cell's first spec
+  std::size_t first = 0;   ///< index into the scheduler's spec vector
   std::size_t trials = 0;  ///< consecutive specs belonging to the cell
 };
 
@@ -83,6 +93,7 @@ struct CellResult {
   std::size_t completed_retry = 0;  ///< kCompleted, retry pass
   std::size_t retries = 0;          ///< extra attempts consumed (retry pass)
   double messages_mean = 0.0;       ///< bare pass, all trials
+  std::uint64_t wall_ns = 0;        ///< bare pass, summed engine wall time
   std::map<std::string, std::size_t> statuses;  ///< bare pass breakdown
 };
 
@@ -195,35 +206,47 @@ int main(int argc, char** argv) {
       {"broadcast", &broadcast_oracle, &broadcast_algorithm},
       {"flooding", &null_oracle, &flooding_algorithm},
   };
+  const std::vector<Sched> scheds = {
+      {"sync", SchedulerKind::kSynchronous},
+      {"async-random", SchedulerKind::kAsyncRandom},
+  };
   const std::size_t num_modes = sizeof(kModes) / sizeof(kModes[0]);
 
-  // Build every cell's specs up front; one batch per pass keeps the
-  // advice cache shared across the whole sweep (3 unique advice vectors
-  // per graph) and the ordering deterministic under any --jobs.
+  // Build every cell's specs up front, one spec vector per scheduler: a
+  // single batch per (scheduler, pass) keeps the advice cache shared
+  // across the whole sweep (3 unique advice vectors per graph) and the
+  // ordering deterministic under any --jobs, while per-scheduler
+  // BatchStats expose whether each schedule's families actually rode the
+  // lockstep executor.
   std::vector<Cell> cells;
-  std::vector<TrialSpec> specs;
-  for (std::size_t li = 0; li < loads.size(); ++li) {
-    for (std::size_t si = 0; si < schemes.size(); ++si) {
-      for (std::size_t mi = 0; mi < num_modes; ++mi) {
-        const std::vector<double>& cell_rates =
-            mi == 0 ? std::vector<double>{0.0} : rates;
-        for (double rate : cell_rates) {
-          Cell cell;
-          cell.load = li;
-          cell.scheme = si;
-          cell.mode = mi;
-          cell.rate = rate;
-          cell.first = specs.size();
-          cell.trials = mi == 0 ? 1 : seeds;  // mode "none" is deterministic
-          for (std::size_t t = 0; t < cell.trials; ++t) {
-            RunOptions opts;
-            opts.max_events = 4'000'000;  // structural runaway guard
-            opts.fault.seed = cells.size() * 1'000'003ULL + t + 1;
-            kModes[mi].apply(opts.fault, rate);
-            specs.emplace_back(&loads[li].graph, 0, schemes[si].oracle,
-                               schemes[si].algorithm, opts);
+  std::vector<std::vector<TrialSpec>> specs(scheds.size());
+  for (std::size_t sc = 0; sc < scheds.size(); ++sc) {
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      for (std::size_t si = 0; si < schemes.size(); ++si) {
+        for (std::size_t mi = 0; mi < num_modes; ++mi) {
+          const std::vector<double>& cell_rates =
+              mi == 0 ? std::vector<double>{0.0} : rates;
+          for (double rate : cell_rates) {
+            Cell cell;
+            cell.sched = sc;
+            cell.load = li;
+            cell.scheme = si;
+            cell.mode = mi;
+            cell.rate = rate;
+            cell.first = specs[sc].size();
+            cell.trials = mi == 0 ? 1 : seeds;  // mode "none": deterministic
+            for (std::size_t t = 0; t < cell.trials; ++t) {
+              RunOptions opts;
+              opts.scheduler = scheds[sc].kind;
+              opts.seed = 9;  // one scheduler stream; fault.seed is the axis
+              opts.max_events = 4'000'000;  // structural runaway guard
+              opts.fault.seed = cells.size() * 1'000'003ULL + t + 1;
+              kModes[mi].apply(opts.fault, rate);
+              specs[sc].emplace_back(&loads[li].graph, 0, schemes[si].oracle,
+                                     schemes[si].algorithm, opts);
+            }
+            cells.push_back(cell);
           }
-          cells.push_back(cell);
         }
       }
     }
@@ -235,40 +258,51 @@ int main(int argc, char** argv) {
                                  /*retry_task_failures=*/true};
   const BatchRunner retrying(jobs, /*advice_cache=*/true, retry_policy,
                              shard, seed_batch);
-  BatchStats bare_stats;
-  const std::vector<TaskReport> bare_reports = bare.run(specs, &bare_stats);
-  const std::vector<TaskReport> retry_reports = retrying.run(specs);
+  std::vector<BatchStats> bare_stats(scheds.size());
+  std::vector<std::vector<TaskReport>> bare_reports(scheds.size());
+  std::vector<std::vector<TaskReport>> retry_reports(scheds.size());
+  for (std::size_t sc = 0; sc < scheds.size(); ++sc) {
+    bare_reports[sc] = bare.run(specs[sc], &bare_stats[sc]);
+    retry_reports[sc] = retrying.run(specs[sc]);
+  }
 
-  // Aggregate. Baseline message count per (load, scheme) comes from the
-  // mode-"none" cell, giving each faulty cell its overhead ratio.
+  // Aggregate. Baseline message count per (sched, load, scheme) comes from
+  // the mode-"none" cell, giving each faulty cell its overhead ratio.
   std::vector<CellResult> results(cells.size());
-  std::vector<std::vector<double>> baseline(
-      loads.size(), std::vector<double>(schemes.size(), 0.0));
+  std::vector<std::vector<std::vector<double>>> baseline(
+      scheds.size(), std::vector<std::vector<double>>(
+                         loads.size(),
+                         std::vector<double>(schemes.size(), 0.0)));
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const Cell& cell = cells[c];
     CellResult& r = results[c];
     std::uint64_t messages = 0;
     for (std::size_t t = 0; t < cell.trials; ++t) {
-      const TaskReport& b = bare_reports[cell.first + t];
-      const TaskReport& w = retry_reports[cell.first + t];
+      const TaskReport& b = bare_reports[cell.sched][cell.first + t];
+      const TaskReport& w = retry_reports[cell.sched][cell.first + t];
       if (b.ok()) ++r.completed;
       if (w.ok()) ++r.completed_retry;
       r.retries += w.attempts - 1;
       messages += b.run.metrics.messages_total;
+      r.wall_ns += b.wall_ns;
       ++r.statuses[b.failed() ? "crashed" : to_string(b.run.status)];
     }
     r.messages_mean =
         static_cast<double>(messages) / static_cast<double>(cell.trials);
-    if (cell.mode == 0) baseline[cell.load][cell.scheme] = r.messages_mean;
+    if (cell.mode == 0) {
+      baseline[cell.sched][cell.load][cell.scheme] = r.messages_mean;
+    }
   }
 
-  Table table({"family", "n", "scheme", "mode", "rate", "completion",
-               "with-retry", "retries", "msgs-mean", "overhead"});
+  Table table({"sched", "family", "n", "scheme", "mode", "rate",
+               "completion", "with-retry", "retries", "msgs-mean",
+               "overhead"});
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const Cell& cell = cells[c];
     const CellResult& r = results[c];
-    const double base = baseline[cell.load][cell.scheme];
+    const double base = baseline[cell.sched][cell.load][cell.scheme];
     table.row()
+        .cell(scheds[cell.sched].name)
         .cell(loads[cell.load].family)
         .cell(loads[cell.load].n)
         .cell(schemes[cell.scheme].name)
@@ -288,12 +322,29 @@ int main(int argc, char** argv) {
               "E13: completion rate and message overhead under seeded "
               "faults (" +
                   std::to_string(seeds) + " seeds/cell)");
-  std::cout << "advice cache: " << bare_stats.unique_advice
-            << " unique vectors served " << specs.size() << " trials\n";
-  std::cout << "seed batching: " << bare_stats.seed_families
-            << " families covered " << bare_stats.batched_lanes
-            << " trials (" << bare_stats.lockstep_shared
-            << " served by shared lockstep passes)\n";
+  bool lockstep_ok = true;
+  for (std::size_t sc = 0; sc < scheds.size(); ++sc) {
+    const BatchStats& s = bare_stats[sc];
+    std::cout << "advice cache [" << scheds[sc].name
+              << "]: " << s.unique_advice << " unique vectors served "
+              << specs[sc].size() << " trials\n";
+    std::cout << "seed batching [" << scheds[sc].name
+              << "]: " << s.seed_families << " families covered "
+              << s.batched_lanes << " trials (" << s.lockstep_shared
+              << " served by shared lockstep passes)\n";
+    // The counter-keyed async-random schedule must actually batch: its
+    // fault-seed families are lockstep-eligible, and across the sweep at
+    // least some lanes stay on the shared pass. Zero means the executor
+    // silently routed every async lane scalar — fail loudly.
+    if (seed_batch.enabled &&
+        scheds[sc].kind != SchedulerKind::kSynchronous) {
+      const bool shared = s.lockstep_shared > 0;
+      std::cout << "lockstep check [" << scheds[sc].name
+                << "]: lockstep_shared = " << s.lockstep_shared << " ("
+                << (shared ? "ok" : "FAIL: expected > 0") << ")\n";
+      lockstep_ok = lockstep_ok && shared;
+    }
+  }
 
   if (json_enabled) {
     std::ofstream out(json_path);
@@ -308,13 +359,15 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       const Cell& cell = cells[c];
       const CellResult& r = results[c];
-      const double base = baseline[cell.load][cell.scheme];
-      out << (c == 0 ? "\n" : ",\n") << "    {\"family\": \""
+      const double base = baseline[cell.sched][cell.load][cell.scheme];
+      out << (c == 0 ? "\n" : ",\n") << "    {\"scheduler\": \""
+          << scheds[cell.sched].name << "\", \"family\": \""
           << loads[cell.load].family << "\", \"n\": " << loads[cell.load].n
           << ", \"scheme\": \"" << schemes[cell.scheme].name
           << "\", \"mode\": \"" << kModes[cell.mode].name
           << "\", \"rate\": " << fmt_rate(cell.rate)
           << ", \"trials\": " << cell.trials
+          << ", \"wall_ns\": " << r.wall_ns
           << ", \"completed\": " << r.completed << ", \"completion_rate\": "
           << (static_cast<double>(r.completed) /
               static_cast<double>(cell.trials))
@@ -338,5 +391,5 @@ int main(int argc, char** argv) {
     std::cerr << "[bench] wrote " << cells.size() << " records to "
               << json_path << " (jobs=" << bare.jobs() << ")\n";
   }
-  return 0;
+  return lockstep_ok ? 0 : 1;
 }

@@ -28,6 +28,17 @@
 //                                              row, with a report-identity
 //                                              check per lane
 //                                              -> BENCH_perf_seedbatch.json
+//   bench_perf --sched-batch [--lanes R] [--smoke] [--repeat N] [--jobs N]
+//              [--json F | --no-json]          counter-keyed seeded
+//                                              schedulers (async-random,
+//                                              async-link-fifo) through the
+//                                              lockstep executor: rows vary
+//                                              either the fault seed (one key
+//                                              class) or the scheduler seed
+//                                              (one key class per lane), with
+//                                              a report-identity check per
+//                                              lane
+//                                              -> BENCH_perf_schedbatch.json
 //   bench_perf --service [--clients N] [--requests N] [--smoke] [--jobs N]
 //              [--json F | --no-json]          load generator against an
 //                                              in-process oracled service:
@@ -57,6 +68,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,6 +81,7 @@
 #include "service/client.h"
 #include "graph/io.h"
 #include "core/broadcast_b.h"
+#include "core/census.h"
 #include "core/flooding.h"
 #include "core/wakeup.h"
 #include "graph/light_tree.h"
@@ -972,6 +985,280 @@ int run_seed_batch(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// --sched-batch: counter-keyed seeded schedulers through the lockstep
+// executor.
+//
+// The counter keying makes a seeded scheduler's delivery key a pure
+// function of (seed, seq, link), which turns BOTH seeds into lane axes.
+// Each row is one seed family on one of the two axes:
+//
+//  * axis "fault-seed": lanes share options.seed and vary fault.seed — one
+//    key class, the E13 matrix regime. The mode-"none" rows are the
+//    headline: every lane shares the single pass, so the gate holds them
+//    to an absolute >= 8x floor ("floor": true). The faulted rows document
+//    the decay as lanes retire.
+//  * axis "sched-seed": lanes vary options.seed — one key class per lane.
+//    On the path workloads the tree-cast keeps exactly one message in
+//    flight, every class agrees on the delivery order, and all lanes share
+//    one pass (shared == lanes, a machine-independent structural fact the
+//    gate checks). The ~R/(1+D) dedup ratio does NOT transfer to this
+//    axis, though: every pop pays one heap operation per live class, so
+//    the measured win is ~4x, honest and gated as full_share-without-
+//    floor. The branching row is the honest counterpoint: classes split
+//    on the first fan-out and retire to scalar replay, so it is
+//    identity-gated only.
+//
+// Methodology matches --seed-batch: same jobs on both sides (ratio is pure
+// deduplication), advice precomputed outside the timed region, min-of-
+// repeat, per-lane TaskReport identity between the scalar and batched
+// passes, exit 1 on any mismatch.
+// ---------------------------------------------------------------------------
+
+int run_sched_batch(int argc, char** argv) {
+  std::size_t lanes = 64;
+  std::size_t repeat = 3;
+  std::size_t jobs = 1;
+  bool smoke = false;
+  std::string json_path = "BENCH_perf_schedbatch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      lanes = std::max<std::size_t>(2, std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max<std::size_t>(1, std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::max<std::size_t>(1, std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      json_path.clear();
+    } else {
+      std::cerr << "error: unknown option '" << argv[i]
+                << "' (sched-batch supports: --lanes R, --smoke, --repeat N, "
+                   "--jobs N, --json FILE, --no-json)\n";
+      return 2;
+    }
+  }
+
+  Rng rng(0xbeefcafeULL);
+  const std::size_t path_n = smoke ? 64 : 512;
+  const std::size_t rand_n = smoke ? 128 : 512;
+  const bench::Workload path = bench::timed_workload(
+      "path", path_n, [&] { return make_path(path_n); });
+  const bench::Workload branching = bench::timed_workload(
+      "random(p=8/n)", rand_n, [&] {
+        return make_random_connected(rand_n, 8.0 / static_cast<double>(rand_n),
+                                     rng);
+      });
+
+  const TreeWakeupOracle tree_oracle;
+  const LightBroadcastOracle light_oracle;
+  const WakeupTreeAlgorithm wakeup;
+  const BroadcastBAlgorithm broadcast;
+  const CensusAlgorithm census;
+
+  enum class FaultKind { kNone, kDrop, kCrash, kAdviceFlip };
+  struct Cell {
+    const bench::Workload* load;
+    const char* scheme;
+    const Oracle* oracle;
+    const Algorithm* algorithm;
+    SchedulerKind scheduler;
+    const char* axis;  // "fault-seed" or "sched-seed"
+    const char* mode;
+    double rate;
+    FaultKind kind;
+    bool floor;       // gate holds speedup to >= 8x
+    bool full_share;  // gate demands shared == lanes
+  };
+  std::vector<Cell> cells;
+  for (const SchedulerKind sched :
+       {SchedulerKind::kAsyncRandom, SchedulerKind::kAsyncLinkFifo}) {
+    // fault.seed axis on a branching workload: the E13 regime.
+    cells.push_back({&branching, "broadcast", &light_oracle, &broadcast,
+                     sched, "fault-seed", "none", 0.0, FaultKind::kNone, true,
+                     true});
+    cells.push_back({&branching, "broadcast", &light_oracle, &broadcast,
+                     sched, "fault-seed", "drop", 1e-3, FaultKind::kDrop,
+                     false, false});
+    cells.push_back({&branching, "broadcast", &light_oracle, &broadcast,
+                     sched, "fault-seed", "crash", 1e-3, FaultKind::kCrash,
+                     false, false});
+    cells.push_back({&branching, "broadcast", &light_oracle, &broadcast,
+                     sched, "fault-seed", "advice-flip", 1e-3,
+                     FaultKind::kAdviceFlip, false, false});
+    // options.seed axis on sequential workloads: full multi-class sharing.
+    // Not floored: the per-pop cost scales with live classes, so the win
+    // here is ~4x, not ~R.
+    cells.push_back({&path, "wakeup", &tree_oracle, &wakeup, sched,
+                     "sched-seed", "none", 0.0, FaultKind::kNone, false,
+                     true});
+    cells.push_back({&path, "census", &tree_oracle, &census, sched,
+                     "sched-seed", "none", 0.0, FaultKind::kNone, false,
+                     true});
+    // options.seed axis on a branching workload: honest decay, identity
+    // gate only.
+    cells.push_back({&branching, "wakeup", &tree_oracle, &wakeup, sched,
+                     "sched-seed", "none", 0.0, FaultKind::kNone, false,
+                     false});
+  }
+
+  const BatchRunner scalar_runner(jobs, true, {}, {}, SeedBatchPolicy{false});
+  const BatchRunner batched_runner(jobs, true, {}, {}, SeedBatchPolicy{true});
+
+  struct Row {
+    const Cell* cell;
+    std::size_t n = 0;
+    std::uint64_t scalar_ns = 0;
+    std::uint64_t batched_ns = 0;
+    double speedup = 0.0;
+    bool identical = true;
+    std::size_t shared = 0;
+    std::size_t replayed = 0;
+  };
+
+  std::map<std::pair<const void*, const void*>, AdvicePtr> advice_cache;
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (const Cell& c : cells) {
+    AdvicePtr& advice = advice_cache[{c.load, c.oracle}];
+    if (!advice) {
+      advice = std::make_shared<const std::vector<BitString>>(
+          c.oracle->advise(c.load->graph, 0));
+    }
+    RunOptions base;
+    base.scheduler = c.scheduler;
+    base.enforce_wakeup = c.algorithm->is_wakeup();
+    switch (c.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kDrop:
+        base.fault.drop = c.rate;
+        break;
+      case FaultKind::kCrash:
+        base.fault.crash = c.rate;
+        break;
+      case FaultKind::kAdviceFlip:
+        base.fault.advice_flip = c.rate;
+        break;
+    }
+    const bool seed_axis = std::strcmp(c.axis, "sched-seed") == 0;
+    std::vector<TrialSpec> specs;
+    specs.reserve(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      RunOptions options = base;
+      if (seed_axis) {
+        options.seed = 1 + 13 * l;
+      } else {
+        options.seed = 9;
+        options.fault.seed = 100 + 7 * l;
+      }
+      specs.emplace_back(&c.load->graph, 0, c.oracle, c.algorithm, options,
+                         advice);
+    }
+
+    Row row;
+    row.cell = &c;
+    row.n = c.load->graph.num_nodes();
+    row.scalar_ns = std::numeric_limits<std::uint64_t>::max();
+    row.batched_ns = std::numeric_limits<std::uint64_t>::max();
+    // Untimed warm-up pass collects the shared/replayed split (see
+    // --seed-batch for the rationale).
+    BatchStats batched_stats;
+    std::vector<TaskReport> batched_reports =
+        batched_runner.run(specs, &batched_stats);
+    std::vector<TaskReport> scalar_reports;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      scalar_reports = scalar_runner.run(specs);
+      row.scalar_ns = std::min(row.scalar_ns, since_ns(t0));
+      const auto t1 = std::chrono::steady_clock::now();
+      batched_reports = batched_runner.run(specs);
+      row.batched_ns = std::min(row.batched_ns, since_ns(t1));
+    }
+    row.shared = batched_stats.lockstep_shared;
+    row.replayed = batched_stats.batched_lanes >= row.shared
+                       ? batched_stats.batched_lanes - row.shared
+                       : 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const TaskReport& a = scalar_reports[l];
+      const TaskReport& b = batched_reports[l];
+      if (!(a.run == b.run) || a.attempts != b.attempts ||
+          a.error != b.error || a.oracle_bits != b.oracle_bits ||
+          a.advice_cached != b.advice_cached) {
+        row.identical = false;
+      }
+    }
+    if (c.full_share && row.shared != lanes) row.identical = false;
+    row.speedup = row.batched_ns > 0
+                      ? static_cast<double>(row.scalar_ns) /
+                            static_cast<double>(row.batched_ns)
+                      : 0.0;
+    all_identical = all_identical && row.identical;
+    rows.push_back(row);
+  }
+
+  Table t({"family", "n", "scheme", "scheduler", "axis", "mode", "scalar_ms",
+           "batched_ms", "speedup", "shared", "replayed", "identical"});
+  for (const Row& r : rows) {
+    t.row()
+        .cell(r.cell->load->family)
+        .cell(r.n)
+        .cell(r.cell->scheme)
+        .cell(to_string(r.cell->scheduler))
+        .cell(r.cell->axis)
+        .cell(r.cell->mode)
+        .cell(static_cast<double>(r.scalar_ns) / 1e6, 3)
+        .cell(static_cast<double>(r.batched_ns) / 1e6, 3)
+        .cell(r.speedup, 2)
+        .cell(r.shared)
+        .cell(r.replayed)
+        .cell(r.identical ? "yes" : "NO");
+  }
+  t.print(std::cout,
+          "counter-keyed schedulers through the lockstep executor (" +
+              std::to_string(lanes) + " lanes, min of " +
+              std::to_string(repeat) + ", jobs=" + std::to_string(jobs) +
+              ")");
+  std::cout << "report identity batched vs scalar: "
+            << (all_identical ? "all rows identical" : "MISMATCH") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << json_path << "\n";
+    } else {
+      out << "{\n  \"bench\": \"perf_schedbatch\",\n"
+          << "  \"lanes\": " << lanes << ",\n  \"jobs\": " << jobs
+          << ",\n  \"repeat\": " << repeat << ",\n  \"rows\": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        const Cell& c = *r.cell;
+        out << (i == 0 ? "\n" : ",\n") << "    {\"family\": \""
+            << c.load->family << "\", \"n\": " << r.n << ", \"scheme\": \""
+            << c.scheme << "\", \"scheduler\": \"" << to_string(c.scheduler)
+            << "\", \"axis\": \"" << c.axis << "\", \"mode\": \"" << c.mode
+            << "\", \"rate\": " << c.rate << ", \"lanes\": " << lanes
+            << ", \"scalar_ns\": " << r.scalar_ns
+            << ", \"batched_ns\": " << r.batched_ns
+            << ", \"speedup\": " << r.speedup
+            << ", \"shared\": " << r.shared
+            << ", \"replayed\": " << r.replayed
+            << ", \"floor\": " << (c.floor ? "true" : "false")
+            << ", \"full_share\": " << (c.full_share ? "true" : "false")
+            << ", \"identical\": " << (r.identical ? "true" : "false")
+            << "}";
+      }
+      out << "\n  ]\n}\n";
+      std::cerr << "[bench] wrote " << rows.size()
+                << " sched-batch rows to " << json_path << "\n";
+    }
+  }
+  return all_identical ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
 // --service: the advice-service load generator.
 //
 // Spins up an in-process AdviceService on a throwaway unix socket and
@@ -1316,6 +1603,7 @@ int main(int argc, char** argv) {
   bool csr_compare = false;
   bool shard_scale = false;
   bool seed_batch = false;
+  bool sched_batch = false;
   bool service = false;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strcmp(argv[i], "--sweep") == 0) {
@@ -1326,6 +1614,8 @@ int main(int argc, char** argv) {
       shard_scale = true;
     } else if (i > 0 && std::strcmp(argv[i], "--seed-batch") == 0) {
       seed_batch = true;
+    } else if (i > 0 && std::strcmp(argv[i], "--sched-batch") == 0) {
+      sched_batch = true;
     } else if (i > 0 && std::strcmp(argv[i], "--service") == 0) {
       service = true;
     } else {
@@ -1334,6 +1624,7 @@ int main(int argc, char** argv) {
   }
   int rest_argc = static_cast<int>(rest.size());
   if (service) return run_service(rest_argc, rest.data());
+  if (sched_batch) return run_sched_batch(rest_argc, rest.data());
   if (seed_batch) return run_seed_batch(rest_argc, rest.data());
   if (shard_scale) return run_shard_scale(rest_argc, rest.data());
   if (csr_compare) return run_csr_compare(rest_argc, rest.data());

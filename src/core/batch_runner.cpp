@@ -26,6 +26,7 @@ SeedFamilyKey seed_family_key(const TrialSpec& spec) {
   key.advice = spec.advice.get();
   const RunOptions& o = spec.options;
   key.scheduler = o.scheduler;
+  key.keying = o.keying;
   key.max_delay = o.max_delay;
   key.max_messages = o.max_messages;
   key.enforce_wakeup = o.enforce_wakeup;
@@ -526,9 +527,8 @@ std::vector<TaskReport> BatchRunner::run_impl(
         lanes.push_back({ls.seed, ls.fault_seed});
       }
       const auto started = std::chrono::steady_clock::now();
-      const RunResult& shared =
-          batched->run_lockstep(*proto.graph, proto.source, *advice,
-                                *proto.algorithm, base, lanes, disp);
+      batched->run_lockstep(*proto.graph, proto.source, *advice,
+                            *proto.algorithm, base, lanes, disp);
       const std::uint64_t lockstep_ns = elapsed_ns(started);
       std::size_t shared_count = 0;
       for (const auto d : disp) {
@@ -553,7 +553,11 @@ std::vector<TaskReport> BatchRunner::run_impl(
           report.advice_cached = prepared[i].cached;
           report.oracle_bits = oracle_size_bits(*advice);
           report.max_advice_bits = max_advice_bits(*advice);
-          report.run = shared;
+          // Per-lane materialization: under counter-keyed seeded
+          // schedulers the key-valued fields differ per scheduler-seed
+          // class; for everything else this is a plain copy of the shared
+          // result.
+          report.run = batched->lane_result(j);
           report.run_ns = shared_ns;
           report.wall_ns = report.advise_ns + report.run_ns;
         } else {

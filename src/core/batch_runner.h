@@ -90,6 +90,7 @@ struct SeedFamilyKey {
   const Algorithm* algorithm = nullptr;
   const void* advice = nullptr;  ///< TrialSpec::advice identity (may be null)
   SchedulerKind scheduler = SchedulerKind::kSynchronous;
+  SchedulerKeying keying = SchedulerKeying::kCounter;
   std::uint32_t max_delay = 0;
   std::uint64_t max_messages = 0;
   bool enforce_wakeup = false;
@@ -128,7 +129,8 @@ struct SeedFamilyKey {
  private:
   auto tie() const {
     return std::tie(graph, source, oracle, algorithm, advice, scheduler,
-                    max_delay, max_messages, enforce_wakeup, anonymous, trace,
+                    keying, max_delay, max_messages, enforce_wakeup,
+                    anonymous, trace,
                     deadline_ns, max_events, trace_sink, fault_drop,
                     fault_duplicate, fault_delay, fault_max_extra_delay,
                     fault_crash, fault_max_crash_key, fault_crash_source,

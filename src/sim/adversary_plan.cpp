@@ -16,15 +16,6 @@ constexpr std::uint64_t kEquivTag = 0x6571756976ULL;      // "equiv"
 constexpr std::uint64_t kContentTag = 0x636f6e74ULL;      // "cont"
 constexpr std::uint64_t kAdviceLieTag = 0x6164766c6965ULL;  // "advlie"
 
-// SplitMix64 finalizer — the same stateless mixer FaultPlan keys on, so
-// the whole misbehavior layer stays on one documented generator family.
-std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 Rng keyed_rng(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
               std::uint64_t b) noexcept {
   return Rng(mix64(seed ^ mix64(tag ^ mix64(a ^ mix64(b)))));

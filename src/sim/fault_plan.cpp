@@ -13,16 +13,6 @@ constexpr std::uint64_t kMessageTag = 0x6d657373616765ULL;  // "message"
 constexpr std::uint64_t kCrashTag = 0x637261736864ULL;      // "crashd"
 constexpr std::uint64_t kAdviceTag = 0x616476696365ULL;     // "advice"
 
-// SplitMix64 finalizer: the stateless mixer behind the counter-based
-// keying. Using the same constants as Rng keeps the whole fault layer on
-// one documented generator family.
-std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 Rng keyed_rng(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
               std::uint64_t b) noexcept {
   return Rng(mix64(seed ^ mix64(tag ^ mix64(a ^ mix64(b)))));

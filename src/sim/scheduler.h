@@ -48,19 +48,42 @@ enum class SchedulerKind {
 
 const char* to_string(SchedulerKind kind);
 
+/// How the seeded schedulers (kAsyncRandom, kAsyncLinkFifo) derive their
+/// per-message delays.
+///
+///  * kCounter — the canonical mode: delay is a pure function of
+///    (seed, seq, link) via the same SplitMix64 counter keying FaultPlan
+///    uses for fault decisions. Because no draw-order stream is consumed,
+///    the delivery key of a message depends only on shared per-message
+///    state plus the lane's seed — which is what lets the seed-batch
+///    executor serve many scheduler seeds from one lockstep pass.
+///  * kStream — the legacy mode: delays are drawn from a seeded Rng stream
+///    in draw order. Kept bit-exact so trace artifacts recorded before the
+///    counter-keyed schedule became canonical still replay; selectable via
+///    RunOptions::keying and recorded in the oracletrace header.
+enum class SchedulerKeying : std::uint8_t {
+  kCounter,
+  kStream,
+};
+
+const char* to_string(SchedulerKeying keying);
+
 /// Computes the priority key under which a message becomes deliverable.
 /// Lower keys deliver first; ties broken by sequence number (FIFO).
 class Scheduler {
  public:
-  Scheduler(SchedulerKind kind, std::uint64_t seed, std::uint32_t max_delay);
+  Scheduler(SchedulerKind kind, std::uint64_t seed, std::uint32_t max_delay,
+            SchedulerKeying keying = SchedulerKeying::kCounter);
   ~Scheduler();  // out-of-line: unique_ptr of a forward-declared type
 
   /// Re-arms the scheduler for a fresh run without releasing the link-clock
   /// storage. `num_links` sizes the per-link clock table up front (pass the
-  /// number of directed (node, port) slots); clocks for links beyond it are
-  /// grown on demand, so 0 is always safe.
+  /// number of directed (node, port) slots). For kAsyncLinkFifo it must
+  /// cover every link id delivery_key will see — the hot path asserts
+  /// instead of growing the table on demand.
   void reset(SchedulerKind kind, std::uint64_t seed, std::uint32_t max_delay,
-             std::size_t num_links = 0);
+             std::size_t num_links = 0,
+             SchedulerKeying keying = SchedulerKeying::kCounter);
 
   /// Key for a message sent with sequence number `seq` while the engine was
   /// processing an event with key `now` (0 for on_start sends). `link`
@@ -70,11 +93,28 @@ class Scheduler {
   std::int64_t delivery_key(std::int64_t now, std::uint64_t seq,
                             std::uint64_t link);
 
+  /// The seed-independent half of a counter-keyed delay: hash the
+  /// per-message identity once, then derive any lane's delay with one more
+  /// mix via counter_delay. Mirrors FaultPlan's message_prekey /
+  /// message_fault_prekeyed split and exists for the same reason — the
+  /// seed-batch executor hashes each message once and asks every
+  /// still-active lane for its key.
+  static std::uint64_t delivery_prekey(std::uint64_t seq,
+                                       std::uint64_t link) noexcept;
+
+  /// Counter-keyed delay in [0, max_delay) for one (seed, prekey) pair.
+  /// max_delay == 0 is treated as 1, matching the constructor's clamp.
+  static std::uint32_t counter_delay(std::uint64_t seed, std::uint64_t prekey,
+                                     std::uint32_t max_delay) noexcept;
+
   SchedulerKind kind() const noexcept { return kind_; }
+  SchedulerKeying keying() const noexcept { return keying_; }
 
  private:
   SchedulerKind kind_;
+  SchedulerKeying keying_;
   Rng rng_;
+  std::uint64_t seed_;
   std::uint32_t max_delay_;
   /// Flat per-link FIFO clock, indexed by the dense link id. Zero means
   /// "nothing delivered yet" — identical to the map-based default the

@@ -32,6 +32,45 @@ namespace {
   return s;
 }
 
+// Sift helpers for the per-class index heaps: identical ordering and hole
+// insertion to EventHeap, but over a bare Entry vector so a key class is
+// nothing more than its entries (the shared slot pool stores the events).
+void class_heap_push(std::vector<EventHeap::Entry>& h, EventHeap::Entry e) {
+  std::size_t i = h.size();
+  h.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!EventHeap::entry_before(e, h[parent])) break;
+    h[i] = h[parent];
+    i = parent;
+  }
+  h[i] = e;
+}
+
+EventHeap::Entry class_heap_pop(std::vector<EventHeap::Entry>& h) {
+  const EventHeap::Entry top = h.front();
+  const EventHeap::Entry last = h.back();
+  h.pop_back();
+  const std::size_t size = h.size();
+  if (size > 0) {
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= size) break;
+      const std::size_t right = left + 1;
+      std::size_t best = left;
+      if (right < size && EventHeap::entry_before(h[right], h[left])) {
+        best = right;
+      }
+      if (!EventHeap::entry_before(h[best], last)) break;
+      h[i] = h[best];
+      i = best;
+    }
+    h[i] = last;
+  }
+  return top;
+}
+
 }  // namespace
 
 bool SeedBatchExecutionContext::lockstep_eligible(
@@ -41,9 +80,14 @@ bool SeedBatchExecutionContext::lockstep_eligible(
     case SchedulerKind::kAsyncFifo:
     case SchedulerKind::kAsyncLifo:
       break;
+    case SchedulerKind::kAsyncRandom:
+    case SchedulerKind::kAsyncLinkFifo:
+      // Counter-keyed delays are pure in (options.seed, seq, link), so
+      // lanes batch as key classes; the legacy stream mode consumes a
+      // seeded stream in draw order, which differs per lane.
+      if (base.keying != SchedulerKeying::kCounter) return false;
+      break;
     default:
-      // kAsyncRandom / kAsyncLinkFifo consume a seeded stream in draw
-      // order; two lanes with different engine seeds share no stream.
       // kAsyncAdversarial's probe history is execution-dependent.
       return false;
   }
@@ -90,6 +134,8 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
   stats_ = SeedBatchStats{};
   stats_.lanes = static_cast<std::uint32_t>(lanes.size());
   result_ = RunResult();
+  keyed_ = false;
+  lane_class_.assign(lanes.size(), kNoClass);
   dispositions.assign(lanes.size(), LaneDisposition::kShared);
   if (lanes.empty()) return result_;
 
@@ -150,6 +196,44 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
     link_offset_[v + 1] = link_offset_[v] + g.degree(v);
   }
 
+  // Counter-keyed seeded schedulers: group the surviving lanes into key
+  // classes by scheduler seed. Each class gets its own heap / clocks /
+  // key-valued outputs; everything else in the pass is shared. The
+  // seed-independent schedulers skip all of this (keyed_ stays false) and
+  // run the single-heap pass unchanged.
+  const SchedulerKind kind = base.scheduler;
+  const bool link_fifo = kind == SchedulerKind::kAsyncLinkFifo;
+  keyed_ = kind == SchedulerKind::kAsyncRandom || link_fifo;
+  if (keyed_) {
+    std::size_t used = 0;
+    for (std::uint32_t l = 0; l < lanes.size(); ++l) {
+      if (dispositions[l] != LaneDisposition::kShared) continue;
+      std::size_t ci = 0;
+      while (ci < used && classes_[ci].seed != lanes[l].seed) ++ci;
+      if (ci == used) {
+        if (classes_.size() <= used) classes_.emplace_back();
+        KeyClass& c = classes_[used];
+        c.seed = lanes[l].seed;
+        c.active = true;
+        c.live = 0;
+        c.heap.clear();
+        c.now = 0;
+        c.completion_key = 0;
+        if (link_fifo) {
+          c.link_clock.assign(link_offset_[n], 0);
+        } else {
+          c.link_clock.clear();
+        }
+        c.informed_at.assign(n, RunResult::kNeverInformed);
+        c.informed_at[source] = 0;
+        ++used;
+      }
+      ++classes_[ci].live;
+      lane_class_[l] = static_cast<std::uint32_t>(ci);
+    }
+    classes_.resize(used);
+  }
+
   // Behavior exceptions (advice decoders, scheme bugs) follow the scalar
   // engine's split: a fault-enabled lane absorbs them into a kTaskFailed
   // result, a fault-disabled lane propagates them from run(). The shared
@@ -191,12 +275,16 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
   events_.clear();
   std::uint64_t seq = 0;
   bool budget_hit = false;
+  // Keyed mode bypasses events_'s own heap (classes carry their own), so
+  // the pending count and its peak — the scalar engine's heap-size
+  // trajectory — are tracked by hand.
+  std::size_t pending = 0;
+  std::size_t pending_peak = 0;
 
   const Endpoint* const csr = g.csr_endpoints();
-  const SchedulerKind kind = base.scheduler;
 
-  // The eligible schedulers are pure in (now, seq) — inlined here so the
-  // clean pass carries no Scheduler state at all.
+  // The seed-independent schedulers are pure in (now, seq) — inlined here
+  // so the clean pass carries no Scheduler state at all.
   auto delivery_key = [kind](std::int64_t now, std::uint64_t seq_in) {
     switch (kind) {
       case SchedulerKind::kAsyncFifo:
@@ -206,6 +294,31 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
       default:
         return now + 1;
     }
+  };
+
+  // Retires a whole key class (its delivery order split from the driver's,
+  // or its last live lane left): every still-shared lane of the class goes
+  // to scalar replay and its lanes stop answering the fault mask.
+  auto retire_class = [&](std::size_t ci) {
+    KeyClass& c = classes_[ci];
+    c.active = false;
+    c.live = 0;
+    for (std::uint32_t l = 0; l < dispositions.size(); ++l) {
+      if (lane_class_[l] == ci && dispositions[l] == LaneDisposition::kShared) {
+        dispositions[l] = LaneDisposition::kReplay;
+        --shared;
+      }
+    }
+    if (!active_mask_lanes_.empty()) {
+      std::size_t w = 0;
+      for (std::size_t k = 0; k < active_mask_lanes_.size(); ++k) {
+        if (lane_class_[active_mask_lanes_[k]] != ci) {
+          active_mask_lanes_[w++] = active_mask_lanes_[k];
+        }
+      }
+      active_mask_lanes_.resize(w);
+    }
+    if (shared == 0) aborted = true;
   };
 
   // Validates and enqueues one batch of sends from node v — the scalar
@@ -242,6 +355,10 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
           if (mf.drop || mf.duplicate || mf.extra_delay > 0) {
             dispositions[l] = LaneDisposition::kReplay;
             --shared;
+            if (keyed_) {
+              KeyClass& c = classes_[lane_class_[l]];
+              if (--c.live == 0) c.active = false;
+            }
             active_mask_lanes_[k] = active_mask_lanes_.back();
             active_mask_lanes_.pop_back();
           } else {
@@ -256,7 +373,31 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
       const std::size_t slot = events_.acquire_slot();
       events_.slot(slot) =
           EngineEvent{dst.node, dst.port, s.msg, result_.informed[v]};
-      events_.push({delivery_key(now, seq), seq, slot});
+      if (!keyed_) {
+        events_.push({delivery_key(now, seq), seq, slot});
+      } else {
+        // One seed-independent hash for the message, one mix per active
+        // class — the counter-keyed mirror of the fault mask above. Each
+        // class keys the message with ITS OWN logical clock (c.now is the
+        // key its scalar replica would pass as `now`).
+        const std::uint64_t prekey = Scheduler::delivery_prekey(seq, link);
+        for (std::size_t ci = 0; ci < classes_.size(); ++ci) {
+          KeyClass& c = classes_[ci];
+          if (!c.active) continue;
+          std::int64_t key =
+              c.now + 1 +
+              static_cast<std::int64_t>(
+                  Scheduler::counter_delay(c.seed, prekey, base.max_delay));
+          if (link_fifo) {
+            std::int64_t& clock = c.link_clock[link];
+            clock = (key > clock) ? key : clock + 1;
+            key = clock;
+          }
+          class_heap_push(c.heap, {key, seq, slot});
+        }
+        ++pending;
+        if (pending > pending_peak) pending_peak = pending;
+      }
       ++seq;
     }
   };
@@ -291,24 +432,63 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
   std::uint64_t processed = 0;
   bool events_exhausted = false;
 
-  while (!events_.empty() && result_.violation.empty() && !aborted) {
+  while ((keyed_ ? pending > 0 : !events_.empty()) &&
+         result_.violation.empty() && !aborted) {
     if (base.max_events > 0 && processed >= base.max_events) {
       events_exhausted = true;
       break;
     }
     ++processed;
-    const EventHeap::Entry top = events_.pop();
+    EventHeap::Entry top;
+    if (!keyed_) {
+      top = events_.pop();
+    } else {
+      // The first active class drives: its minimum defines the delivery.
+      // Every other class's minimum must name the same message, or that
+      // class's key order has split from the shared stream and the whole
+      // class retires to scalar replay.
+      std::size_t di = 0;
+      while (di < classes_.size() && !classes_[di].active) ++di;
+      KeyClass& d = classes_[di];
+      top = class_heap_pop(d.heap);
+      d.now = top.key;
+      if (top.key > d.completion_key) d.completion_key = top.key;
+      for (std::size_t ci = di + 1; ci < classes_.size(); ++ci) {
+        KeyClass& c = classes_[ci];
+        if (!c.active) continue;
+        if (c.heap.front().slot != top.slot) {
+          retire_class(ci);
+          if (aborted) break;
+          continue;
+        }
+        const EventHeap::Entry e = class_heap_pop(c.heap);
+        c.now = e.key;
+        if (e.key > c.completion_key) c.completion_key = e.key;
+      }
+      if (aborted) break;
+      --pending;
+    }
     EngineEvent ev = std::move(events_.slot(top.slot));
     events_.release_slot(top.slot);
     // No crash-stop check: lanes with a non-empty crash schedule never
     // reach the pass, so the clean stream has no dead deliveries.
     ++result_.metrics.deliveries;
-    if (top.key > result_.metrics.completion_key) {
-      result_.metrics.completion_key = top.key;
+    if (!keyed_) {
+      if (top.key > result_.metrics.completion_key) {
+        result_.metrics.completion_key = top.key;
+      }
     }
     if (ev.sender_informed && !result_.informed[ev.to]) {
       result_.informed[ev.to] = true;
-      result_.informed_at[ev.to] = top.key;
+      if (!keyed_) {
+        result_.informed_at[ev.to] = top.key;
+      } else {
+        // Every class delivered this event at its own key (c.now, set by
+        // the pop above); the informed bit flips once, shared.
+        for (KeyClass& c : classes_) {
+          if (c.active) c.informed_at[ev.to] = c.now;
+        }
+      }
     }
     sends_.clear();
     if (!invoke_receive(ev.to, ev.msg, ev.at_port)) break;
@@ -327,7 +507,18 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
     result_.outputs[v] = behaviors_[v]->output();
   }
   result_.all_informed = (result_.informed_count() == n);
-  result_.metrics.queue_depth_peak = events_.peak();
+  result_.metrics.queue_depth_peak = keyed_ ? pending_peak : events_.peak();
+  if (keyed_) {
+    // Fill the shared plane with the first surviving class's view so the
+    // returned reference is a valid result for SOME lane; per-lane readers
+    // go through lane_result, which re-patches per class.
+    for (const KeyClass& c : classes_) {
+      if (!c.active) continue;
+      result_.metrics.completion_key = c.completion_key;
+      result_.informed_at = c.informed_at;
+      break;
+    }
+  }
   if (events_exhausted || budget_hit) {
     result_.status = RunStatus::kBudgetExhausted;
   } else if (!result_.violation.empty() || !result_.all_informed) {
@@ -338,17 +529,26 @@ const RunResult& SeedBatchExecutionContext::run_lockstep(
   return result_;
 }
 
+RunResult SeedBatchExecutionContext::lane_result(std::size_t lane) const {
+  RunResult r = result_;
+  if (keyed_ && lane < lane_class_.size() && lane_class_[lane] != kNoClass) {
+    const KeyClass& c = classes_[lane_class_[lane]];
+    r.metrics.completion_key = c.completion_key;
+    r.informed_at = c.informed_at;
+  }
+  return r;
+}
+
 std::vector<RunResult> SeedBatchExecutionContext::run(
     const PortGraph& g, NodeId source, const std::vector<BitString>& advice,
     const Algorithm& algorithm, const RunOptions& base,
     const std::vector<Lane>& lanes) {
   std::vector<LaneDisposition> dispositions;
-  const RunResult& shared =
-      run_lockstep(g, source, advice, algorithm, base, lanes, dispositions);
+  run_lockstep(g, source, advice, algorithm, base, lanes, dispositions);
   std::vector<RunResult> out(lanes.size());
   for (std::size_t l = 0; l < lanes.size(); ++l) {
     if (dispositions[l] == LaneDisposition::kShared) {
-      out[l] = shared;
+      out[l] = lane_result(l);
     } else {
       RunOptions options = base;
       options.seed = lanes[l].seed;

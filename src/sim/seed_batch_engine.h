@@ -15,6 +15,18 @@
 //    delivery keys from (now, seq) alone, so two lanes whose fault
 //    decisions all come up benign produce byte-for-byte the same event
 //    stream — the CLEAN stream, the one a disabled plan follows;
+//  * the counter-keyed seeded schedulers (kAsyncRandom, kAsyncLinkFifo
+//    under SchedulerKeying::kCounter) assign keys that are pure in
+//    (options.seed, seq, link), so `options.seed` becomes a lane axis too:
+//    lanes are grouped into KEY CLASSES by scheduler seed, each class
+//    carries its own tiny index heap (plus link clocks and key-valued
+//    outputs: completion_key, informed_at) over ONE shared slot pool and
+//    ONE shared behavior plane. Each pop, the driver class's minimum
+//    defines the delivery; every other class's minimum must name the same
+//    message or that whole class retires to scalar replay — classes share
+//    the pass exactly as long as their key orders agree, which they do
+//    structurally whenever the pending set stays small (the scheduler seed
+//    then only relabels keys without reordering pops);
 //  * therefore ONE lockstep pass over the clean stream serves every lane
 //    that stays benign on it. State is laid out struct-of-arrays across
 //    lanes: one shared node/message state plane (the clean run) plus flat
@@ -22,9 +34,11 @@
 //    set, and dispositions. Per message the engine computes the
 //    seed-independent fault prekey once and asks each still-active faulty
 //    lane for its decision (one mix + at most three draws per lane, the
-//    R-wide mask); a lane whose decision is anything but benign RETIRES
-//    from the active set on the spot. When every lane has retired the pass
-//    aborts early — no wasted clean-stream tail.
+//    R-wide mask), and in keyed mode computes the seed-independent
+//    delivery prekey once and derives each class's key with one more mix;
+//    a lane whose decision is anything but benign RETIRES from the active
+//    set on the spot. When every lane has retired the pass aborts early —
+//    no wasted clean-stream tail.
 //
 // Why retirement means full scalar replay rather than per-lane patch-up: a
 // single dropped message shifts that lane's global send-sequence stream,
@@ -33,8 +47,9 @@
 // and behaviors are opaque (not clonable), so there is no cheaper resume
 // point than the start. Hence the same fallback-not-divergence policy as
 // sim/sharded_engine.h: lanes the lockstep pass cannot serve — diverged
-// lanes, lanes with a non-empty crash schedule or a materialized advice
-// flip, or whole families using features the pass doesn't honor (stream-RNG
+// lanes, key classes whose delivery order split from the driver's, lanes
+// with a non-empty crash schedule or a materialized advice flip, or whole
+// families using features the pass doesn't honor (stream-keyed seeded
 // schedulers, trace sinks, legacy tracing, wall-clock deadlines) — are
 // REPLAYED on the scalar ExecutionContext, which is the definition of
 // correct.
@@ -51,7 +66,13 @@
 // ~R/(1+D) — ~R× at fault rate 0 (the BENCH_perf_seedbatch gate rows) and
 // honestly degrading toward 1× as the per-message fault rate times the
 // message count approaches 1. The ratio is algorithmic (deduplication, not
-// parallelism), so it holds on any host.
+// parallelism), so it holds on any host. In keyed mode the pass also pays
+// one heap push/pop and one mix per ACTIVE KEY CLASS per message — free
+// when every lane shares one scheduler seed (the e13 regime), and still a
+// large win when classes are many but the pending set is shallow (each
+// class's heap is then trivially small); deep pending sets under many
+// classes decay gracefully toward scalar via order-disagreement
+// retirement.
 #pragma once
 
 #include <cstdint>
@@ -98,20 +119,26 @@ class SeedBatchExecutionContext {
   };
 
   /// True when a family under `base` can take the lockstep pass at all:
-  /// the scheduler must be RNG-free (kSynchronous / kAsyncFifo /
-  /// kAsyncLifo — kAsyncRandom and kAsyncLinkFifo consume a seeded stream
-  /// in draw order, which differs per lane), and the run must not be
-  /// observed (trace sinks, legacy tracing) or race a wall clock
-  /// (deadline_ns). Ineligible families replay every lane.
+  /// the scheduler must assign delivery keys as a pure per-message function
+  /// — kSynchronous / kAsyncFifo / kAsyncLifo always qualify, and
+  /// kAsyncRandom / kAsyncLinkFifo qualify under SchedulerKeying::kCounter
+  /// (under kStream they consume a seeded stream in draw order, which
+  /// differs per lane). The run must not be observed (trace sinks, legacy
+  /// tracing) or race a wall clock (deadline_ns). Ineligible families
+  /// replay every lane.
   static bool lockstep_eligible(const RunOptions& base) noexcept;
 
   /// One lockstep pass over the clean stream. `base` carries the family's
   /// shared options; lanes[i] overrides the two seeds. On return
-  /// dispositions[i] says whether lane i is served by the returned shared
-  /// RunResult or must be replayed by the caller on a scalar
-  /// ExecutionContext with (base + lanes[i]) — the returned reference is
-  /// meaningful only while at least one lane is kShared, and only until the
-  /// next run on this context. Throws the scalar engine's precondition
+  /// dispositions[i] says whether lane i is served by the pass (read its
+  /// result via lane_result(i)) or must be replayed by the caller on a
+  /// scalar ExecutionContext with (base + lanes[i]). The returned
+  /// reference is the first served key class's view of the shared result —
+  /// meaningful only while at least one lane is kShared, and only until
+  /// the next run on this context; under counter-keyed seeded schedulers
+  /// the key-valued fields (metrics.completion_key, informed_at) are
+  /// per-class, so per-lane readers MUST use lane_result rather than the
+  /// shared reference. Throws the scalar engine's precondition
   /// errors (advice size / source range); scheme-level behavior exceptions
   /// follow the scalar engine's fault semantics (absorbed into a
   /// kTaskFailed shared result for fault-enabled lanes, a replay for
@@ -132,6 +159,13 @@ class SeedBatchExecutionContext {
                              const Algorithm& algorithm,
                              const RunOptions& base,
                              const std::vector<Lane>& lanes);
+
+  /// Lane i's view of the most recent run_lockstep's shared result: the
+  /// shared plane patched with lane i's key class's completion_key,
+  /// informed_at, and queue_depth_peak. Identity (a plain copy of the
+  /// shared result) for the seed-independent schedulers. Meaningful only
+  /// for lanes whose disposition is kShared.
+  RunResult lane_result(std::size_t lane) const;
 
   /// Usage accounting of the most recent run_lockstep / run call.
   const SeedBatchStats& last_stats() const noexcept { return stats_; }
@@ -161,6 +195,27 @@ class SeedBatchExecutionContext {
   // compacted index set of lanes still answering the per-message mask.
   std::vector<FaultPlan> lane_plans_;
   std::vector<std::uint32_t> active_mask_lanes_;
+
+  /// One scheduler-seed class for the counter-keyed seeded schedulers: the
+  /// lanes sharing `seed`, a private index min-heap over the shared slot
+  /// pool, the class's logical clock / link clocks, and the key-valued
+  /// result fields the classes disagree on. SoA keys per class — the SoA
+  /// storage the per-lane heaps collapse into.
+  struct KeyClass {
+    std::uint64_t seed = 0;
+    bool active = false;       ///< still agreeing with the driver's order
+    std::uint32_t live = 0;    ///< kShared lanes still mapped to this class
+    std::vector<EventHeap::Entry> heap;
+    std::int64_t now = 0;              ///< key of the class's last pop
+    std::int64_t completion_key = 0;
+    std::vector<std::int64_t> link_clock;   ///< kAsyncLinkFifo only
+    std::vector<std::int64_t> informed_at;  ///< per node
+  };
+  static constexpr std::uint32_t kNoClass = ~0u;
+
+  bool keyed_ = false;  ///< last pass used key classes
+  std::vector<KeyClass> classes_;
+  std::vector<std::uint32_t> lane_class_;  ///< lane -> class index / kNoClass
 
   std::string pool_algorithm_;
   std::size_t pool_count_ = 0;

@@ -326,16 +326,20 @@ bool ShardedExecutionContext::attempt(const PortGraph& g, NodeId source,
   }
 
   scheduler_.reset(options.scheduler, options.seed, options.max_delay,
-                   offsets[n]);
+                   offsets[n], options.keying);
 
   const SchedulerKind kind = options.scheduler;
-  // Fast barriers need delivery keys that are pure in (now, seq) and sends
-  // that consume exactly one sequence number each; stream-RNG schedulers,
-  // sinks, the legacy SentRecord trace, and duplication faults force the
-  // serial submit replica.
+  // Fast barriers need delivery keys that are pure in (now, seq, link) and
+  // sends that consume exactly one sequence number each; stream-RNG and
+  // stateful (link-clock, adversarial) schedulers, sinks, the legacy
+  // SentRecord trace, and duplication faults force the serial submit
+  // replica. Counter-keyed kAsyncRandom qualifies: its delay is a pure
+  // mix of (seed, seq, link).
   const bool fast = (kind == SchedulerKind::kSynchronous ||
                      kind == SchedulerKind::kAsyncFifo ||
-                     kind == SchedulerKind::kAsyncLifo) &&
+                     kind == SchedulerKind::kAsyncLifo ||
+                     (kind == SchedulerKind::kAsyncRandom &&
+                      options.keying == SchedulerKeying::kCounter)) &&
                     sink == nullptr && !options.trace &&
                     !(faulty && options.fault.duplicate > 0);
 
@@ -553,6 +557,14 @@ bool ShardedExecutionContext::attempt(const PortGraph& g, NodeId source,
                 break;
               case SchedulerKind::kAsyncFifo:
                 key = static_cast<std::int64_t>(sq);
+                break;
+              case SchedulerKind::kAsyncRandom:
+                // Counter-keyed only (the fast gate excludes kStream):
+                // same key the serial Scheduler would hand out.
+                key = pe.now + 1 +
+                      static_cast<std::int64_t>(Scheduler::counter_delay(
+                          options.seed, Scheduler::delivery_prekey(sq, link),
+                          options.max_delay));
                 break;
               default:  // kAsyncLifo — the only other fast-path kind
                 key = -static_cast<std::int64_t>(sq);

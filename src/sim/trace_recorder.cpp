@@ -72,6 +72,12 @@ SchedulerKind scheduler_from_string(const std::string& s, std::size_t line) {
   parse_fail(line, "unknown scheduler '" + s + "'");
 }
 
+SchedulerKeying keying_from_string(const std::string& s, std::size_t line) {
+  if (s == "counter") return SchedulerKeying::kCounter;
+  if (s == "stream") return SchedulerKeying::kStream;
+  parse_fail(line, "unknown keying '" + s + "'");
+}
+
 ByzantineStrategy strategy_from_string(const std::string& s,
                                        std::size_t line) {
   if (s == "random-bits") return ByzantineStrategy::kRandomBits;
@@ -186,6 +192,7 @@ std::string to_string(const TraceEvent& e) {
 RunOptions TraceHeader::to_run_options() const {
   RunOptions o;
   o.scheduler = scheduler;
+  o.keying = keying;
   o.seed = seed;
   o.max_delay = max_delay;
   o.max_messages = max_messages;
@@ -246,6 +253,7 @@ void save_trace(std::ostream& os, const RecordedTrace& t) {
   if (!t.header.oracle.empty()) os << "oracle " << t.header.oracle << "\n";
   os << "source " << t.header.source << "\n"
      << "scheduler " << to_string(t.header.scheduler) << "\n"
+     << "keying " << to_string(t.header.keying) << "\n"
      << "seed " << t.header.seed << "\n"
      << "max_delay " << t.header.max_delay << "\n"
      << "max_messages " << t.header.max_messages << "\n"
@@ -351,6 +359,9 @@ RecordedTrace load_trace(std::istream& is) {
     } else if (tag == "scheduler") {
       t.header.scheduler =
           scheduler_from_string(tok_word(in, lineno, "scheduler"), lineno);
+    } else if (tag == "keying") {
+      t.header.keying =
+          keying_from_string(tok_word(in, lineno, "keying"), lineno);
     } else if (tag == "seed") {
       t.header.seed = tok_u64(in, lineno, "seed");
     } else if (tag == "max_delay") {
@@ -519,6 +530,7 @@ void TraceRecorder::begin_run(const TraceRunInfo& info) {
   if (info.options != nullptr) {
     const RunOptions& o = *info.options;
     trace_.header.scheduler = o.scheduler;
+    trace_.header.keying = o.keying;
     trace_.header.seed = o.seed;
     trace_.header.max_delay = o.max_delay;
     trace_.header.max_messages = o.max_messages;

@@ -14,6 +14,17 @@
 
 namespace oraclesize {
 
+/// SplitMix64 finalizer: the stateless mixer behind every counter-based
+/// keying scheme in the library (fault prekeys, counter-keyed scheduler
+/// delays). Same constants as Rng::next_u64, so the whole library stays on
+/// one documented generator family.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic 64-bit PRNG (SplitMix64) with convenience samplers.
 ///
 /// All samplers are defined purely in terms of next_u64(), so sequences are

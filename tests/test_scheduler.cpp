@@ -95,11 +95,13 @@ TEST(Scheduler, FifoKeysAscend) {
 }
 
 // Regression pin for the flat (vector-indexed) link clock that replaced
-// the unordered_map: interleaved draws on several links — including ids
-// far beyond the initially sized table — must each stay strictly
-// monotone, and the clamp must still enforce candidate > previous.
+// the unordered_map: interleaved draws on several links must each stay
+// strictly monotone, and the clamp must still enforce candidate >
+// previous. reset() sizes the clock table up front — the hot path no
+// longer grows it on demand.
 TEST(Scheduler, LinkFifoFlatClockInterleavedLinksStayFifo) {
   Scheduler s(SchedulerKind::kAsyncLinkFifo, 11, 16);
+  s.reset(SchedulerKind::kAsyncLinkFifo, 11, 16, /*num_links=*/2000);
   const std::uint64_t links[] = {0, 7, 3, 1024, 7, 0, 3, 1024};
   std::int64_t last[2000] = {};
   std::uint64_t seq = 0;
@@ -173,6 +175,7 @@ TEST(Scheduler, LinkFifoPerLinkOrderOnMultiPortSender) {
 
 TEST(Scheduler, LinkFifoKeysMonotonePerLink) {
   Scheduler s(SchedulerKind::kAsyncLinkFifo, 7, 64);
+  s.reset(SchedulerKind::kAsyncLinkFifo, 7, 64, /*num_links=*/64);
   std::int64_t prev = -1;
   for (std::uint64_t seq = 0; seq < 100; ++seq) {
     const std::int64_t k = s.delivery_key(0, seq, /*link=*/42);
@@ -193,6 +196,85 @@ TEST(Scheduler, AsyncRandomDelayBounded) {
 TEST(Scheduler, Names) {
   EXPECT_STREQ(to_string(SchedulerKind::kSynchronous), "sync");
   EXPECT_STREQ(to_string(SchedulerKind::kAsyncLinkFifo), "async-link-fifo");
+}
+
+TEST(SchedulerKeyingTest, Names) {
+  EXPECT_STREQ(to_string(SchedulerKeying::kCounter), "counter");
+  EXPECT_STREQ(to_string(SchedulerKeying::kStream), "stream");
+}
+
+// The counter-keyed contract: a message's key is a pure function of
+// (seed, seq, link) — draw ORDER must not matter. Interrogate the same
+// (seq, link) pairs in two different orders and expect identical keys.
+TEST(SchedulerKeyingTest, CounterKeysAreDrawOrderInvariant) {
+  Scheduler a(SchedulerKind::kAsyncRandom, 42, 16);
+  Scheduler b(SchedulerKind::kAsyncRandom, 42, 16);
+  std::int64_t forward[8];
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    forward[i] = a.delivery_key(5, i, i % 3);
+  }
+  for (std::uint64_t i = 8; i-- > 0;) {
+    EXPECT_EQ(b.delivery_key(5, i, i % 3), forward[i]) << "seq " << i;
+  }
+}
+
+// The legacy stream mode must keep consuming the seeded Rng in draw order,
+// bit-exactly: old trace artifacts replay through this path.
+TEST(SchedulerKeyingTest, StreamModeMatchesLegacyRngStream) {
+  Scheduler s(SchedulerKind::kAsyncRandom, 99, 16, SchedulerKeying::kStream);
+  Rng reference(99);
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    const std::int64_t expected =
+        7 + 1 + static_cast<std::int64_t>(reference.below(16));
+    EXPECT_EQ(s.delivery_key(7, seq, 0), expected) << "seq " << seq;
+  }
+}
+
+// delivery_key under kCounter must agree with the prekey/decide split the
+// seed-batch executor uses (one hash per message, one mix per lane).
+TEST(SchedulerKeyingTest, PrekeySplitMatchesDeliveryKey) {
+  const std::uint64_t seed = 1234567;
+  Scheduler s(SchedulerKind::kAsyncRandom, seed, 32);
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    const std::uint64_t link = seq * 17 % 23;
+    const std::int64_t direct = s.delivery_key(9, seq, link);
+    const std::uint64_t prekey = Scheduler::delivery_prekey(seq, link);
+    const std::int64_t split =
+        9 + 1 +
+        static_cast<std::int64_t>(Scheduler::counter_delay(seed, prekey, 32));
+    EXPECT_EQ(direct, split) << "seq " << seq;
+  }
+}
+
+// Counter keys honor the delay bound and change with seed and keying mode.
+TEST(SchedulerKeyingTest, CounterKeysBoundedAndSeedSensitive) {
+  Scheduler a(SchedulerKind::kAsyncRandom, 3, 8);
+  Scheduler b(SchedulerKind::kAsyncRandom, 4, 8);
+  std::size_t differing = 0;
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    const std::int64_t ka = a.delivery_key(10, seq, 0);
+    EXPECT_GE(ka, 11);
+    EXPECT_LE(ka, 18);
+    differing += (ka != b.delivery_key(10, seq, 0)) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+// Counter-keyed link-fifo still clamps per link: monotone per link at any
+// seed, and deterministic across schedulers armed identically.
+TEST(SchedulerKeyingTest, CounterLinkFifoClampsPerLink) {
+  Scheduler s(SchedulerKind::kAsyncLinkFifo, 21, 16);
+  s.reset(SchedulerKind::kAsyncLinkFifo, 21, 16, /*num_links=*/4);
+  Scheduler t(SchedulerKind::kAsyncLinkFifo, 21, 16);
+  t.reset(SchedulerKind::kAsyncLinkFifo, 21, 16, /*num_links=*/4);
+  std::int64_t last[4] = {-1, -1, -1, -1};
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const std::uint64_t link = seq % 4;
+    const std::int64_t k = s.delivery_key(0, seq, link);
+    EXPECT_GT(k, last[link]) << "seq " << seq;
+    EXPECT_EQ(k, t.delivery_key(0, seq, link));
+    last[link] = k;
+  }
 }
 
 }  // namespace

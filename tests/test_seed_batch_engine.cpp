@@ -3,11 +3,14 @@
 // Three layers, mirroring how the engine is used:
 //
 //  * SeedBatchEngine.*      — the engine itself: a 40-seed fuzz sweep over
-//    every algorithm x {sync, async-random, async-lifo} x fault rates
-//    {0, 0.01} demanding bit-identity with the scalar ExecutionContext per
-//    lane, plus the lane-retirement edge cases (first lane dies, last lane
-//    dies, all-but-one die, all die), eligibility fallbacks, budget
-//    statuses, and the behavior-exception split.
+//    every algorithm x {sync, async-random, async-lifo, async-link-fifo} x
+//    fault rates {0, 0.01} demanding bit-identity with the scalar
+//    ExecutionContext per lane (the seeded schedulers run counter-keyed,
+//    with options.seed varying per lane — the key-class machinery), plus
+//    the lane-retirement edge cases (first lane dies, last lane dies,
+//    all-but-one die, all die), key-class order-split retirement,
+//    eligibility fallbacks, budget statuses, and the behavior-exception
+//    split.
 //  * SeedFamily.*           — seed_family_key: seed-blind, everything-else
 //    sensitive.
 //  * SeedBatchRunner.*      — BatchRunner's family collapsing: batched
@@ -79,7 +82,7 @@ TEST(SeedBatchEngine, FuzzFortySeedsBitIdenticalAcrossMatrix) {
     const std::vector<BitString> advice = oracle->advise(g, kSource);
     for (const SchedulerKind sched :
          {SchedulerKind::kSynchronous, SchedulerKind::kAsyncRandom,
-          SchedulerKind::kAsyncLifo}) {
+          SchedulerKind::kAsyncLifo, SchedulerKind::kAsyncLinkFifo}) {
       for (const double rate : {0.0, 0.01}) {
         RunOptions base;
         base.scheduler = sched;
@@ -99,10 +102,14 @@ TEST(SeedBatchEngine, FuzzFortySeedsBitIdenticalAcrossMatrix) {
         const SeedBatchStats stats = batched.last_stats();
         EXPECT_EQ(stats.lanes, kLanes);
         EXPECT_EQ(stats.shared + stats.replayed, kLanes);
-        if (sched == SchedulerKind::kAsyncRandom) {
-          // Stream-RNG scheduler: whole family falls back to scalar.
-          EXPECT_FALSE(stats.lockstep_ran);
-          EXPECT_EQ(stats.replayed, kLanes);
+        if (sched == SchedulerKind::kAsyncRandom ||
+            sched == SchedulerKind::kAsyncLinkFifo) {
+          // Counter-keyed seeded scheduler: the pass runs with one key
+          // class per scheduler seed. On this branching graph most
+          // classes split from the driver's order and retire, but the
+          // driver class itself always survives a fault-free pass.
+          EXPECT_TRUE(stats.lockstep_ran);
+          if (rate == 0.0) EXPECT_GE(stats.shared, 1u);
         } else if (rate == 0.0) {
           // Fault-free family on a pure scheduler: one pass serves all.
           EXPECT_TRUE(stats.lockstep_ran);
@@ -122,7 +129,79 @@ TEST(SeedBatchEngine, FuzzFortySeedsBitIdenticalAcrossMatrix) {
       }
     }
   }
-  EXPECT_EQ(cells, 36);  // 6 algorithms x 3 schedulers x 2 rates
+  EXPECT_EQ(cells, 48);  // 6 algorithms x 4 schedulers x 2 rates
+}
+
+TEST(SeedBatchEngine, CounterKeyedSeedAxisSharesOnSequentialWorkloads) {
+  // A tree-cast down a path keeps exactly one message in flight, so every
+  // scheduler-seed key class agrees on the delivery ORDER even though each
+  // assigns different delivery KEYS — the whole 40-wide seed axis rides a
+  // single pass. This is the workload shape behind the perf_schedbatch
+  // floor rows.
+  const PortGraph g = make_path(64);
+  const TreeWakeupOracle oracle;
+  const std::vector<BitString> advice = oracle.advise(g, 0);
+  const Algorithm* wakeup = algorithm_by_name("wakeup-tree");
+  ASSERT_NE(wakeup, nullptr);
+  ExecutionContext scalar;
+  for (const SchedulerKind sched :
+       {SchedulerKind::kAsyncRandom, SchedulerKind::kAsyncLinkFifo}) {
+    RunOptions base;
+    base.scheduler = sched;
+    base.enforce_wakeup = true;
+    std::vector<Lane> lanes;
+    for (std::size_t l = 0; l < 40; ++l) lanes.push_back({1 + 13 * l, 0});
+    SeedBatchExecutionContext batched;
+    const std::vector<RunResult> got =
+        batched.run(g, 0, advice, *wakeup, base, lanes);
+    const SeedBatchStats stats = batched.last_stats();
+    EXPECT_TRUE(stats.lockstep_ran) << to_string(sched);
+    EXPECT_EQ(stats.shared, 40u) << to_string(sched);
+    std::map<std::int64_t, int> completion_keys;
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      RunOptions options = base;
+      options.seed = lanes[l].seed;
+      const RunResult want = scalar.run(g, 0, advice, *wakeup, options);
+      EXPECT_EQ(got[l], want) << to_string(sched) << " lane " << l;
+      ++completion_keys[got[l].metrics.completion_key];
+    }
+    // The per-class patching is real: different scheduler seeds yield
+    // genuinely different completion keys out of the one shared pass.
+    EXPECT_GT(completion_keys.size(), 1u) << to_string(sched);
+  }
+}
+
+TEST(SeedBatchEngine, KeyClassOrderSplitRetiresToScalarReplay) {
+  // A star's source fans out to every leaf at once, so the pending set is
+  // wide and scheduler-seed classes disagree on pop order almost surely.
+  // Disagreeing classes must retire to bit-exact scalar replays while the
+  // driver class keeps the pass.
+  const PortGraph g = make_star(9);
+  const TreeWakeupOracle oracle;
+  const std::vector<BitString> advice = oracle.advise(g, 0);
+  const Algorithm* wakeup = algorithm_by_name("wakeup-tree");
+  ASSERT_NE(wakeup, nullptr);
+  RunOptions base;
+  base.scheduler = SchedulerKind::kAsyncRandom;
+  base.max_delay = 64;
+  base.enforce_wakeup = true;
+  std::vector<Lane> lanes;
+  for (std::size_t l = 0; l < 40; ++l) lanes.push_back({7 + 31 * l, 0});
+  SeedBatchExecutionContext batched;
+  const std::vector<RunResult> got =
+      batched.run(g, 0, advice, *wakeup, base, lanes);
+  const SeedBatchStats stats = batched.last_stats();
+  EXPECT_TRUE(stats.lockstep_ran);
+  EXPECT_GE(stats.shared, 1u);
+  EXPECT_GT(stats.replayed, 0u);
+  EXPECT_EQ(stats.shared + stats.replayed, 40u);
+  ExecutionContext scalar;
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    RunOptions options = base;
+    options.seed = lanes[l].seed;
+    EXPECT_EQ(got[l], scalar.run(g, 0, advice, *wakeup, options))
+        << "lane " << l;
+  }
 }
 
 /// Scans fault seeds on a small drop-only regime and splits them into
@@ -229,9 +308,16 @@ TEST(SeedBatchEngine, EligibilityGates) {
   EXPECT_TRUE(SeedBatchExecutionContext::lockstep_eligible(base));
   base.scheduler = SchedulerKind::kAsyncLifo;
   EXPECT_TRUE(SeedBatchExecutionContext::lockstep_eligible(base));
+  // Counter-keyed seeded schedulers batch; the legacy stream keying keeps
+  // its draw-order RNG state and must stay scalar.
   base.scheduler = SchedulerKind::kAsyncRandom;
+  EXPECT_TRUE(SeedBatchExecutionContext::lockstep_eligible(base));
+  base.keying = SchedulerKeying::kStream;
   EXPECT_FALSE(SeedBatchExecutionContext::lockstep_eligible(base));
+  base.keying = SchedulerKeying::kCounter;
   base.scheduler = SchedulerKind::kAsyncLinkFifo;
+  EXPECT_TRUE(SeedBatchExecutionContext::lockstep_eligible(base));
+  base.keying = SchedulerKeying::kStream;
   EXPECT_FALSE(SeedBatchExecutionContext::lockstep_eligible(base));
   base = RunOptions{};
   base.trace = true;
@@ -509,6 +595,9 @@ TEST(SeedFamily, KeyIsSeedBlindAndOtherwiseSensitive) {
   TrialSpec d = a;
   d.options.scheduler = SchedulerKind::kAsyncLifo;
   EXPECT_NE(seed_family_key(a), seed_family_key(d));
+  TrialSpec q = a;
+  q.options.keying = SchedulerKeying::kStream;
+  EXPECT_NE(seed_family_key(a), seed_family_key(q));
   TrialSpec e = a;
   e.graph = &h;
   EXPECT_NE(seed_family_key(a), seed_family_key(e));
@@ -646,9 +735,18 @@ TEST(SeedBatchRunner, MixedBatchIsJobsInvariant) {
   const Algorithm* flooding = algorithm_by_name("flooding");
   std::vector<TrialSpec> specs = family_specs(g, oracle, *wakeup, 8, 0.02);
   // Singles that must stay scalar: a different algorithm, a different
-  // source, and an async-random family-of-two (ineligible scheduler).
+  // source, and a stream-keyed async-random pair (ineligible keying).
   specs.emplace_back(&g, 3, &null_oracle, flooding);
   specs.emplace_back(&g, 5, &oracle, wakeup);
+  for (int k = 0; k < 2; ++k) {
+    RunOptions options;
+    options.scheduler = SchedulerKind::kAsyncRandom;
+    options.keying = SchedulerKeying::kStream;
+    options.seed = 40 + k;
+    specs.emplace_back(&g, 3, &oracle, wakeup, options);
+  }
+  // Counter-keyed async-random pair: options.seed is now a lane axis, so
+  // these two collapse into a second family.
   for (int k = 0; k < 2; ++k) {
     RunOptions options;
     options.scheduler = SchedulerKind::kAsyncRandom;
@@ -663,8 +761,8 @@ TEST(SeedBatchRunner, MixedBatchIsJobsInvariant) {
     expect_reports_equal(at1[i], at3[i], "spec " + std::to_string(i));
   }
   EXPECT_EQ(stats1.metrics.counters, stats3.metrics.counters);
-  EXPECT_EQ(stats1.seed_families, 1u);
-  EXPECT_EQ(stats1.batched_lanes, 8u);
+  EXPECT_EQ(stats1.seed_families, 2u);
+  EXPECT_EQ(stats1.batched_lanes, 10u);
 }
 
 TEST(SeedBatchRunner, CacheOffAndShardedTrialsStayScalar) {

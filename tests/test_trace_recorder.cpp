@@ -82,6 +82,37 @@ TEST(TraceRecorder, SaveLoadRoundTripsEveryField) {
   EXPECT_EQ(loaded.digest(), t.digest());
 }
 
+TEST(TraceRecorder, HeaderRecordsKeyingAndDefaultsLegacyStream) {
+  // The header pins the delivery-key mode so old artifacts stay
+  // replayable: a counter-keyed recording round-trips its mode, and an
+  // artifact WITHOUT a keying line (anything recorded before the mode
+  // existed) must load as the legacy stream keying it was recorded under.
+  RunOptions opts;
+  opts.scheduler = SchedulerKind::kAsyncRandom;
+  opts.seed = 90210;
+  const RecordedTrace counter = record_broadcast(opts);
+  EXPECT_EQ(counter.header.keying, SchedulerKeying::kCounter);
+
+  opts.keying = SchedulerKeying::kStream;
+  const RecordedTrace stream = record_broadcast(opts);
+  EXPECT_EQ(stream.header.keying, SchedulerKeying::kStream);
+  // The two modes genuinely diverge on this seeded scheduler.
+  EXPECT_NE(counter.digest(), stream.digest());
+
+  std::stringstream ss;
+  save_trace(ss, counter);
+  std::string text = ss.str();
+  const std::size_t at = text.find("keying counter\n");
+  ASSERT_NE(at, std::string::npos);
+  text.erase(at, std::string("keying counter\n").size());
+  std::istringstream in(text);
+  const RecordedTrace legacy = load_trace(in);
+  EXPECT_EQ(legacy.header.keying, SchedulerKeying::kStream);
+  // The digest hashes events + outcome, not the header, so stripping the
+  // line changes only the replay interpretation.
+  EXPECT_EQ(legacy.digest(), counter.digest());
+}
+
 TEST(TraceRecorder, LoadRejectsTamperedAndTruncatedArtifacts) {
   const RecordedTrace t = record_broadcast();
   std::stringstream ss;

@@ -139,6 +139,14 @@ int audit() {
     check("broadcast-b",
           count_steady_run(small, advice_small, algorithm, opts),
           count_steady_run(big, advice_big, algorithm, opts));
+
+    // The link-fifo clock table is sized once in reset(), never grown in
+    // delivery_key — the per-link clamp in the hot path must be free.
+    RunOptions fifo = opts;
+    fifo.scheduler = SchedulerKind::kAsyncLinkFifo;
+    check("link-fifo",
+          count_steady_run(small, advice_small, algorithm, fifo),
+          count_steady_run(big, advice_big, algorithm, fifo));
   }
   return failures == 0 ? 0 : 1;
 }

@@ -74,7 +74,8 @@ def load(path):
     with open(path) as fh:
         data = json.load(fh)
     if data.get("bench") not in ("perf_csr", "perf_shard", "perf_seedbatch",
-                                 "perf_service", "e16_byzantine"):
+                                 "perf_schedbatch", "perf_service",
+                                 "e16_byzantine"):
         sys.exit(f"{path}: not a perf_gate-gated bench record "
                  f"(bench = {data.get('bench')!r})")
     return data
@@ -241,6 +242,84 @@ def gate_seedbatch(fresh_data, base_data, args):
     return failures
 
 
+def gate_schedbatch(fresh_data, base_data, args):
+    """Gates bench_perf --sched-batch (counter-keyed scheduler batching).
+
+    Every row carries three machine-independent facts, and those are what
+    gate:
+     * "identical" — the batched pass reproduced every lane's scalar
+       TaskReport bit for bit (and, on full_share rows, shared the pass
+       across ALL lanes while doing so). Gated on every fresh row.
+     * rows flagged floor=true by the bench (fault-free counter-keyed
+       families whose delivery order provably agrees across lanes) must
+       show at least --min-sched-speedup — the whole point of making the
+       seed a lane axis.
+     * rows flagged full_share=true must report shared == lanes: every
+       lane rode one lockstep pass to completion.
+    Rows shared with the committed baseline are additionally
+    regression-gated on the (portable, same-host-both-sides) speedup
+    ratio, clamped like perf_seedbatch.
+    """
+    def key(r):
+        return (r["family"], r["n"], r["scheme"], r["scheduler"],
+                r["axis"], r["mode"], r["rate"])
+
+    fresh = {key(r): r for r in fresh_data["rows"]}
+    base = {key(r): r for r in base_data["rows"]}
+
+    failures = []
+    print(f"{'row':>56} | {'base x':>8} | {'fresh x':>8} | gate")
+    floor_rows = 0
+    share_rows = 0
+    gated_rows = 0
+    for k in sorted(fresh):
+        family, n, scheme, scheduler, axis, mode, rate = k
+        row = fresh[k]
+        got = row["speedup"]
+        ref = base[k]["speedup"] if k in base else float("nan")
+        label = (f"{family} n={n} {scheme} {scheduler} "
+                 f"{axis} {mode}@{rate}")
+        verdicts = []
+        if not row.get("identical", False):
+            verdicts.append("IDENTITY")
+            failures.append(
+                f"{label}: batched reports NOT identical to the scalar "
+                f"BatchRunner")
+        if row.get("floor", False):
+            floor_rows += 1
+            if got < args.min_sched_speedup:
+                verdicts.append("FLOOR")
+                failures.append(
+                    f"{label}: speedup {got:.2f} below the "
+                    f"{args.min_sched_speedup}x fault-free counter-keyed "
+                    f"floor")
+        if row.get("full_share", False):
+            share_rows += 1
+            if row["shared"] != row["lanes"]:
+                verdicts.append("SHARE")
+                failures.append(
+                    f"{label}: shared {row['shared']} != lanes "
+                    f"{row['lanes']} — a lane fell off the lockstep pass")
+        if k in base:
+            gated_rows += 1
+            got_c = min(got, args.batch_regression_cap)
+            ref_c = min(ref, args.batch_regression_cap)
+            if got_c < ref_c * (1.0 - args.max_regression):
+                verdicts.append("REGRESSED")
+                failures.append(
+                    f"{label}: speedup regressed {ref:.2f} -> {got:.2f} "
+                    f"(> {args.max_regression:.0%} drop)")
+        print(f"{label:>56} | {ref:8.2f} | {got:8.2f} "
+              f"| {' '.join(verdicts) if verdicts else 'ok'}")
+
+    if not failures:
+        print(f"\nsched-batch gate passed: identity on {len(fresh)} fresh "
+              f"rows, {args.min_sched_speedup}x floor on {floor_rows} rows, "
+              f"full sharing on {share_rows} rows, regression on "
+              f"{gated_rows} shared rows")
+    return failures
+
+
 def gate_service(fresh_data, base_data, args):
     """Gates bench_perf --service (see the module docstring)."""
     failures = []
@@ -389,6 +468,10 @@ def main():
                          "the regression comparison: past it the batched "
                          "side is a few microseconds and the ratio is "
                          "timer noise (perf_seedbatch only)")
+    ap.add_argument("--min-sched-speedup", type=float, default=8.0,
+                    help="absolute scalar/batched speedup floor on rows the "
+                         "bench flags floor=true — fault-free counter-keyed "
+                         "families (perf_schedbatch only)")
     ap.add_argument("--min-service-hit-rate", type=float, default=0.5,
                     help="advice-cache hit-rate floor on the unbounded "
                          "pass (perf_service only; the load pattern "
@@ -411,6 +494,8 @@ def main():
         failures = gate_shard(fresh_data, base_data, args)
     elif fresh_data["bench"] == "perf_seedbatch":
         failures = gate_seedbatch(fresh_data, base_data, args)
+    elif fresh_data["bench"] == "perf_schedbatch":
+        failures = gate_schedbatch(fresh_data, base_data, args)
     elif fresh_data["bench"] == "perf_service":
         failures = gate_service(fresh_data, base_data, args)
     elif fresh_data["bench"] == "e16_byzantine":
